@@ -1,0 +1,64 @@
+//! Regenerates **Figure 2**: Execution time of the N-Body application vs.
+//! amount of available memory, 6 processors.
+//!
+//! Paper shape: performance degrades slowly at first, then sharply once
+//! the working set does not fit. Original FastThreads degrades fastest
+//! (a blocked user-level thread takes its virtual processor with it);
+//! Topaz threads and new FastThreads overlap I/O with computation, with
+//! new FastThreads best because common thread operations stay at user
+//! level.
+//!
+//! A fourth column runs the scheduler-activation system on the paper's
+//! projected *tuned* upcall path (§5.2) — the prototype's ~2.4 ms upcall
+//! machinery taxes every cache miss, and the tuned model removes it.
+
+use sa_core::experiments::{figure_apis, nbody_run};
+use sa_core::ThreadApi;
+use sa_machine::CostModel;
+use sa_workload::nbody::NBodyConfig;
+
+fn main() {
+    let cost = CostModel::firefly_prototype();
+    println!("Figure 2: N-Body execution time vs. % available memory (6 processors)");
+    println!(
+        "{:<7} {:>14} {:>14} {:>14} {:>14}   (seconds; misses in parens)",
+        "memory", "Topaz threads", "orig FastThrds", "new FastThrds", "new FT(tuned)"
+    );
+    for frac in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4] {
+        let mut cells = Vec::new();
+        for (_name, api) in figure_apis(6) {
+            let cfg = NBodyConfig {
+                memory_fraction: frac,
+                ..NBodyConfig::default()
+            };
+            let r = nbody_run(api, 6, cfg, cost.clone(), 1, 1);
+            cells.push(format!("{:.2} ({})", r.elapsed.as_secs_f64(), r.cache_misses));
+        }
+        let cfg = NBodyConfig {
+            memory_fraction: frac,
+            ..NBodyConfig::default()
+        };
+        let tuned = nbody_run(
+            ThreadApi::SchedulerActivations { max_processors: 6 },
+            6,
+            cfg,
+            CostModel::tuned(),
+            1,
+            1,
+        );
+        cells.push(format!(
+            "{:.2} ({})",
+            tuned.elapsed.as_secs_f64(),
+            tuned.cache_misses
+        ));
+        println!(
+            "{:>5.0}%  {:>14} {:>14} {:>14} {:>14}",
+            frac * 100.0,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+    println!("\npaper shape: orig FastThreads degrades fastest; new FastThreads best");
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Table 1**: Thread Operation Latencies (µsec).
+//!
+//! Paper values (CVAX Firefly / CVAX Ultrix workstation):
+//!
+//! | Operation   | FastThreads | Topaz threads | Ultrix processes |
+//! |-------------|-------------|---------------|------------------|
+//! | Null Fork   | 34          | 948           | 11300            |
+//! | Signal-Wait | 37          | 441           | 1840             |
+
+use sa_core::experiments::thread_op_latencies;
+use sa_core::ThreadApi;
+use sa_machine::CostModel;
+use sa_uthread::CriticalSectionMode;
+
+fn main() {
+    let cost = CostModel::firefly_prototype();
+    let rows = [
+        (
+            "FastThreads",
+            ThreadApi::OrigFastThreads { vps: 1 },
+            34.0,
+            37.0,
+        ),
+        ("Topaz threads", ThreadApi::TopazThreads, 948.0, 441.0),
+        (
+            "Ultrix processes",
+            ThreadApi::UltrixProcesses,
+            11300.0,
+            1840.0,
+        ),
+    ];
+    println!("Table 1: Thread Operation Latencies (usec.)");
+    println!(
+        "{:<20} {:>10} {:>8} {:>12} {:>8}",
+        "Operation", "Null Fork", "paper", "Signal-Wait", "paper"
+    );
+    for (name, api, nf_paper, sw_paper) in rows {
+        let r = thread_op_latencies(api, cost.clone(), CriticalSectionMode::ZeroOverhead);
+        println!(
+            "{:<20} {:>10.1} {:>8.0} {:>12.1} {:>8.0}",
+            name,
+            r.null_fork.as_micros_f64(),
+            nf_paper,
+            r.signal_wait.as_micros_f64(),
+            sw_paper
+        );
+    }
+    println!("\n(procedure call = 7 usec., kernel trap = 19 usec., as in the paper)");
+}

@@ -1,0 +1,5 @@
+//! Shared helpers for the benchmark harnesses (see `benches/`).
+//!
+//! Each bench target regenerates one table or figure from the paper; this
+//! library holds the formatting helpers they share.
+pub mod reporting;

@@ -1,0 +1,20 @@
+//! Text-table helpers shared by the bench harnesses.
+
+/// Prints a separator line sized to the given column widths.
+pub fn rule(widths: &[usize]) {
+    let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+    println!("{}", "-".repeat(total));
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn times(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn times_formats() {
+        assert_eq!(super::times(2.456), "2.46x");
+    }
+}

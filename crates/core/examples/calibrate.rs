@@ -1,0 +1,77 @@
+//! Calibration readout: prints measured microbenchmark latencies next to
+//! the paper's targets so cost-model constants can be fitted.
+use sa_core::experiments::{thread_op_latencies, topaz_signal_wait, upcall_signal_wait};
+use sa_core::ThreadApi;
+use sa_machine::CostModel;
+use sa_uthread::CriticalSectionMode;
+
+fn main() {
+    let cost = CostModel::firefly_prototype();
+    let rows = [
+        (
+            "FastThreads (orig, on kthreads)",
+            ThreadApi::OrigFastThreads { vps: 1 },
+            CriticalSectionMode::ZeroOverhead,
+            34.0,
+            37.0,
+        ),
+        (
+            "FastThreads (new, on sched acts)",
+            ThreadApi::SchedulerActivations { max_processors: 1 },
+            CriticalSectionMode::ZeroOverhead,
+            37.0,
+            42.0,
+        ),
+        (
+            "FastThreads (new, explicit flag)",
+            ThreadApi::SchedulerActivations { max_processors: 1 },
+            CriticalSectionMode::ExplicitFlag,
+            49.0,
+            48.0,
+        ),
+        (
+            "Topaz kernel threads",
+            ThreadApi::TopazThreads,
+            CriticalSectionMode::ZeroOverhead,
+            948.0,
+            441.0,
+        ),
+        (
+            "Ultrix processes",
+            ThreadApi::UltrixProcesses,
+            CriticalSectionMode::ZeroOverhead,
+            11300.0,
+            1840.0,
+        ),
+    ];
+    println!(
+        "{:<36} {:>10} {:>8} {:>12} {:>8}",
+        "system", "NullFork", "target", "SignalWait", "target"
+    );
+    for (name, api, critical, nf_t, sw_t) in rows {
+        let r = thread_op_latencies(api, cost.clone(), critical);
+        println!(
+            "{:<36} {:>9.1}u {:>8} {:>11.1}u {:>8}",
+            name,
+            r.null_fork.as_micros_f64(),
+            nf_t,
+            r.signal_wait.as_micros_f64(),
+            sw_t
+        );
+    }
+    let up = upcall_signal_wait(cost.clone());
+    let tz = topaz_signal_wait(cost.clone());
+    println!(
+        "\nkernel-forced signal-wait (SA, prototype): {:.1}us (paper 2400)",
+        up.as_micros_f64()
+    );
+    println!(
+        "kernel signal-wait (Topaz reference):      {:.1}us (paper 441)",
+        tz.as_micros_f64()
+    );
+    let up_tuned = upcall_signal_wait(CostModel::tuned());
+    println!(
+        "kernel-forced signal-wait (SA, tuned):     {:.1}us (commensurate w/ Topaz)",
+        up_tuned.as_micros_f64()
+    );
+}

@@ -1,0 +1,203 @@
+//! Command-line experiment runner: regenerate any of the paper's tables
+//! and figures without going through `cargo bench`.
+//!
+//! ```sh
+//! cargo run --release -p sa-core --bin sa-experiments -- table1
+//! cargo run --release -p sa-core --bin sa-experiments -- fig2
+//! cargo run --release -p sa-core --bin sa-experiments -- all
+//! ```
+
+use sa_core::experiments::{
+    figure_apis, nbody_run, nbody_sequential_time, thread_op_latencies, topaz_signal_wait,
+    upcall_signal_wait,
+};
+use sa_core::ThreadApi;
+use sa_machine::CostModel;
+use sa_uthread::CriticalSectionMode;
+use sa_workload::nbody::NBodyConfig;
+
+fn table1() {
+    let cost = CostModel::firefly_prototype();
+    println!("Table 1: Thread Operation Latencies (usec.)");
+    println!(
+        "{:<20} {:>10} {:>8} {:>12} {:>8}",
+        "Operation", "Null Fork", "paper", "Signal-Wait", "paper"
+    );
+    for (name, api, nf, sw) in [
+        ("FastThreads", ThreadApi::OrigFastThreads { vps: 1 }, 34, 37),
+        ("Topaz threads", ThreadApi::TopazThreads, 948, 441),
+        ("Ultrix processes", ThreadApi::UltrixProcesses, 11300, 1840),
+    ] {
+        let r = thread_op_latencies(api, cost.clone(), CriticalSectionMode::ZeroOverhead);
+        println!(
+            "{name:<20} {:>10.1} {nf:>8} {:>12.1} {sw:>8}",
+            r.null_fork.as_micros_f64(),
+            r.signal_wait.as_micros_f64()
+        );
+    }
+}
+
+fn table4() {
+    let cost = CostModel::firefly_prototype();
+    println!("Table 4: Thread Operation Latencies incl. scheduler activations (usec.)");
+    for (name, api, critical, nf, sw) in [
+        (
+            "FastThreads on Topaz threads",
+            ThreadApi::OrigFastThreads { vps: 1 },
+            CriticalSectionMode::ZeroOverhead,
+            34,
+            37,
+        ),
+        (
+            "FastThreads on Sched Activations",
+            ThreadApi::SchedulerActivations { max_processors: 1 },
+            CriticalSectionMode::ZeroOverhead,
+            37,
+            42,
+        ),
+        (
+            "  without zero-overhead CS",
+            ThreadApi::SchedulerActivations { max_processors: 1 },
+            CriticalSectionMode::ExplicitFlag,
+            49,
+            48,
+        ),
+        (
+            "Topaz threads",
+            ThreadApi::TopazThreads,
+            CriticalSectionMode::ZeroOverhead,
+            948,
+            441,
+        ),
+        (
+            "Ultrix processes",
+            ThreadApi::UltrixProcesses,
+            CriticalSectionMode::ZeroOverhead,
+            11300,
+            1840,
+        ),
+    ] {
+        let r = thread_op_latencies(api, cost.clone(), critical);
+        println!(
+            "{name:<36} {:>8.1} (paper {nf:>5})   {:>8.1} (paper {sw:>4})",
+            r.null_fork.as_micros_f64(),
+            r.signal_wait.as_micros_f64()
+        );
+    }
+}
+
+fn upcall() {
+    let proto = upcall_signal_wait(CostModel::firefly_prototype());
+    let topaz = topaz_signal_wait(CostModel::firefly_prototype());
+    let tuned = upcall_signal_wait(CostModel::tuned());
+    println!("5.2 upcall performance:");
+    println!(
+        "  kernel-forced signal-wait (prototype): {:.0} usec (paper ~2400)",
+        proto.as_micros_f64()
+    );
+    println!(
+        "  Topaz signal-wait:                     {:.0} usec (paper 441)",
+        topaz.as_micros_f64()
+    );
+    println!(
+        "  ratio: {:.1}x (paper ~5x)",
+        proto.as_micros_f64() / topaz.as_micros_f64()
+    );
+    println!(
+        "  kernel-forced signal-wait (tuned):     {:.0} usec",
+        tuned.as_micros_f64()
+    );
+}
+
+fn fig1() {
+    let cost = CostModel::firefly_prototype();
+    let cfg = NBodyConfig::default();
+    let seq = nbody_sequential_time(cfg.clone(), cost.clone(), 1);
+    println!("Figure 1: speedup vs processors (100% memory; sequential {seq})");
+    println!(
+        "{:<6} {:>14} {:>15} {:>14}",
+        "procs", "Topaz threads", "orig FastThrds", "new FastThrds"
+    );
+    for cpus in 1..=6u16 {
+        let mut row = Vec::new();
+        for (name, api) in figure_apis(cpus as u32) {
+            let machine = if name == "Topaz threads" { cpus } else { 6 };
+            let r = nbody_run(api, machine, cfg.clone(), cost.clone(), 1, 1);
+            row.push(seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64);
+        }
+        println!(
+            "{cpus:<6} {:>14.2} {:>15.2} {:>14.2}",
+            row[0], row[1], row[2]
+        );
+    }
+}
+
+fn fig2() {
+    let cost = CostModel::firefly_prototype();
+    println!("Figure 2: N-body execution time (s) vs % memory, 6 CPUs");
+    println!(
+        "{:<7} {:>14} {:>15} {:>14}",
+        "memory", "Topaz threads", "orig FastThrds", "new FastThrds"
+    );
+    for frac in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4] {
+        let mut row = Vec::new();
+        for (_name, api) in figure_apis(6) {
+            let cfg = NBodyConfig {
+                memory_fraction: frac,
+                ..NBodyConfig::default()
+            };
+            let r = nbody_run(api, 6, cfg, cost.clone(), 1, 1);
+            row.push(r.elapsed.as_secs_f64());
+        }
+        println!(
+            "{:>5.0}%  {:>14.2} {:>15.2} {:>14.2}",
+            frac * 100.0,
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+}
+
+fn table5() {
+    let cost = CostModel::firefly_prototype();
+    let cfg = NBodyConfig::default();
+    let seq = nbody_sequential_time(cfg.clone(), cost.clone(), 1);
+    println!("Table 5: multiprogramming level 2, 6 CPUs (max speedup 3.0)");
+    let paper = [1.29, 1.26, 2.45];
+    for (i, (name, api)) in figure_apis(6).into_iter().enumerate() {
+        let r = nbody_run(api, 6, cfg.clone(), cost.clone(), 2, 1);
+        let s = seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64;
+        println!("  {name:<18} {s:.2}  (paper {:.2})", paper[i]);
+    }
+}
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match what.as_str() {
+        "table1" => table1(),
+        "table4" => table4(),
+        "upcall" => upcall(),
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "table5" => table5(),
+        "all" => {
+            table1();
+            println!();
+            table4();
+            println!();
+            upcall();
+            println!();
+            fig1();
+            println!();
+            fig2();
+            println!();
+            table5();
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("usage: sa-experiments [table1|table4|upcall|fig1|fig2|table5|all]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The `System` builder: one-stop construction of a simulated machine,
+//! kernel, and application address spaces.
+
+use sa_kernel::{
+    DaemonSpec, Kernel, KernelConfig, KernelFlavor, RunOutcome, SchedMode, SpaceKindSpec,
+    SpaceMetrics, SpaceSpec,
+};
+use sa_machine::disk::DiskConfig;
+use sa_machine::program::ThreadBody;
+use sa_machine::CostModel;
+use sa_sim::{SimDuration, SimTime, Trace};
+use sa_uthread::{CriticalSectionMode, FastThreads, FtConfig, SpinPolicy};
+
+/// Which thread system an application uses — the four columns of the
+/// paper's comparison.
+#[derive(Debug, Clone)]
+pub enum ThreadApi {
+    /// Program directly with Topaz kernel threads.
+    TopazThreads,
+    /// Program with Ultrix-style heavyweight processes.
+    UltrixProcesses,
+    /// Original FastThreads on kernel-thread virtual processors.
+    OrigFastThreads {
+        /// Number of virtual processors to create.
+        vps: u32,
+    },
+    /// New FastThreads on scheduler activations (the paper's system).
+    SchedulerActivations {
+        /// Upper bound on processors the application will request.
+        max_processors: u32,
+    },
+}
+
+/// One application to run.
+pub struct AppSpec {
+    /// Debug name.
+    pub name: String,
+    /// Thread system.
+    pub api: ThreadApi,
+    /// Main thread body.
+    pub main: Box<dyn ThreadBody>,
+    /// Allocation priority (higher wins); default 1.
+    pub priority: u8,
+    /// Resident-set size in pages (None = no paging).
+    pub mem_pages: Option<usize>,
+    /// Start offset.
+    pub start_at: SimTime,
+    /// Critical-section mode for FastThreads variants.
+    pub critical: CriticalSectionMode,
+    /// User-lock contention policy for FastThreads variants.
+    pub lock_policy: SpinPolicy,
+    /// Priority scheduling in FastThreads variants (see
+    /// `FtConfig::priority_scheduling`).
+    pub priority_scheduling: bool,
+}
+
+impl AppSpec {
+    /// An application with default knobs.
+    pub fn new(name: impl Into<String>, api: ThreadApi, main: Box<dyn ThreadBody>) -> Self {
+        AppSpec {
+            name: name.into(),
+            api,
+            main,
+            priority: 1,
+            mem_pages: None,
+            start_at: SimTime::ZERO,
+            critical: CriticalSectionMode::ZeroOverhead,
+            lock_policy: SpinPolicy::default(),
+            priority_scheduling: false,
+        }
+    }
+}
+
+/// Handle to a running application within a [`System`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppId(pub(crate) sa_kernel::AsId);
+
+/// Builder for a complete simulated system.
+pub struct SystemBuilder {
+    cpus: u16,
+    cost: CostModel,
+    sched: Option<SchedMode>,
+    daemons: Vec<DaemonSpec>,
+    disk: DiskConfig,
+    seed: u64,
+    run_limit: SimTime,
+    trace: Option<Trace>,
+    apps: Vec<AppSpec>,
+}
+
+impl SystemBuilder {
+    /// A builder for a machine with `cpus` processors (the paper's Firefly
+    /// had six) using the prototype cost model.
+    pub fn new(cpus: u16) -> Self {
+        SystemBuilder {
+            cpus,
+            cost: CostModel::firefly_prototype(),
+            sched: None,
+            daemons: Vec::new(),
+            disk: DiskConfig::default(),
+            seed: 0x5eed,
+            run_limit: SimTime::from_millis(600_000),
+            trace: None,
+            apps: Vec::new(),
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Forces the scheduling regime. By default it is inferred: any
+    /// scheduler-activation application selects the modified kernel
+    /// ([`SchedMode::SaAllocator`]); otherwise the native kernel.
+    pub fn sched(mut self, sched: SchedMode) -> Self {
+        self.sched = Some(sched);
+        self
+    }
+
+    /// Enables kernel daemon threads (§5.3).
+    pub fn daemons(mut self, daemons: Vec<DaemonSpec>) -> Self {
+        self.daemons = daemons;
+        self
+    }
+
+    /// Replaces the disk configuration.
+    pub fn disk(mut self, disk: DiskConfig) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// Sets the RNG seed (runs are reproducible per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the hard virtual-time limit.
+    pub fn run_limit(mut self, limit: SimTime) -> Self {
+        self.run_limit = limit;
+        self
+    }
+
+    /// Installs a trace sink.
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Adds an application.
+    pub fn app(mut self, app: AppSpec) -> Self {
+        self.apps.push(app);
+        self
+    }
+
+    /// Builds the system (the kernel boots; applications start when
+    /// [`System::run`] is called).
+    pub fn build(self) -> System {
+        let sched = self.sched.unwrap_or_else(|| {
+            if self
+                .apps
+                .iter()
+                .any(|a| matches!(a.api, ThreadApi::SchedulerActivations { .. }))
+            {
+                SchedMode::SaAllocator
+            } else {
+                SchedMode::TopazNative
+            }
+        });
+        let cfg = KernelConfig {
+            cpus: self.cpus,
+            sched,
+            daemons: self.daemons,
+            disk: self.disk,
+            seed: self.seed,
+            run_limit: self.run_limit,
+        };
+        let mut kernel = Kernel::new(cfg, self.cost);
+        if let Some(trace) = self.trace {
+            kernel.set_trace(trace);
+        }
+        let mut ids = Vec::new();
+        for app in self.apps {
+            let kind = match app.api {
+                ThreadApi::TopazThreads => SpaceKindSpec::KernelDirect {
+                    flavor: KernelFlavor::TopazThreads,
+                    main: app.main,
+                },
+                ThreadApi::UltrixProcesses => SpaceKindSpec::KernelDirect {
+                    flavor: KernelFlavor::UltrixProcesses,
+                    main: app.main,
+                },
+                ThreadApi::OrigFastThreads { vps } => {
+                    let mut cfg = FtConfig::kernel_threads(vps);
+                    cfg.critical = app.critical;
+                    cfg.lock_policy = app.lock_policy;
+                    cfg.priority_scheduling = app.priority_scheduling;
+                    SpaceKindSpec::UserLevel {
+                        runtime: Box::new(FastThreads::new(cfg)),
+                        main: app.main,
+                    }
+                }
+                ThreadApi::SchedulerActivations { max_processors } => {
+                    let mut cfg = FtConfig::scheduler_activations(max_processors);
+                    cfg.critical = app.critical;
+                    cfg.lock_policy = app.lock_policy;
+                    cfg.priority_scheduling = app.priority_scheduling;
+                    SpaceKindSpec::UserLevel {
+                        runtime: Box::new(FastThreads::new(cfg)),
+                        main: app.main,
+                    }
+                }
+            };
+            let id = kernel.add_space(SpaceSpec {
+                name: app.name,
+                priority: app.priority,
+                kind,
+                mem_pages: app.mem_pages,
+                start_at: app.start_at,
+            });
+            ids.push(AppId(id));
+        }
+        System { kernel, apps: ids }
+    }
+}
+
+/// Result of a full system run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Kernel-loop outcome.
+    pub outcome: RunOutcome,
+    /// Per-application elapsed time (start → completion), in app order.
+    pub elapsed: Vec<Option<SimDuration>>,
+}
+
+impl RunReport {
+    /// Elapsed time of application `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that application never completed — check
+    /// [`RunOutcome::timed_out`]/[`RunOutcome::deadlocked`] first when a
+    /// run may legitimately fail.
+    pub fn elapsed(&self, i: usize) -> SimDuration {
+        self.elapsed[i].expect("application did not complete")
+    }
+
+    /// True when every application finished.
+    pub fn all_done(&self) -> bool {
+        !self.outcome.timed_out
+            && !self.outcome.deadlocked
+            && self.elapsed.iter().all(Option::is_some)
+    }
+}
+
+/// A built system ready to run.
+pub struct System {
+    kernel: Kernel,
+    apps: Vec<AppId>,
+}
+
+impl System {
+    /// Runs to completion (or the time limit) and reports.
+    pub fn run(&mut self) -> RunReport {
+        let outcome = self.kernel.run();
+        let elapsed = self
+            .apps
+            .iter()
+            .map(|a| self.kernel.space_elapsed(a.0))
+            .collect();
+        RunReport { outcome, elapsed }
+    }
+
+    /// The application handles, in the order added.
+    pub fn apps(&self) -> &[AppId] {
+        &self.apps
+    }
+
+    /// Kernel-side metrics for an application.
+    pub fn metrics(&self, app: AppId) -> &SpaceMetrics {
+        self.kernel.space_metrics(app.0)
+    }
+
+    /// The user-level runtime's statistics line for an application.
+    pub fn runtime_stats(&self, app: AppId) -> String {
+        self.kernel.runtime_stats(app.0)
+    }
+
+    /// The user-level runtime's internal state dump for an application.
+    pub fn runtime_dump(&self, app: AppId) -> String {
+        self.kernel.runtime_dump(app.0)
+    }
+
+    /// Access to the underlying kernel (trace, global metrics, time).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_machine::ComputeBody;
+
+    #[test]
+    fn builder_infers_sched_mode() {
+        let sys = SystemBuilder::new(2)
+            .app(AppSpec::new(
+                "a",
+                ThreadApi::TopazThreads,
+                Box::new(ComputeBody::null()),
+            ))
+            .build();
+        // Native mode: no allocator rebalances will be counted after run.
+        let _ = sys;
+    }
+
+    #[test]
+    fn run_report_panics_on_missing_elapsed() {
+        let report = RunReport {
+            outcome: RunOutcome {
+                end: SimTime::ZERO,
+                timed_out: true,
+                deadlocked: false,
+            },
+            elapsed: vec![None],
+        };
+        assert!(!report.all_done());
+        let r = std::panic::catch_unwind(|| report.elapsed(0));
+        assert!(r.is_err());
+    }
+}

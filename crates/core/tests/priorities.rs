@@ -1,0 +1,175 @@
+//! Thread-priority tests: `Op::ForkPrio` under kernel threads (kernel
+//! scheduler priorities) and under FastThreads with priority scheduling,
+//! including §3.1's ask-the-kernel-to-interrupt path.
+
+use sa_core::{AppSpec, SystemBuilder, ThreadApi};
+use sa_machine::program::{FnBody, Op, OpResult, ThreadBody};
+use sa_machine::ThreadRef;
+use sa_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn ms(n: u64) -> SimDuration {
+    SimDuration::from_millis(n)
+}
+
+type Log = Rc<RefCell<Vec<&'static str>>>;
+
+/// A child that records when it finishes its single burst.
+fn logged_child(log: Log, tag: &'static str, work: SimDuration) -> Box<dyn ThreadBody> {
+    let mut st = 0;
+    Box::new(FnBody::new("child", move |_| {
+        st += 1;
+        match st {
+            1 => Op::Compute(work),
+            2 => {
+                log.borrow_mut().push(tag);
+                Op::Exit
+            }
+            _ => Op::Exit,
+        }
+    }))
+}
+
+/// Main forks a low-priority child then a high-priority child (both on a
+/// uniprocessor), then joins. Returns the completion order.
+fn run_priority_dispatch(api: ThreadApi, priority_scheduling: bool) -> Vec<&'static str> {
+    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let l1 = Rc::clone(&log);
+    let l2 = Rc::clone(&log);
+    let mut st = 0;
+    let mut children: Vec<ThreadRef> = Vec::new();
+    let main = FnBody::new("main", move |env| {
+        if let OpResult::Forked(c) = env.last {
+            children.push(c);
+        }
+        st += 1;
+        match st {
+            1 => Op::ForkPrio(logged_child(Rc::clone(&l1), "low", ms(2)), 1),
+            2 => Op::ForkPrio(logged_child(Rc::clone(&l2), "high", ms(2)), 5),
+            3 => Op::Join(children[0]),
+            4 => Op::Join(children[1]),
+            _ => Op::Exit,
+        }
+    });
+    let mut app = AppSpec::new("prio", api, Box::new(main));
+    app.priority_scheduling = priority_scheduling;
+    let mut sys = SystemBuilder::new(1).app(app).build();
+    let report = sys.run();
+    assert!(report.all_done(), "{:?}", report.outcome);
+    let out = log.borrow().clone();
+    out
+}
+
+#[test]
+fn fastthreads_priority_dispatch_runs_high_first() {
+    // With priority scheduling, the high-priority child runs before the
+    // low-priority one even though LIFO order would favour neither/low.
+    let order = run_priority_dispatch(ThreadApi::SchedulerActivations { max_processors: 1 }, true);
+    assert_eq!(order, vec!["high", "low"]);
+}
+
+#[test]
+fn fastthreads_without_priorities_uses_lifo() {
+    // Default policy: LIFO — the most recently forked child (high) happens
+    // to go first too, so distinguish with three children instead.
+    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let mut st = 0;
+    let mut children: Vec<ThreadRef> = Vec::new();
+    let logs: Vec<Log> = (0..3).map(|_| Rc::clone(&log)).collect();
+    let tags = ["first", "second", "third"];
+    let mut logs = logs.into_iter();
+    let main = FnBody::new("main", move |env| {
+        if let OpResult::Forked(c) = env.last {
+            children.push(c);
+        }
+        st += 1;
+        match st {
+            1..=3 => Op::ForkPrio(
+                logged_child(logs.next().expect("three logs"), tags[st - 1], ms(1)),
+                st as u8, // increasing priorities, but they are ignored
+            ),
+            4..=6 => Op::Join(children[st - 4]),
+            _ => Op::Exit,
+        }
+    });
+    let mut app = AppSpec::new(
+        "lifo",
+        ThreadApi::SchedulerActivations { max_processors: 1 },
+        Box::new(main),
+    );
+    app.priority_scheduling = false;
+    let mut sys = SystemBuilder::new(1).app(app).build();
+    let report = sys.run();
+    assert!(report.all_done());
+    // LIFO: the last-forked child runs first.
+    assert_eq!(*log.borrow(), vec!["third", "second", "first"]);
+}
+
+#[test]
+fn kernel_threads_respect_fork_priority() {
+    // Under Topaz kernel threads the kernel scheduler handles priorities:
+    // a high-priority child preempts/precedes the low one.
+    let order = run_priority_dispatch(ThreadApi::TopazThreads, false);
+    assert_eq!(order[0], "high");
+}
+
+#[test]
+fn sa_priority_wake_preempts_own_processor() {
+    // §3.1: two low-priority threads occupy both processors; when a
+    // high-priority thread becomes ready, the runtime asks the kernel to
+    // interrupt one of its own processors so the high one runs promptly.
+    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let lh = Rc::clone(&log);
+    let ll1 = Rc::clone(&log);
+    let ll2 = Rc::clone(&log);
+    let mut st = 0;
+    let mut children: Vec<ThreadRef> = Vec::new();
+    let main = FnBody::new("main", move |env| {
+        if let OpResult::Forked(c) = env.last {
+            children.push(c);
+        }
+        st += 1;
+        match st {
+            // Two long low-priority threads saturate both CPUs.
+            1 => Op::ForkPrio(logged_child(Rc::clone(&ll1), "low1", ms(50)), 1),
+            2 => Op::ForkPrio(logged_child(Rc::clone(&ll2), "low2", ms(50)), 1),
+            // Let them both get dispatched.
+            // Long enough for the allocator to bring up the second
+            // processor and dispatch a low-priority thread there.
+            3 => Op::Compute(ms(5)),
+            // Now a short high-priority thread arrives.
+            4 => Op::ForkPrio(logged_child(Rc::clone(&lh), "high", ms(2)), 9),
+            5 => Op::Join(children[2]),
+            6 => Op::Join(children[0]),
+            7 => Op::Join(children[1]),
+            _ => Op::Exit,
+        }
+    });
+    let mut app = AppSpec::new(
+        "preempt",
+        ThreadApi::SchedulerActivations { max_processors: 2 },
+        Box::new(main),
+    );
+    app.priority_scheduling = true;
+    let mut sys = SystemBuilder::new(2)
+        .run_limit(SimTime::from_millis(10_000))
+        .app(app)
+        .build();
+    let report = sys.run();
+    assert!(report.all_done(), "{:?}", report.outcome);
+    // The high-priority thread must finish before both 50 ms threads even
+    // though both processors were busy when it was forked.
+    let order = log.borrow().clone();
+    let high_pos = order.iter().position(|&t| t == "high").expect("high ran");
+    assert!(
+        high_pos < 2,
+        "high-priority thread was not expedited: {order:?}"
+    );
+    // The kernel really did preempt one of the space's processors.
+    let m = sys.metrics(sys.apps()[0]);
+    assert!(
+        m.upcalls_preempted.get() >= 1,
+        "no preemption upcall was generated"
+    );
+}

@@ -1,0 +1,146 @@
+//! Whole-system property tests: arbitrary small workloads must complete
+//! under every thread system, identically across repeated runs, and
+//! faster (or equal) with more processors.
+
+use proptest::prelude::*;
+use sa_core::{AppSpec, SystemBuilder, ThreadApi};
+use sa_machine::program::{FnBody, Op, OpResult, ThreadBody};
+use sa_machine::{CvId, LockId, ThreadRef};
+use sa_sim::{SimDuration, SimTime};
+
+/// A randomly generated but always-terminating workload: the main thread
+/// forks `n` children, each performing a generated op list, then joins
+/// them all.
+#[derive(Debug, Clone)]
+struct WorkloadSpec {
+    children: Vec<Vec<MiniOp>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MiniOp {
+    Compute(u16),
+    LockedCompute(u8, u16),
+    Io(u8),
+    Signal(u8),
+    Yield,
+}
+
+fn mini_ops() -> impl Strategy<Value = MiniOp> {
+    prop_oneof![
+        (1u16..2000).prop_map(MiniOp::Compute),
+        (0u8..3, 1u16..200).prop_map(|(l, d)| MiniOp::LockedCompute(l, d)),
+        (1u8..10).prop_map(MiniOp::Io),
+        (0u8..3).prop_map(MiniOp::Signal),
+        Just(MiniOp::Yield),
+    ]
+}
+
+fn workload_spec() -> impl Strategy<Value = WorkloadSpec> {
+    prop::collection::vec(prop::collection::vec(mini_ops(), 0..8), 1..8)
+        .prop_map(|children| WorkloadSpec { children })
+}
+
+fn child_body(ops: Vec<MiniOp>) -> Box<dyn ThreadBody> {
+    let mut queue: Vec<Op> = Vec::new();
+    for op in ops {
+        match op {
+            MiniOp::Compute(us) => queue.push(Op::Compute(SimDuration::from_micros(us as u64))),
+            MiniOp::LockedCompute(l, us) => {
+                queue.push(Op::Acquire(LockId(l as u32)));
+                queue.push(Op::Compute(SimDuration::from_micros(us as u64)));
+                queue.push(Op::Release(LockId(l as u32)));
+            }
+            MiniOp::Io(ms) => queue.push(Op::Io(SimDuration::from_millis(ms as u64))),
+            MiniOp::Signal(cv) => queue.push(Op::Signal(CvId(cv as u32))),
+            MiniOp::Yield => queue.push(Op::Yield),
+        }
+    }
+    Box::new(sa_machine::ScriptBody::new("child", queue))
+}
+
+fn main_body(spec: WorkloadSpec) -> Box<dyn ThreadBody> {
+    let mut children = spec.children;
+    children.reverse();
+    let mut handles: Vec<ThreadRef> = Vec::new();
+    let mut joined = 0usize;
+    Box::new(FnBody::new("main", move |env| {
+        if let OpResult::Forked(h) = env.last {
+            handles.push(h);
+        }
+        if let Some(ops) = children.pop() {
+            return Op::Fork(child_body(ops));
+        }
+        if joined < handles.len() {
+            let h = handles[joined];
+            joined += 1;
+            return Op::Join(h);
+        }
+        Op::Exit
+    }))
+}
+
+fn run(spec: &WorkloadSpec, api: ThreadApi, cpus: u16, seed: u64) -> SimDuration {
+    let mut sys = SystemBuilder::new(cpus)
+        .seed(seed)
+        .run_limit(SimTime::from_millis(120_000))
+        .app(AppSpec::new("prop", api, main_body(spec.clone())))
+        .build();
+    let report = sys.run();
+    assert!(
+        report.all_done(),
+        "workload did not complete: {:?}",
+        report.outcome
+    );
+    report.elapsed(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every thread system completes every generated workload.
+    #[test]
+    fn all_systems_complete(spec in workload_spec(), seed in 0u64..100) {
+        for api in [
+            ThreadApi::TopazThreads,
+            ThreadApi::OrigFastThreads { vps: 2 },
+            ThreadApi::SchedulerActivations { max_processors: 2 },
+        ] {
+            let _ = run(&spec, api, 2, seed);
+        }
+    }
+
+    /// Identical seeds reproduce identical virtual times.
+    #[test]
+    fn runs_are_deterministic(spec in workload_spec(), seed in 0u64..100) {
+        let api = ThreadApi::SchedulerActivations { max_processors: 3 };
+        let a = run(&spec, api.clone(), 3, seed);
+        let b = run(&spec, api, 3, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// More processors never make a scheduler-activation run slower by
+    /// more than scheduling noise (bounded regression).
+    #[test]
+    fn more_processors_do_not_catastrophically_hurt(spec in workload_spec()) {
+        let one = run(
+            &spec,
+            ThreadApi::SchedulerActivations { max_processors: 1 },
+            1,
+            7,
+        );
+        let four = run(
+            &spec,
+            ThreadApi::SchedulerActivations { max_processors: 4 },
+            4,
+            7,
+        );
+        // Allow reallocation/upcall overhead slack on tiny workloads.
+        let slack = SimDuration::from_millis(20);
+        prop_assert!(
+            four <= one + slack,
+            "4 cpus {} much slower than 1 cpu {}",
+            four,
+            one
+        );
+    }
+}

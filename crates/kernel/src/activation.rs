@@ -1,0 +1,122 @@
+//! Scheduler activations (kernel side).
+//!
+//! "A scheduler activation serves three roles: it serves as a vessel, or
+//! execution context, for running user-level threads, in exactly the same
+//! way that a kernel thread does; it notifies the user-level thread system
+//! of a kernel event; and it provides space in the kernel for saving the
+//! processor context of the activation's current user-level thread, when
+//! the thread is stopped by the kernel." (§3.1)
+//!
+//! The crucial lifecycle rule implemented here: once an activation's user
+//! thread is stopped by the kernel, *that activation is never resumed*. A
+//! fresh activation carries the notification; the old one sits in
+//! `ActState::Discarded` until the user level returns it in bulk
+//! ([`crate::upcall::Syscall::RecycleActivations`], §4.3), after which it
+//! is `ActState::Cached` and cheap to reuse.
+
+use crate::exec::{Pipeline, ResumeWith, UpcallBatch};
+use crate::ids::{ActId, AsId};
+use crate::upcall::SyscallOutcome;
+
+/// Lifecycle state of a scheduler activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ActState {
+    /// In the kernel's reuse pool (cheap to allocate, §4.3).
+    Cached,
+    /// Dispatched on a CPU, delivering its upcall or running user code.
+    Running(u16),
+    /// Its user-level thread blocked in the kernel; holds that thread's
+    /// kernel state until the wakeup.
+    Blocked,
+    /// Stopped by the kernel (preempted or unblocked-and-notified); its
+    /// state has been handed to the user level, which now owns the husk
+    /// until it recycles it.
+    Discarded,
+    /// Stopped by the debugger; owns a "logical processor" and generates
+    /// no upcalls (§4.4).
+    DebugStopped,
+}
+
+/// A scheduler activation control block.
+pub(crate) struct Activation {
+    pub id: ActId,
+    pub space: AsId,
+    pub state: ActState,
+    /// Pending micro-ops (upcall prologue, syscall paths).
+    pub pipeline: Pipeline,
+    /// Outcome to deliver at the next runtime poll.
+    pub resume: Option<ResumeWith>,
+    /// Upcall events queued for `Effect::DeliverUpcall`.
+    pub upcall: Option<UpcallBatch>,
+    /// Outcome of the kernel operation this activation blocked in; carried
+    /// into the `Unblocked` notification.
+    pub blocked_outcome: Option<SyscallOutcome>,
+    /// The activation has told the kernel its processor is idle
+    /// (Table 3 hint); preferred as a preemption victim.
+    pub idle_hint: bool,
+    /// True while the activation is still executing its upcall prologue or
+    /// handler (used to avoid choosing mid-upcall victims).
+    pub in_upcall: bool,
+}
+
+impl Activation {
+    pub(crate) fn new(id: ActId, space: AsId) -> Self {
+        Activation {
+            id,
+            space,
+            state: ActState::Cached,
+            pipeline: Pipeline::new(),
+            resume: None,
+            upcall: None,
+            blocked_outcome: None,
+            idle_hint: false,
+            in_upcall: false,
+        }
+    }
+
+    /// Resets per-dispatch state when the activation is reused.
+    pub(crate) fn reset_for_dispatch(&mut self) {
+        self.pipeline.clear();
+        self.resume = None;
+        self.upcall = None;
+        self.blocked_outcome = None;
+        self.idle_hint = false;
+        self.in_upcall = false;
+    }
+}
+
+impl core::fmt::Debug for Activation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Activation")
+            .field("id", &self.id)
+            .field("space", &self.space)
+            .field("state", &self.state)
+            .field("idle_hint", &self.idle_hint)
+            .field("in_upcall", &self.in_upcall)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_activation_is_cached() {
+        let a = Activation::new(ActId(0), AsId(1));
+        assert_eq!(a.state, ActState::Cached);
+    }
+
+    #[test]
+    fn reset_clears_dispatch_state() {
+        let mut a = Activation::new(ActId(0), AsId(1));
+        a.idle_hint = true;
+        a.in_upcall = true;
+        a.blocked_outcome = Some(SyscallOutcome::IoDone);
+        a.reset_for_dispatch();
+        assert!(!a.idle_hint);
+        assert!(!a.in_upcall);
+        assert!(a.blocked_outcome.is_none());
+        assert!(a.pipeline.is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! The processor allocator (§4.1).
+//!
+//! Space-shares processors among address spaces while respecting priorities
+//! and guaranteeing that no processor idles if some space has work:
+//! "Processors are divided evenly among address spaces; if some address
+//! spaces do not need all of the processors in their share, those
+//! processors are divided evenly among the remainder."
+//!
+//! Kernel-direct (Topaz) spaces compete on the same footing as
+//! scheduler-activation spaces: "there is no need for static partitioning
+//! of processors." Their demand is read from internal kernel structures;
+//! SA spaces' demand comes from their Table 3 hints.
+
+use crate::config::SchedMode;
+use crate::exec::Running;
+use crate::ids::AsId;
+use crate::kernel::{Event, Kernel};
+use crate::space::SpaceKind;
+use crate::upcall::UpcallEvent;
+
+impl Kernel {
+    /// A space's current processor demand.
+    pub(crate) fn space_demand(&self, id: AsId) -> u32 {
+        let s = &self.spaces[id.index()];
+        if !s.started || s.done {
+            return 0;
+        }
+        match &s.kind {
+            SpaceKind::KernelDirect { .. } | SpaceKind::UserOnKt { .. } => {
+                // Internal kernel data: runnable + running threads.
+                let running = self
+                    .cpus
+                    .iter()
+                    .filter(|c| {
+                        c.assigned == Some(id)
+                            && matches!(c.running, Running::Kt(kt)
+                                if self.kts[kt.index()].space == id)
+                    })
+                    .count() as u32;
+                s.ready.len() as u32 + running
+            }
+            SpaceKind::UserOnSa => {
+                if !s.runtime_pages_resident {
+                    // Cannot enter the space until its manager pages it in.
+                    0
+                } else {
+                    // The Table-3 hints; a pending notification always
+                    // justifies at least one processor.
+                    let base = s.sa.desired;
+                    if s.sa.pending_events.is_empty() {
+                        base
+                    } else {
+                        base.max(1)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes the target allocation: priorities strictly dominate, and
+    /// within a priority level processors are divided evenly, with unused
+    /// shares redistributed. When the division leaves a remainder, the
+    /// extra processors go to a rotating subset of the claimants — the
+    /// paper's "processors are time-sliced only if the number of available
+    /// processors is not an integer multiple of the number of address
+    /// spaces (at the same priority) that want them" (§4.1).
+    pub(crate) fn compute_targets(&self) -> Vec<u32> {
+        self.compute_targets_inner().0
+    }
+
+    /// As [`Kernel::compute_targets`], also reporting whether a remainder
+    /// exists (so the rotation timer knows to keep running).
+    pub(crate) fn compute_targets_inner(&self) -> (Vec<u32>, bool) {
+        let n = self.spaces.len();
+        let mut targets = vec![0u32; n];
+        let mut has_remainder = false;
+        let mut avail = self.cpus.len() as u32;
+        // Group space indices by priority, descending.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.spaces[b]
+                .priority
+                .cmp(&self.spaces[a].priority)
+                .then(a.cmp(&b))
+        });
+        let mut i = 0;
+        while i < order.len() && avail > 0 {
+            let prio = self.spaces[order[i]].priority;
+            let mut group: Vec<(usize, u32)> = Vec::new();
+            while i < order.len() && self.spaces[order[i]].priority == prio {
+                let idx = order[i];
+                let d = self.space_demand(AsId(idx as u32));
+                if d > 0 {
+                    group.push((idx, d));
+                }
+                i += 1;
+            }
+            // Waterfall even split within the priority level.
+            while !group.is_empty() && avail > 0 {
+                let share = avail / group.len() as u32;
+                if share == 0 {
+                    // Fewer processors than claimants: one each to a
+                    // rotating window of claimants (time-slicing the
+                    // remainder, deterministically).
+                    group.sort_by_key(|&(idx, _)| idx);
+                    has_remainder = true;
+                    let len = group.len();
+                    let start = (self.share_rotation as usize) % len;
+                    for k in 0..(avail as usize) {
+                        let (idx, _) = group[(start + k) % len];
+                        targets[idx] += 1;
+                    }
+                    avail = 0;
+                    break;
+                }
+                let satisfied: Vec<(usize, u32)> =
+                    group.iter().copied().filter(|&(_, d)| d <= share).collect();
+                if satisfied.is_empty() {
+                    // Everyone wants at least the share: split evenly and
+                    // hand the remainder out one-by-one, rotating who gets
+                    // the extras.
+                    group.sort_by_key(|&(idx, _)| idx);
+                    let rem = (avail - share * group.len() as u32) as usize;
+                    if rem > 0 {
+                        has_remainder = true;
+                    }
+                    let len = group.len();
+                    let start = (self.share_rotation as usize) % len;
+                    for (k, &(idx, _)) in group.iter().enumerate() {
+                        let gets_extra = (k + len - start) % len < rem;
+                        targets[idx] += share + u32::from(gets_extra);
+                    }
+                    avail = 0;
+                    break;
+                }
+                for &(idx, d) in &satisfied {
+                    targets[idx] += d;
+                    avail -= d;
+                }
+                group.retain(|&(idx, _)| !satisfied.iter().any(|&(s, _)| s == idx));
+            }
+        }
+        (targets, has_remainder)
+    }
+
+    /// Recomputes the allocation and moves processors to match.
+    pub(crate) fn rebalance(&mut self) {
+        if self.cfg.sched != SchedMode::SaAllocator {
+            return;
+        }
+        self.metrics.rebalances.inc();
+        let (targets, has_remainder) = self.compute_targets_inner();
+        if has_remainder && !self.rotation_armed {
+            // Time-slice the remainder: rotate which spaces hold the extra
+            // processors once per quantum.
+            self.rotation_armed = true;
+            let at = self.q.now() + self.cost.quantum;
+            self.q.schedule(at, Event::RotateShares);
+        }
+        // Phase 1: take processors from over-allocated spaces.
+        #[expect(clippy::needless_range_loop, reason = "indexes two tables")]
+        for idx in 0..self.spaces.len() {
+            let id = AsId(idx as u32);
+            while self.spaces[idx].assigned_cpus > targets[idx] {
+                let Some(cpu) = self.pick_release_victim(id) else {
+                    break; // everything eligible is mid-kernel-path
+                };
+                if !self.take_cpu_from(cpu) {
+                    break;
+                }
+                self.metrics.reallocations.inc();
+            }
+        }
+        // Phase 2: grant free processors to under-allocated spaces.
+        #[expect(clippy::needless_range_loop, reason = "indexes two tables")]
+        for idx in 0..self.spaces.len() {
+            let id = AsId(idx as u32);
+            while self.spaces[idx].assigned_cpus < targets[idx] {
+                let Some(cpu) = self.find_unassigned_idle_cpu() else {
+                    return;
+                };
+                let before = self.spaces[idx].assigned_cpus;
+                self.grant_cpu_to(cpu, id);
+                self.metrics.reallocations.inc();
+                if self.spaces[idx].assigned_cpus <= before {
+                    // The grant did not stick (upcall deferred on a page
+                    // fault, or demand evaporated); avoid re-granting in a
+                    // zero-time loop.
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Chooses which of a space's processors to give up, preferring ones
+    /// whose activation reported itself idle.
+    fn pick_release_victim(&self, space: AsId) -> Option<usize> {
+        let mut fallback = None;
+        for cpu in 0..self.cpus.len() {
+            if self.cpus[cpu].assigned != Some(space) || self.cpus[cpu].realloc_pending {
+                continue;
+            }
+            match self.cpus[cpu].running {
+                Running::Idle => return Some(cpu),
+                Running::Act(a)
+                    if self.acts[a.index()].idle_hint && self.act_victim_eligible(cpu) =>
+                {
+                    return Some(cpu);
+                }
+                _ => {}
+            }
+            fallback.get_or_insert(cpu);
+        }
+        fallback
+    }
+
+    /// Takes `cpu` from its current owner. Returns false if the move had to
+    /// be deferred to the next segment boundary.
+    pub(crate) fn take_cpu_from(&mut self, cpu: usize) -> bool {
+        let Some(owner) = self.cpus[cpu].assigned else {
+            return true; // already free
+        };
+        match self.cpus[cpu].running {
+            Running::Idle => {
+                if self.cpus[cpu].inflight.is_some() {
+                    self.cpus[cpu].realloc_pending = true;
+                    return false;
+                }
+                self.release_cpu(cpu);
+                true
+            }
+            Running::Kt(kt) => {
+                let can_now = self.cpus[cpu]
+                    .inflight
+                    .as_ref()
+                    .is_none_or(|inf| inf.seg.preemptible);
+                if !can_now {
+                    self.cpus[cpu].realloc_pending = true;
+                    return false;
+                }
+                self.preempt_kt_to_queue(cpu, kt);
+                self.release_cpu(cpu);
+                true
+            }
+            Running::Act(_) => {
+                if !self.act_victim_eligible(cpu) {
+                    self.cpus[cpu].realloc_pending = true;
+                    return false;
+                }
+                let ev = self.stop_activation_on(cpu);
+                self.release_cpu(cpu);
+                // §3.1: the old address space must still be notified — on
+                // another of its processors, or pended if it has none.
+                self.notify_preemption(owner, ev);
+                true
+            }
+        }
+    }
+
+    /// Routes a Preempted event to its space (possibly by preempting a
+    /// second processor of that space, per §3.1).
+    pub(crate) fn notify_preemption(&mut self, space: AsId, ev: UpcallEvent) {
+        if self.spaces[space.index()].done {
+            return;
+        }
+        // When the last processor is preempted, the notification is
+        // delayed until the space is next given a processor.
+        self.spaces[space.index()].sa.pending_events.push(ev);
+        if self.spaces[space.index()].assigned_cpus > 0 {
+            self.try_deliver_pending(space);
+        }
+    }
+
+    /// Releases `cpu` from its owner, leaving it unassigned and idle.
+    pub(crate) fn release_cpu(&mut self, cpu: usize) {
+        if let Some(owner) = self.cpus[cpu].assigned.take() {
+            self.spaces[owner.index()].assigned_cpus -= 1;
+        }
+        debug_assert!(self.cpus[cpu].inflight.is_none());
+        self.set_idle(cpu);
+    }
+
+    /// Assigns a free CPU to `space` and starts it working.
+    pub(crate) fn grant_cpu_to(&mut self, cpu: usize, space: AsId) {
+        debug_assert!(self.cpus[cpu].assigned.is_none());
+        debug_assert!(self.cpus[cpu].inflight.is_none());
+        self.cpus[cpu].assigned = Some(space);
+        self.spaces[space.index()].assigned_cpus += 1;
+        self.trace.emit(self.q.now(), "kernel.grant", || {
+            format!("cpu{cpu} -> {space}")
+        });
+        match &self.spaces[space.index()].kind {
+            SpaceKind::UserOnSa => {
+                self.deliver_upcall_on_cpu(cpu, space, vec![UpcallEvent::AddProcessor]);
+            }
+            SpaceKind::KernelDirect { .. } | SpaceKind::UserOnKt { .. } => {
+                if let Some(kt) = self.spaces[space.index()].ready.pop() {
+                    self.dispatch_kt(cpu, kt);
+                    self.schedule_dispatch(cpu);
+                } else {
+                    // Demand evaporated between decision and grant.
+                    self.release_cpu(cpu);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Kernel daemon threads (§5.3).
+//!
+//! "The Topaz operating system has several daemon threads which wake up
+//! periodically, execute for a short time, and then go back to sleep.
+//! Because our system explicitly allocates processors to address spaces,
+//! these daemon threads cause preemptions only when there are no idle
+//! processors available; this is not true with the native Topaz scheduler."
+//!
+//! Daemons live in an internal, maximum-priority address space. Under the
+//! native scheduler they preempt application kernel threads directly; under
+//! the processor allocator their space's demand spikes briefly and the
+//! allocator prefers idle processors.
+
+use crate::config::KernelFlavor;
+use crate::exec::{Effect, KtFlavor, Micro, Seg};
+use crate::ids::{AsId, KtId};
+use crate::kernel::{Event, Kernel, DAEMON_PRIO};
+use crate::kthread::{BlockKind, KtState};
+use crate::metrics::SpaceMetrics;
+use crate::sched::ReadyQueue;
+use crate::space::{Residency, SaState, Space, SpaceKind};
+use crate::upcall::WorkKind;
+use sa_sim::SimDuration;
+
+/// Kernel-side daemon bookkeeping.
+pub(crate) struct DaemonState {
+    pub kt: KtId,
+    pub spec: crate::config::DaemonSpec,
+}
+
+impl Kernel {
+    /// Creates the daemon space and threads (called once from `Kernel::new`).
+    pub(crate) fn init_daemons(&mut self) {
+        if self.cfg.daemons.is_empty() {
+            return;
+        }
+        debug_assert!(self.spaces.is_empty(), "daemons must be created first");
+        let id = AsId(0);
+        self.spaces.push(Space {
+            id,
+            name: "kernel-daemons".into(),
+            priority: DAEMON_PRIO,
+            kind: SpaceKind::KernelDirect {
+                flavor: KernelFlavor::TopazThreads,
+            },
+            runtime: None,
+            sa: SaState::default(),
+            ready: ReadyQueue::new(),
+            klocks: Default::default(),
+            kcvs: Default::default(),
+            kchans: Default::default(),
+            residency: Residency::new(None),
+            runtime_pages_resident: true,
+            live_kthreads: 0,
+            assigned_cpus: 0,
+            started: true,
+            done: false,
+            completed_at: None,
+            started_at: None,
+            is_daemon_space: true,
+            metrics: SpaceMetrics::default(),
+        });
+        let specs = self.cfg.daemons.clone();
+        for (i, spec) in specs.iter().enumerate() {
+            let kt = self.new_kthread(id, DAEMON_PRIO, KtFlavor::Daemon(i as u32));
+            self.kts[kt.index()].state = KtState::Blocked(BlockKind::DaemonSleep);
+            self.daemons.push(DaemonState { kt, spec: *spec });
+            // Stagger first wakeups across the period.
+            let first = spec
+                .period
+                .saturating_mul((i + 1) as u64)
+                .div(specs.len() as u64 + 1);
+            self.q.schedule(
+                sa_sim::SimTime::ZERO + first,
+                Event::DaemonWake { idx: i as u32 },
+            );
+        }
+        self.spaces[0].live_kthreads = specs.len() as u32;
+    }
+
+    /// A daemon's timer fired: make it runnable.
+    pub(crate) fn on_daemon_wake(&mut self, idx: usize) {
+        let kt = self.daemons[idx].kt;
+        if !matches!(
+            self.kts[kt.index()].state,
+            KtState::Blocked(BlockKind::DaemonSleep)
+        ) {
+            // Still running its previous burst (overload); try again later.
+            self.schedule_next_daemon_wake(idx);
+            return;
+        }
+        self.trace.emit(self.q.now(), "kernel.daemon_wake", || {
+            format!("daemon{idx}")
+        });
+        self.wake_kt(kt);
+    }
+
+    /// Refills a daemon thread: one burst, then back to sleep.
+    pub(crate) fn refill_daemon(&mut self, kt: KtId) {
+        let idx = match self.kts[kt.index()].flavor {
+            KtFlavor::Daemon(i) => i as usize,
+            _ => unreachable!("refill_daemon on non-daemon"),
+        };
+        let burst = self.daemons[idx].spec.burst;
+        let seg = Seg {
+            dur: burst,
+            preemptible: true,
+            kind: WorkKind::UserWork,
+            cookie: 0,
+        };
+        let p = &mut self.kts[kt.index()].pipeline;
+        p.push_back(Micro::Seg(seg));
+        p.push_back(Micro::Eff(Effect::DaemonSleep));
+    }
+
+    /// Puts the daemon back to sleep and schedules the next wakeup.
+    pub(crate) fn eff_daemon_sleep(&mut self, cpu: usize, kt: KtId) {
+        let idx = match self.kts[kt.index()].flavor {
+            KtFlavor::Daemon(i) => i as usize,
+            _ => unreachable!("daemon sleep on non-daemon"),
+        };
+        self.block_kt(cpu, kt, BlockKind::DaemonSleep);
+        self.schedule_next_daemon_wake(idx);
+        self.rebalance();
+    }
+
+    fn schedule_next_daemon_wake(&mut self, idx: usize) {
+        let period = self.daemons[idx].spec.period;
+        // Jitter the period (exponential around the mean) so daemons drift
+        // relative to each other, as real daemons do.
+        let jittered =
+            SimDuration::from_nanos((self.rng.exp(period.as_nanos() as f64)).max(1.0) as u64)
+                .min(period.saturating_mul(4));
+        self.q.schedule(
+            self.q.now() + jittered,
+            Event::DaemonWake { idx: idx as u32 },
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Micro-op execution machinery.
+//!
+//! Every execution unit (kernel thread or scheduler activation) advances by
+//! draining a small pipeline of `Micro`s: timed `Seg`ments interleaved
+//! with instantaneous `Effect`s. The dispatcher runs one segment at a
+//! time on a CPU; at every segment boundary preemption can be honoured, and
+//! preemptible segments can additionally be split mid-flight, with the
+//! remainder saved as the unit's "register state". This is how the paper's
+//! central currency — *who was stopped where, and what the kernel can hand
+//! back* — is represented.
+
+use crate::ids::{KtId, VpId};
+use crate::upcall::{SyscallOutcome, UpcallEvent, WorkKind};
+use sa_machine::ids::{ChanId, CvId, LockId, PageId, ThreadRef};
+use sa_machine::program::OpResult;
+use sa_sim::SimDuration;
+use std::collections::VecDeque;
+
+/// A timed stretch of execution on a CPU.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Seg {
+    /// Length; [`SimDuration::MAX`] means "runs until kicked or preempted"
+    /// (spin loops).
+    pub dur: SimDuration,
+    /// Whether the kernel may split this segment mid-flight. Kernel-mode
+    /// paths are not preemptible (preemption is deferred to the segment
+    /// boundary); user-mode computation and spinning are.
+    pub preemptible: bool,
+    /// Accounting classification.
+    pub kind: WorkKind,
+    /// Runtime-private resume cookie (user-level segments only); returned
+    /// in [`crate::upcall::SavedContext`] if the segment is interrupted.
+    pub cookie: u64,
+}
+
+impl Seg {
+    /// A non-preemptible kernel-mode segment.
+    pub(crate) fn kernel(dur: SimDuration) -> Self {
+        Seg {
+            dur,
+            preemptible: false,
+            kind: WorkKind::RuntimeOverhead,
+            cookie: 0,
+        }
+    }
+
+    /// A preemptible user-mode computation segment.
+    pub(crate) fn user(dur: SimDuration) -> Self {
+        Seg {
+            dur,
+            preemptible: true,
+            kind: WorkKind::UserWork,
+            cookie: 0,
+        }
+    }
+}
+
+/// An instantaneous state change applied between segments.
+///
+/// Effects are interpreted by the kernel with full access to its state;
+/// they exist so that op interpretation can be *queued* ahead of time while
+/// still taking effect in correct virtual-time order.
+#[derive(Debug)]
+pub(crate) enum Effect {
+    /// Deliver `result` to the unit's next refill (body step or runtime
+    /// poll).
+    Resume(ResumeWith),
+    /// Create the kernel thread for the body stashed in
+    /// `KThread::pending_child` and ready it.
+    SpawnChild,
+    /// Tear down the current kernel thread: wake joiners, mark dead, free
+    /// the CPU.
+    ExitFinal,
+    /// Try to take an application lock (kernel-direct spaces): free → charge
+    /// the fast path and continue; held → fall into the kernel block path.
+    TryAcquire(LockId),
+    /// End of the kernel block path for a contended lock: re-check and
+    /// either take the lock or atomically enqueue and block.
+    BlockOnLock(LockId),
+    /// Release an application lock; hand off to a waiter if any.
+    Unlock(LockId),
+    /// Atomically release the lock and block on the condition variable.
+    CvWait { cv: CvId, lock: LockId },
+    /// Wake one waiter of the condition variable.
+    CvSignal(CvId),
+    /// Wake all waiters of the condition variable.
+    CvBroadcast(CvId),
+    /// Continue if the joined thread has exited, else block on it.
+    JoinCheck(ThreadRef),
+    /// Issue a blocking disk operation of the given length.
+    StartIo(SimDuration),
+    /// Check page residency; fault (block on disk) if absent.
+    MemCheck(PageId),
+    /// Signal a kernel channel (semaphore semantics).
+    ChanSignal(ChanId),
+    /// Wait on a kernel channel; consumes a pending signal or blocks.
+    ChanWait(ChanId),
+    /// Voluntarily yield the processor back to the scheduler.
+    YieldCpu,
+    /// Issue the disk read for a faulted page and block.
+    StartPageIo(PageId),
+    /// Put the daemon back to sleep and schedule its next wakeup.
+    DaemonSleep,
+    /// (Activations) hand the queued upcall event batch to the runtime.
+    DeliverUpcall,
+    /// (Activations) apply a syscall made by the user-level runtime.
+    SaCall(crate::upcall::Syscall),
+}
+
+/// What to report to the unit when it next refills.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ResumeWith {
+    /// Kernel-direct body: result of the completed `Op`.
+    Op(OpResult),
+    /// Virtual processor: a syscall completed with this outcome.
+    Syscall(SyscallOutcome),
+    /// Virtual processor: freshly (re-)dispatched; the runtime should
+    /// re-evaluate from its own per-VP state.
+    Fresh,
+    /// Virtual processor: a spin was ended by a kick.
+    Kicked,
+}
+
+/// One pipeline element.
+#[derive(Debug)]
+pub(crate) enum Micro {
+    Seg(Seg),
+    Eff(Effect),
+}
+
+/// A unit's execution pipeline.
+pub(crate) type Pipeline = VecDeque<Micro>;
+
+/// What is currently dispatched on a CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Running {
+    /// Nothing; the CPU is idle in the kernel.
+    Idle,
+    /// A kernel thread (application body, virtual processor, or daemon).
+    Kt(KtId),
+    /// A scheduler activation.
+    Act(crate::ids::ActId),
+}
+
+/// An execution unit reference used in wait queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum UnitRef {
+    Kt(KtId),
+    Act(crate::ids::ActId),
+}
+
+/// Pending upcall batch assembled for delivery (kernel side).
+#[derive(Debug, Default)]
+pub(crate) struct UpcallBatch {
+    pub events: Vec<UpcallEvent>,
+}
+
+/// Identifies which VP a kernel thread serves, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KtFlavor {
+    /// Runs an application `ThreadBody` directly (Topaz / Ultrix modes).
+    AppBody,
+    /// Serves as virtual processor `vp` for the space's user runtime
+    /// (original FastThreads).
+    Vp(VpId),
+    /// A kernel daemon (index into the daemon table).
+    Daemon(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seg_constructors() {
+        let k = Seg::kernel(SimDuration::from_micros(19));
+        assert!(!k.preemptible);
+        assert_eq!(k.kind, WorkKind::RuntimeOverhead);
+        let u = Seg::user(SimDuration::from_micros(7));
+        assert!(u.preemptible);
+        assert_eq!(u.kind, WorkKind::UserWork);
+    }
+
+    #[test]
+    fn pipeline_preserves_order() {
+        let p: Pipeline = [
+            Micro::Seg(Seg::kernel(SimDuration::from_micros(1))),
+            Micro::Eff(Effect::YieldCpu),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.len(), 2);
+        assert!(matches!(p[0], Micro::Seg(_)));
+        assert!(matches!(p[1], Micro::Eff(Effect::YieldCpu)));
+    }
+}

@@ -1,0 +1,96 @@
+//! Kernel-internal identifiers.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index value.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An address space (the unit of processor allocation, §3).
+    AsId,
+    "as"
+);
+id_type!(
+    /// A kernel thread (Topaz-style) or heavyweight process stand-in.
+    KtId,
+    "kt"
+);
+id_type!(
+    /// A scheduler activation.
+    ActId,
+    "act"
+);
+id_type!(
+    /// An outstanding disk operation.
+    DiskOpId,
+    "dop"
+);
+
+/// Identifies a virtual processor from the user runtime's point of view.
+///
+/// For a runtime on kernel threads this is a dense VP index fixed at space
+/// creation; for a runtime on scheduler activations it is the activation id
+/// of the vessel currently executing (activations come and go, and the
+/// runtime tracks which user thread runs in which activation, §3.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VpId(pub u32);
+
+impl VpId {
+    /// The raw index value.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vp{}", self.0)
+    }
+}
+
+impl fmt::Display for VpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vp{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(AsId(1).to_string(), "as1");
+        assert_eq!(format!("{:?}", ActId(2)), "act2");
+        assert_eq!(VpId(7).to_string(), "vp7");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(KtId(5).index(), 5);
+    }
+}

@@ -1,0 +1,584 @@
+//! The kernel proper: state, construction, and the event loop.
+
+use crate::config::{KernelConfig, SchedMode, SpaceKindSpec, SpaceSpec};
+use crate::daemon::DaemonState;
+use crate::exec::{KtFlavor, Running, Seg};
+use crate::ids::{ActId, AsId, KtId};
+use crate::io::DiskOp;
+use crate::kthread::{KThread, KtState};
+use crate::metrics::{KernelMetrics, RunOutcome, SpaceMetrics};
+use crate::sched::ReadyQueue;
+use crate::space::{Residency, SaState, Space, SpaceKind};
+use sa_machine::{CostModel, Disk};
+use sa_sim::{EventQueue, EventToken, SimRng, SimTime, Trace};
+
+/// Priority of kernel daemon threads: above every application space.
+pub(crate) const DAEMON_PRIO: u8 = 255;
+
+/// Events driving the kernel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Event {
+    /// The in-flight segment on `cpu` completed (stale if `gen` mismatches).
+    SegDone { cpu: usize, gen: u64 },
+    /// (Re-)enter the dispatch loop on `cpu` (stale if `gen` mismatches).
+    Dispatch { cpu: usize, gen: u64 },
+    /// Time-slice expiry for the kernel thread on `cpu`.
+    QuantumExpire { cpu: usize, gen: u64 },
+    /// A disk operation finished.
+    DiskDone { op: u32 },
+    /// A kernel daemon wants to run.
+    DaemonWake { idx: u32 },
+    /// An address space reaches its configured start time.
+    StartSpace { space: AsId },
+    /// Retry a deferred scheduler-activation notification.
+    RetryNotify { space: AsId },
+    /// Rotate which same-priority spaces hold the remainder processors
+    /// (the allocator's time-slicing of a non-integer share, §4.1).
+    RotateShares,
+}
+
+/// Per-CPU dispatch state.
+pub(crate) struct Cpu {
+    /// Invalidates stale per-CPU events; bumped whenever the CPU's
+    /// disposition changes.
+    pub gen: u64,
+    /// What is dispatched here.
+    pub running: Running,
+    /// The segment currently executing, if any.
+    pub inflight: Option<Inflight>,
+    /// Which address space this CPU is allocated to (allocator mode).
+    pub assigned: Option<AsId>,
+    /// Outstanding time-slice timer.
+    pub quantum_tok: Option<EventToken>,
+    /// A processor reallocation deferred until the current non-preemptible
+    /// segment or kernel path finishes.
+    pub realloc_pending: bool,
+    /// When the CPU last went idle (for idle-time accounting).
+    pub idle_since: Option<SimTime>,
+}
+
+/// A segment in flight on a CPU.
+pub(crate) struct Inflight {
+    pub seg: Seg,
+    pub started: SimTime,
+    pub token: EventToken,
+}
+
+/// The simulated operating system kernel.
+///
+/// Owns the machine (CPUs, disk), every address space, all kernel threads
+/// and scheduler activations, and the event queue that drives them.
+pub struct Kernel {
+    pub(crate) cfg: KernelConfig,
+    pub(crate) cost: CostModel,
+    pub(crate) q: EventQueue<Event>,
+    pub(crate) rng: SimRng,
+    /// Execution trace (enable with [`Kernel::set_trace`]).
+    pub(crate) trace: Trace,
+    pub(crate) cpus: Vec<Cpu>,
+    pub(crate) spaces: Vec<Space>,
+    pub(crate) kts: Vec<KThread>,
+    pub(crate) acts: Vec<crate::activation::Activation>,
+    pub(crate) disk: Disk,
+    pub(crate) diskops: Vec<Option<DiskOp>>,
+    pub(crate) daemons: Vec<DaemonState>,
+    /// Global ready queue (native mode).
+    pub(crate) global_rq: ReadyQueue,
+    pub(crate) metrics: KernelMetrics,
+    /// Rotation counter for remainder processors (§4.1 time-slicing).
+    pub(crate) share_rotation: u32,
+    /// A `RotateShares` event is outstanding.
+    pub(crate) rotation_armed: bool,
+    started: bool,
+}
+
+impl Kernel {
+    /// Creates a kernel for the given machine configuration and cost model.
+    pub fn new(cfg: KernelConfig, cost: CostModel) -> Self {
+        let cpus = (0..cfg.cpus)
+            .map(|_| Cpu {
+                gen: 0,
+                running: Running::Idle,
+                inflight: None,
+                assigned: None,
+                quantum_tok: None,
+                realloc_pending: false,
+                idle_since: Some(SimTime::ZERO),
+            })
+            .collect();
+        let disk = Disk::new(cfg.disk);
+        let rng = SimRng::new(cfg.seed);
+        let mut kernel = Kernel {
+            cfg,
+            cost,
+            q: EventQueue::new(),
+            rng,
+            trace: Trace::disabled(),
+            cpus,
+            spaces: Vec::new(),
+            kts: Vec::new(),
+            acts: Vec::new(),
+            disk,
+            diskops: Vec::new(),
+            daemons: Vec::new(),
+            global_rq: ReadyQueue::new(),
+            metrics: KernelMetrics::default(),
+            share_rotation: 0,
+            rotation_armed: false,
+            started: false,
+        };
+        kernel.init_daemons();
+        kernel
+    }
+
+    /// Installs a trace sink (replaces the default disabled trace).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// Read access to the trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Kernel-wide metrics.
+    pub fn kernel_metrics(&self) -> &KernelMetrics {
+        &self.metrics
+    }
+
+    /// Per-space metrics.
+    pub fn space_metrics(&self, space: AsId) -> &SpaceMetrics {
+        &self.spaces[space.index()].metrics
+    }
+
+    /// The user runtime's internal state dump, if the space has one.
+    pub fn runtime_dump(&self, space: AsId) -> String {
+        self.spaces[space.index()]
+            .runtime
+            .as_ref()
+            .map(|rt| rt.debug_dump())
+            .unwrap_or_default()
+    }
+
+    /// The user runtime's own statistics line, if the space has one.
+    pub fn runtime_stats(&self, space: AsId) -> String {
+        self.spaces[space.index()]
+            .runtime
+            .as_ref()
+            .map(|rt| rt.stats_line())
+            .unwrap_or_default()
+    }
+
+    /// When `space` finished all its work, if it has.
+    pub fn space_completion(&self, space: AsId) -> Option<SimTime> {
+        self.spaces[space.index()].completed_at
+    }
+
+    /// When `space` started.
+    pub fn space_start(&self, space: AsId) -> Option<SimTime> {
+        self.spaces[space.index()].started_at
+    }
+
+    /// Elapsed virtual time from a space's start to its completion.
+    pub fn space_elapsed(&self, space: AsId) -> Option<sa_sim::SimDuration> {
+        let s = &self.spaces[space.index()];
+        Some(s.completed_at?.since(s.started_at?))
+    }
+
+    /// Registers an address space; it starts at its configured time once
+    /// [`Kernel::run`] is called.
+    pub fn add_space(&mut self, spec: SpaceSpec) -> AsId {
+        let id = AsId(self.spaces.len() as u32);
+        let (kind, runtime, main) = match spec.kind {
+            SpaceKindSpec::KernelDirect { flavor, main } => {
+                (SpaceKind::KernelDirect { flavor }, None, Some(main))
+            }
+            SpaceKindSpec::UserLevel { runtime, main } => {
+                let kind = if runtime.kthread_vps().is_some() {
+                    SpaceKind::UserOnKt { vps: Vec::new() }
+                } else {
+                    SpaceKind::UserOnSa
+                };
+                (kind, Some(runtime), Some(main))
+            }
+        };
+        let mut runtime = runtime;
+        let mut pending_main = None;
+        match (&mut runtime, main) {
+            (Some(rt), Some(main)) => rt.set_main(main),
+            (None, main) => pending_main = main,
+            _ => {}
+        }
+        let space = Space {
+            id,
+            name: spec.name,
+            priority: spec.priority,
+            kind,
+            runtime,
+            sa: SaState::default(),
+            ready: ReadyQueue::new(),
+            klocks: Default::default(),
+            kcvs: Default::default(),
+            kchans: Default::default(),
+            residency: Residency::new(spec.mem_pages),
+            runtime_pages_resident: true,
+            live_kthreads: 0,
+            assigned_cpus: 0,
+            started: false,
+            done: false,
+            completed_at: None,
+            started_at: None,
+            is_daemon_space: false,
+            metrics: SpaceMetrics::default(),
+        };
+        self.spaces.push(space);
+        if let Some(main) = pending_main {
+            // Kernel-direct: create the main kernel thread now (readied at
+            // space start).
+            let flavor = match self.spaces[id.index()].kind {
+                SpaceKind::KernelDirect { .. } => KtFlavor::AppBody,
+                _ => unreachable!(),
+            };
+            let kt = self.new_kthread(id, 1, flavor);
+            self.kts[kt.index()].body = Some(main);
+            self.kts[kt.index()].resume =
+                Some(crate::exec::ResumeWith::Op(sa_machine::OpResult::Start));
+            // Not readied yet; `start_space` does that.
+            self.kts[kt.index()].state = KtState::Blocked(crate::kthread::BlockKind::Parked);
+            self.spaces[id.index()].live_kthreads = 1;
+        }
+        self.q
+            .schedule(spec.start_at, Event::StartSpace { space: id });
+        id
+    }
+
+    /// Allocates a kernel thread control block.
+    pub(crate) fn new_kthread(&mut self, space: AsId, prio: u8, flavor: KtFlavor) -> KtId {
+        let id = KtId(self.kts.len() as u32);
+        self.kts.push(KThread::new(id, space, prio, flavor));
+        id
+    }
+
+    /// Allocates a fresh activation control block.
+    pub(crate) fn new_activation(&mut self, space: AsId) -> ActId {
+        let id = ActId(self.acts.len() as u32);
+        self.acts
+            .push(crate::activation::Activation::new(id, space));
+        id
+    }
+
+    fn start_space(&mut self, id: AsId) {
+        let now = self.q.now();
+        {
+            let s = &mut self.spaces[id.index()];
+            debug_assert!(!s.started, "space started twice");
+            s.started = true;
+            s.started_at = Some(now);
+        }
+        let name = self.spaces[id.index()].name.clone();
+        self.trace
+            .emit(now, "kernel.space_start", || format!("{id} ({name})"));
+        match self.spaces[id.index()].kind {
+            SpaceKind::KernelDirect { .. } => {
+                // Ready the main thread created in `add_space`.
+                let main = self
+                    .kts
+                    .iter()
+                    .find(|kt| kt.space == id && matches!(kt.flavor, KtFlavor::AppBody))
+                    .map(|kt| kt.id)
+                    .expect("kernel-direct space without main thread");
+                self.kts[main.index()].state = KtState::Ready;
+                self.make_runnable(main);
+            }
+            SpaceKind::UserOnKt { .. } => {
+                let n = self.spaces[id.index()]
+                    .runtime
+                    .as_ref()
+                    .expect("user space without runtime")
+                    .kthread_vps()
+                    .expect("UserOnKt runtime without VP count");
+                let mut vps = Vec::with_capacity(n as usize);
+                for i in 0..n {
+                    let kt = self.new_kthread(id, 1, KtFlavor::Vp(crate::ids::VpId(i)));
+                    self.kts[kt.index()].resume = Some(crate::exec::ResumeWith::Fresh);
+                    vps.push(kt);
+                }
+                if let SpaceKind::UserOnKt { vps: slot } = &mut self.spaces[id.index()].kind {
+                    *slot = vps.clone();
+                }
+                self.spaces[id.index()].live_kthreads = n;
+                for kt in vps {
+                    self.make_runnable(kt);
+                }
+            }
+            SpaceKind::UserOnSa => {
+                // "When a program is started, the kernel creates a scheduler
+                // activation, assigns it to a processor, and upcalls into the
+                // application address space at a fixed entry point." (§3.1)
+                self.spaces[id.index()].sa.desired = 1;
+                self.rebalance();
+            }
+        }
+        if self.cfg.sched == SchedMode::SaAllocator {
+            self.rebalance();
+        }
+    }
+
+    /// Runs until every application space finishes, the event queue drains,
+    /// or the configured time limit is hit.
+    pub fn run(&mut self) -> RunOutcome {
+        if !self.started {
+            self.started = true;
+        }
+        loop {
+            if self.all_app_spaces_done() {
+                return RunOutcome {
+                    end: self.q.now(),
+                    timed_out: false,
+                    deadlocked: false,
+                };
+            }
+            let Some(t) = self.q.peek_time() else {
+                return RunOutcome {
+                    end: self.q.now(),
+                    timed_out: false,
+                    deadlocked: true,
+                };
+            };
+            if t > self.cfg.run_limit {
+                return RunOutcome {
+                    end: self.q.now(),
+                    timed_out: true,
+                    deadlocked: false,
+                };
+            }
+            let (_, ev) = self.q.pop().expect("peeked event vanished");
+            self.metrics.events.inc();
+            self.handle_event(ev);
+            self.check_quiescence();
+            #[cfg(debug_assertions)]
+            self.check_invariants();
+        }
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::SegDone { cpu, gen } => {
+                if self.cpus[cpu].gen == gen {
+                    self.on_seg_done(cpu);
+                }
+            }
+            Event::Dispatch { cpu, gen } => {
+                if self.cpus[cpu].gen == gen && self.cpus[cpu].inflight.is_none() {
+                    self.advance_cpu(cpu);
+                }
+            }
+            Event::QuantumExpire { cpu, gen } => {
+                if self.cpus[cpu].gen == gen {
+                    self.on_quantum_expire(cpu);
+                }
+            }
+            Event::DiskDone { op } => self.on_disk_done(op),
+            Event::DaemonWake { idx } => self.on_daemon_wake(idx as usize),
+            Event::StartSpace { space } => self.start_space(space),
+            Event::RetryNotify { space } => self.retry_notify(space),
+            Event::RotateShares => {
+                self.rotation_armed = false;
+                self.share_rotation = self.share_rotation.wrapping_add(1);
+                self.rebalance();
+            }
+        }
+    }
+
+    fn all_app_spaces_done(&self) -> bool {
+        let mut any = false;
+        for s in &self.spaces {
+            if s.is_daemon_space {
+                continue;
+            }
+            any = true;
+            if !s.done {
+                return false;
+            }
+        }
+        any
+    }
+
+    /// Detects freshly quiescent spaces and retires them.
+    fn check_quiescence(&mut self) {
+        for i in 0..self.spaces.len() {
+            let s = &self.spaces[i];
+            if !s.started || s.done || s.is_daemon_space {
+                continue;
+            }
+            let quiescent = match &s.kind {
+                SpaceKind::KernelDirect { .. } => s.live_kthreads == 0,
+                SpaceKind::UserOnKt { .. } | SpaceKind::UserOnSa => {
+                    s.sa.blocked.is_empty() && s.runtime.as_ref().is_some_and(|rt| rt.quiescent())
+                }
+            };
+            if quiescent {
+                self.finish_space(AsId(i as u32));
+            }
+        }
+    }
+
+    /// Verifies the paper's structural invariants (debug builds).
+    #[cfg(debug_assertions)]
+    fn check_invariants(&self) {
+        for s in &self.spaces {
+            if !s.started || s.done || !s.is_sa() {
+                continue;
+            }
+            // §3.1: "there are always exactly as many running scheduler
+            // activations (vessels for running user-level threads) as there
+            // are processors assigned to the address space."
+            let dispatched = self
+                .cpus
+                .iter()
+                .filter(
+                    |c| matches!(c.running, Running::Act(a) if self.acts[a.index()].space == s.id),
+                )
+                .count();
+            assert_eq!(
+                s.sa.running.len(),
+                dispatched,
+                "activation invariant violated for {}: {} running acts vs {} dispatched CPUs",
+                s.id,
+                s.sa.running.len(),
+                dispatched
+            );
+            let assigned = self
+                .cpus
+                .iter()
+                .filter(|c| c.assigned == Some(s.id))
+                .count() as u32;
+            assert_eq!(
+                s.assigned_cpus, assigned,
+                "assigned-cpu accounting drifted for {}",
+                s.id
+            );
+        }
+    }
+
+    pub(crate) fn finish_space(&mut self, id: AsId) {
+        let now = self.q.now();
+        self.trace
+            .emit(now, "kernel.space_done", || format!("{id}"));
+        self.spaces[id.index()].done = true;
+        self.spaces[id.index()].completed_at = Some(now);
+        // Tear down whatever is still dispatched for this space.
+        for cpu in 0..self.cpus.len() {
+            let belongs = match self.cpus[cpu].running {
+                Running::Kt(kt) => self.kts[kt.index()].space == id,
+                Running::Act(a) => self.acts[a.index()].space == id,
+                Running::Idle => false,
+            };
+            if belongs {
+                self.halt_cpu_unit(cpu);
+            }
+        }
+        // Remove parked VPs / ready threads of this space.
+        let vps: Vec<KtId> = match &self.spaces[id.index()].kind {
+            SpaceKind::UserOnKt { vps } => vps.clone(),
+            _ => Vec::new(),
+        };
+        for kt in vps {
+            if self.kts[kt.index()].state != KtState::Dead {
+                self.global_rq.remove(kt);
+                self.spaces[id.index()].ready.remove(kt);
+                self.kts[kt.index()].state = KtState::Dead;
+            }
+        }
+        // Reclaim activations.
+        let sa = std::mem::take(&mut self.spaces[id.index()].sa);
+        for a in sa.running.into_iter().chain(sa.blocked).chain(sa.discarded) {
+            self.acts[a.index()].state = crate::activation::ActState::Cached;
+        }
+        self.spaces[id.index()].sa.cached = sa.cached;
+        // Release CPUs (allocator mode) and give freed CPUs work.
+        if self.cfg.sched == SchedMode::SaAllocator {
+            for cpu in 0..self.cpus.len() {
+                if self.cpus[cpu].assigned == Some(id) {
+                    self.release_cpu(cpu);
+                }
+            }
+            self.rebalance();
+        } else {
+            for cpu in 0..self.cpus.len() {
+                if matches!(self.cpus[cpu].running, Running::Idle)
+                    && self.cpus[cpu].inflight.is_none()
+                {
+                    self.schedule_dispatch(cpu);
+                }
+            }
+        }
+    }
+
+    /// Forcibly removes whatever runs on `cpu` (space teardown).
+    fn halt_cpu_unit(&mut self, cpu: usize) {
+        self.cancel_inflight(cpu);
+        match self.cpus[cpu].running {
+            Running::Kt(kt) => {
+                self.kts[kt.index()].state = KtState::Dead;
+            }
+            Running::Act(a) => {
+                self.acts[a.index()].state = crate::activation::ActState::Cached;
+                let space = self.acts[a.index()].space;
+                let sa = &mut self.spaces[space.index()].sa;
+                sa.running.retain(|&x| x != a);
+            }
+            Running::Idle => {}
+        }
+        self.set_idle(cpu);
+    }
+
+    /// Cancels the in-flight segment on `cpu` without charging the partial
+    /// time to anyone (teardown only).
+    pub(crate) fn cancel_inflight(&mut self, cpu: usize) {
+        if let Some(inf) = self.cpus[cpu].inflight.take() {
+            self.q.cancel(inf.token);
+        }
+        self.bump_gen(cpu);
+    }
+
+    /// Invalidates all outstanding per-CPU events.
+    pub(crate) fn bump_gen(&mut self, cpu: usize) {
+        self.cpus[cpu].gen += 1;
+        if let Some(tok) = self.cpus[cpu].quantum_tok.take() {
+            self.q.cancel(tok);
+        }
+    }
+
+    /// Marks `cpu` idle and starts idle accounting.
+    pub(crate) fn set_idle(&mut self, cpu: usize) {
+        self.cpus[cpu].running = Running::Idle;
+        if self.cpus[cpu].idle_since.is_none() {
+            self.cpus[cpu].idle_since = Some(self.q.now());
+        }
+    }
+
+    /// Ends idle accounting on `cpu` (it is about to run something).
+    pub(crate) fn end_idle(&mut self, cpu: usize) {
+        if let Some(since) = self.cpus[cpu].idle_since.take() {
+            let d = self.q.now().since(since);
+            self.metrics.charge_idle(d);
+        }
+    }
+
+    /// Schedules an immediate dispatch of `cpu` (with the current gen).
+    pub(crate) fn schedule_dispatch(&mut self, cpu: usize) {
+        let gen = self.cpus[cpu].gen;
+        self.q.schedule(self.q.now(), Event::Dispatch { cpu, gen });
+    }
+}

@@ -1,0 +1,139 @@
+//! Kernel threads (and the heavyweight-process stand-in).
+//!
+//! A Topaz-style kernel thread: a kernel-schedulable execution context with
+//! its own kernel stack and control block. Three flavors exist (see
+//! `KtFlavor`): application bodies (programming *with* kernel threads, as
+//! in the paper's Topaz and Ultrix baselines), virtual processors serving a
+//! user-level thread package (original FastThreads), and kernel daemons.
+
+use crate::exec::{KtFlavor, Pipeline, ResumeWith};
+use crate::ids::{AsId, KtId};
+use sa_machine::ids::ChanId;
+use sa_machine::program::{OpResult, ThreadBody};
+use sa_machine::{CvId, LockId};
+
+/// Why a kernel thread is blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockKind {
+    /// Waiting for a disk operation (I/O or page fault).
+    Io,
+    /// Waiting on a kernel channel.
+    Chan(ChanId),
+    /// Waiting for a contended application lock (kernel-direct spaces).
+    AppLock(LockId),
+    /// Waiting on an application condition variable (kernel-direct spaces).
+    AppCv(CvId),
+    /// Waiting for another kernel thread to exit.
+    Join(KtId),
+    /// A daemon between bursts.
+    DaemonSleep,
+    /// A virtual processor parked after giving up its CPU (also the
+    /// holding state of a not-yet-started main thread).
+    Parked,
+}
+
+/// Scheduling state of a kernel thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KtState {
+    /// Runnable, waiting for a processor.
+    Ready,
+    /// Dispatched on the given CPU.
+    Running(u16),
+    /// Blocked in the kernel.
+    Blocked(BlockKind),
+    /// Exited; the control block remains for joiners.
+    Dead,
+}
+
+/// A kernel thread control block.
+pub(crate) struct KThread {
+    pub id: KtId,
+    pub space: AsId,
+    /// Scheduler priority; higher wins. Daemons run above applications.
+    pub prio: u8,
+    pub state: KtState,
+    pub flavor: KtFlavor,
+    /// The application body (only for `KtFlavor::AppBody`).
+    pub body: Option<Box<dyn ThreadBody>>,
+    /// Pending micro-ops; survives preemption (the kernel resumes kernel
+    /// threads directly and invisibly — the exact behaviour the paper
+    /// criticizes, §2.2).
+    pub pipeline: Pipeline,
+    /// Result to deliver at the next refill.
+    pub resume: Option<ResumeWith>,
+    /// Body stashed by `Op::Fork` until the `SpawnChild` effect runs.
+    pub pending_child: Option<Box<dyn ThreadBody>>,
+    /// Priority for the stashed child (`Op::ForkPrio`).
+    pub pending_child_prio: Option<u8>,
+    /// A deferred time-slice preemption to honour at the next boundary.
+    pub pending_preempt: bool,
+    /// Threads waiting in `Join` on this one.
+    pub joiners: Vec<KtId>,
+    /// Set when the thread has exited (distinct from `Dead` only during
+    /// teardown).
+    pub exited: bool,
+}
+
+impl KThread {
+    pub(crate) fn new(id: KtId, space: AsId, prio: u8, flavor: KtFlavor) -> Self {
+        KThread {
+            id,
+            space,
+            prio,
+            state: KtState::Ready,
+            flavor,
+            body: None,
+            pipeline: Pipeline::new(),
+            resume: None,
+            pending_child: None,
+            pending_child_prio: None,
+            pending_preempt: false,
+            joiners: Vec::new(),
+            exited: false,
+        }
+    }
+
+    /// Takes the resume value, defaulting to `Done` for app bodies.
+    pub(crate) fn take_resume_op(&mut self) -> OpResult {
+        match self.resume.take() {
+            Some(ResumeWith::Op(r)) => r,
+            Some(other) => unreachable!("VP resume {other:?} delivered to an app body"),
+            None => OpResult::Done,
+        }
+    }
+}
+
+impl core::fmt::Debug for KThread {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("KThread")
+            .field("id", &self.id)
+            .field("space", &self.space)
+            .field("prio", &self.prio)
+            .field("state", &self.state)
+            .field("flavor", &self.flavor)
+            .field("pipeline_len", &self.pipeline.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_machine::program::OpResult;
+
+    #[test]
+    fn new_thread_is_ready() {
+        let kt = KThread::new(KtId(0), AsId(0), 1, KtFlavor::AppBody);
+        assert_eq!(kt.state, KtState::Ready);
+        assert!(kt.pipeline.is_empty());
+    }
+
+    #[test]
+    fn take_resume_defaults_to_done() {
+        let mut kt = KThread::new(KtId(0), AsId(0), 1, KtFlavor::AppBody);
+        assert_eq!(kt.take_resume_op(), OpResult::Done);
+        kt.resume = Some(ResumeWith::Op(OpResult::Start));
+        assert_eq!(kt.take_resume_op(), OpResult::Start);
+        assert_eq!(kt.take_resume_op(), OpResult::Done);
+    }
+}

@@ -1,0 +1,88 @@
+//! Kernel-side synchronization objects.
+//!
+//! Used by *kernel-direct* spaces (Topaz / Ultrix baselines), where every
+//! contended application lock and every condition-variable operation goes
+//! through the kernel — the cost structure §2.1 argues is unavoidable for
+//! kernel threads. Kernel channels are also used by scheduler-activation
+//! spaces when a workload deliberately synchronizes through the kernel
+//! (the §5.2 upcall measurement).
+
+use crate::exec::UnitRef;
+use crate::ids::KtId;
+use sa_machine::ids::LockId;
+use std::collections::VecDeque;
+
+/// A Topaz-style application mutex: test-and-set fast path at user level
+/// when uncontended; contended acquires trap and block in the kernel
+/// ("if a thread tries to acquire a busy lock, the thread will block in the
+/// kernel and be re-scheduled only when the lock is released", §5.3).
+#[derive(Debug, Default)]
+pub(crate) struct KLock {
+    pub holder: Option<KtId>,
+    pub waiters: VecDeque<KtId>,
+}
+
+/// A kernel condition variable for application `Wait`/`Signal`/`Broadcast`
+/// under kernel-direct spaces. Waiters remember which lock to re-acquire.
+#[derive(Debug, Default)]
+pub(crate) struct KCv {
+    pub waiters: VecDeque<(KtId, LockId)>,
+}
+
+/// A kernel channel with semaphore semantics: signals accumulate, waits
+/// consume. (Strict condition-variable semantics would make the ping-pong
+/// microbenchmarks racy at startup; in steady state the cost is identical.)
+#[derive(Debug, Default)]
+pub(crate) struct KChan {
+    pub pending: u32,
+    pub waiters: VecDeque<UnitRef>,
+}
+
+impl KChan {
+    /// Delivers one signal: returns the unit to wake, or banks the signal.
+    pub(crate) fn signal(&mut self) -> Option<UnitRef> {
+        if let Some(w) = self.waiters.pop_front() {
+            Some(w)
+        } else {
+            self.pending += 1;
+            None
+        }
+    }
+
+    /// Attempts to consume a pending signal; if none, enqueues the waiter
+    /// and returns false.
+    pub(crate) fn wait(&mut self, unit: UnitRef) -> bool {
+        if self.pending > 0 {
+            self.pending -= 1;
+            true
+        } else {
+            self.waiters.push_back(unit);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chan_signal_banks_when_no_waiter() {
+        let mut c = KChan::default();
+        assert_eq!(c.signal(), None);
+        assert_eq!(c.pending, 1);
+        assert!(c.wait(UnitRef::Kt(KtId(1))));
+        assert_eq!(c.pending, 0);
+    }
+
+    #[test]
+    fn chan_wait_blocks_then_wakes_fifo() {
+        let mut c = KChan::default();
+        assert!(!c.wait(UnitRef::Kt(KtId(1))));
+        assert!(!c.wait(UnitRef::Kt(KtId(2))));
+        assert_eq!(c.signal(), Some(UnitRef::Kt(KtId(1))));
+        assert_eq!(c.signal(), Some(UnitRef::Kt(KtId(2))));
+        assert_eq!(c.signal(), None);
+        assert_eq!(c.pending, 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Kernel and per-space measurement.
+
+use crate::upcall::WorkKind;
+use sa_sim::stats::Counter;
+use sa_sim::{SimDuration, SimTime};
+
+/// Per-space accounting.
+#[derive(Debug, Default, Clone)]
+pub struct SpaceMetrics {
+    /// CPU nanoseconds by work classification.
+    user_ns: u64,
+    overhead_ns: u64,
+    spin_ns: u64,
+    idle_spin_ns: u64,
+    upcall_ns: u64,
+    /// Kernel-mode nanoseconds charged to this space's units.
+    kernel_ns: u64,
+    /// `AddProcessor` upcall events delivered.
+    pub upcalls_add_processor: Counter,
+    /// `Preempted` upcall events delivered.
+    pub upcalls_preempted: Counter,
+    /// `Blocked` upcall events delivered.
+    pub upcalls_blocked: Counter,
+    /// `Unblocked` upcall events delivered.
+    pub upcalls_unblocked: Counter,
+    /// Upcall deliveries total (batches, not events).
+    pub upcall_batches: Counter,
+    /// Processor preemptions suffered.
+    pub preemptions: Counter,
+    /// Kernel traps made by this space's units.
+    pub traps: Counter,
+    /// Disk operations issued.
+    pub disk_ops: Counter,
+    /// Page faults taken.
+    pub page_faults: Counter,
+    /// Activations allocated fresh.
+    pub acts_fresh: Counter,
+    /// Activations reused from the recycle cache (§4.3).
+    pub acts_cached: Counter,
+    /// Kernel context switches of this space's kernel threads.
+    pub kt_switches: Counter,
+}
+
+impl SpaceMetrics {
+    /// Charges `d` of CPU time classified as `kind`.
+    pub(crate) fn charge(&mut self, kind: WorkKind, d: SimDuration) {
+        let ns = d.as_nanos();
+        match kind {
+            WorkKind::UserWork => self.user_ns += ns,
+            WorkKind::RuntimeOverhead => self.overhead_ns += ns,
+            WorkKind::SpinWait => self.spin_ns += ns,
+            WorkKind::IdleSpin => self.idle_spin_ns += ns,
+            WorkKind::UpcallWork => self.upcall_ns += ns,
+        }
+    }
+
+    /// Charges `d` of kernel-mode time.
+    pub(crate) fn charge_kernel(&mut self, d: SimDuration) {
+        self.kernel_ns += d.as_nanos();
+    }
+
+    /// Pure application compute time.
+    pub fn user_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.user_ns)
+    }
+
+    /// Thread-package overhead time.
+    pub fn overhead_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.overhead_ns)
+    }
+
+    /// Time burned spinning on held locks.
+    pub fn spin_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.spin_ns)
+    }
+
+    /// Time burned in the user-level idle loop.
+    pub fn idle_spin_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.idle_spin_ns)
+    }
+
+    /// Time spent processing upcalls at user level.
+    pub fn upcall_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.upcall_ns)
+    }
+
+    /// Kernel-mode time charged to this space.
+    pub fn kernel_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.kernel_ns)
+    }
+}
+
+/// Whole-kernel accounting.
+#[derive(Debug, Default, Clone)]
+pub struct KernelMetrics {
+    /// Events processed by the run loop.
+    pub events: Counter,
+    /// Segments started on CPUs.
+    pub segs: Counter,
+    /// CPU-idle integral support: total idle nanoseconds across CPUs.
+    idle_ns: u64,
+    /// Processor reallocations performed by the allocator.
+    pub reallocations: Counter,
+    /// Allocator policy evaluations.
+    pub rebalances: Counter,
+}
+
+impl KernelMetrics {
+    pub(crate) fn charge_idle(&mut self, d: SimDuration) {
+        self.idle_ns += d.as_nanos();
+    }
+
+    /// Total CPU idle time summed over processors.
+    pub fn idle_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.idle_ns)
+    }
+}
+
+/// Outcome of a kernel run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Virtual time at which the run loop stopped.
+    pub end: SimTime,
+    /// True if the run hit its hard time limit before all spaces finished.
+    pub timed_out: bool,
+    /// True if the event queue drained with unfinished spaces (deadlock).
+    pub deadlocked: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_routes_by_kind() {
+        let mut m = SpaceMetrics::default();
+        m.charge(WorkKind::UserWork, SimDuration::from_micros(5));
+        m.charge(WorkKind::SpinWait, SimDuration::from_micros(3));
+        m.charge(WorkKind::SpinWait, SimDuration::from_micros(2));
+        assert_eq!(m.user_time().as_micros(), 5);
+        assert_eq!(m.spin_time().as_micros(), 5);
+        assert_eq!(m.overhead_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn kernel_idle_accumulates() {
+        let mut k = KernelMetrics::default();
+        k.charge_idle(SimDuration::from_micros(10));
+        k.charge_idle(SimDuration::from_micros(5));
+        assert_eq!(k.idle_time().as_micros(), 15);
+    }
+}

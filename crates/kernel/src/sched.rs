@@ -1,0 +1,132 @@
+//! Kernel-thread ready queues.
+//!
+//! In [`crate::config::SchedMode::TopazNative`] there is one global queue
+//! and the scheduler is oblivious to address spaces — the behaviour §2.2
+//! criticizes. Under the processor allocator, each kernel-direct space has
+//! its own queue and time-slices only within its allocation (§4.1).
+
+use crate::ids::KtId;
+use std::collections::VecDeque;
+
+/// A priority ready queue: FIFO within each priority, higher priority first.
+#[derive(Debug, Default)]
+pub(crate) struct ReadyQueue {
+    /// Sparse per-priority queues; index = priority.
+    levels: Vec<VecDeque<KtId>>,
+    len: usize,
+}
+
+impl ReadyQueue {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues at the tail of its priority level.
+    pub(crate) fn push(&mut self, kt: KtId, prio: u8) {
+        let idx = prio as usize;
+        if self.levels.len() <= idx {
+            self.levels.resize_with(idx + 1, VecDeque::new);
+        }
+        self.levels[idx].push_back(kt);
+        self.len += 1;
+    }
+
+    /// Dequeues the highest-priority, longest-waiting thread.
+    pub(crate) fn pop(&mut self) -> Option<KtId> {
+        for level in self.levels.iter_mut().rev() {
+            if let Some(kt) = level.pop_front() {
+                self.len -= 1;
+                return Some(kt);
+            }
+        }
+        None
+    }
+
+    /// Highest priority currently queued.
+    pub(crate) fn max_prio(&self) -> Option<u8> {
+        for (i, level) in self.levels.iter().enumerate().rev() {
+            if !level.is_empty() {
+                return Some(i as u8);
+            }
+        }
+        None
+    }
+
+    /// True if a thread of priority `>= prio` is waiting.
+    pub(crate) fn has_at_least(&self, prio: u8) -> bool {
+        self.max_prio().is_some_and(|p| p >= prio)
+    }
+
+    /// Removes a specific thread (rare: teardown paths).
+    pub(crate) fn remove(&mut self, kt: KtId) -> bool {
+        for level in self.levels.iter_mut() {
+            if let Some(pos) = level.iter().position(|&k| k == kt) {
+                level.remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of queued threads.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_priority() {
+        let mut q = ReadyQueue::new();
+        q.push(KtId(1), 1);
+        q.push(KtId(2), 1);
+        assert_eq!(q.pop(), Some(KtId(1)));
+        assert_eq!(q.pop(), Some(KtId(2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn higher_priority_first() {
+        let mut q = ReadyQueue::new();
+        q.push(KtId(1), 1);
+        q.push(KtId(2), 5);
+        q.push(KtId(3), 1);
+        assert_eq!(q.pop(), Some(KtId(2)));
+        assert_eq!(q.pop(), Some(KtId(1)));
+        assert_eq!(q.pop(), Some(KtId(3)));
+    }
+
+    #[test]
+    fn max_prio_and_has_at_least() {
+        let mut q = ReadyQueue::new();
+        assert_eq!(q.max_prio(), None);
+        q.push(KtId(1), 2);
+        assert_eq!(q.max_prio(), Some(2));
+        assert!(q.has_at_least(2));
+        assert!(q.has_at_least(1));
+        assert!(!q.has_at_least(3));
+    }
+
+    #[test]
+    fn remove_specific() {
+        let mut q = ReadyQueue::new();
+        q.push(KtId(1), 1);
+        q.push(KtId(2), 1);
+        assert!(q.remove(KtId(1)));
+        assert!(!q.remove(KtId(1)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some(KtId(2)));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Address spaces: the unit of processor allocation.
+
+use crate::config::KernelFlavor;
+use crate::ids::{ActId, AsId, KtId};
+use crate::locks::{KChan, KCv, KLock};
+use crate::metrics::SpaceMetrics;
+use crate::sched::ReadyQueue;
+use crate::upcall::{UpcallEvent, UserRuntime};
+use sa_machine::ids::{ChanId, CvId, LockId, PageId};
+use sa_sim::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// How a space manages its parallelism.
+pub(crate) enum SpaceKind {
+    /// Application bodies run directly on kernel threads.
+    KernelDirect { flavor: KernelFlavor },
+    /// A user-level package drives kernel-thread virtual processors
+    /// (original FastThreads): the kernel delivers no upcalls.
+    UserOnKt { vps: Vec<KtId> },
+    /// A user-level package drives scheduler activations (the paper's
+    /// system).
+    UserOnSa,
+}
+
+/// A simple LRU resident set for the paging model.
+#[derive(Debug, Default)]
+pub(crate) struct Residency {
+    /// Maximum resident pages; `None` disables faulting entirely.
+    pub capacity: Option<usize>,
+    /// Pages in LRU order, most recent at the back.
+    lru: VecDeque<PageId>,
+}
+
+impl Residency {
+    pub(crate) fn new(capacity: Option<usize>) -> Self {
+        Residency {
+            capacity,
+            lru: VecDeque::new(),
+        }
+    }
+
+    /// Touches a page; returns true on a hit. On a miss the caller must
+    /// fault the page in and then call [`Residency::insert`].
+    pub(crate) fn touch(&mut self, page: PageId) -> bool {
+        let Some(_cap) = self.capacity else {
+            return true;
+        };
+        if let Some(pos) = self.lru.iter().position(|&p| p == page) {
+            self.lru.remove(pos);
+            self.lru.push_back(page);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a faulted-in page, evicting the least recently used if full.
+    pub(crate) fn insert(&mut self, page: PageId) {
+        let Some(cap) = self.capacity else { return };
+        if self.lru.iter().any(|&p| p == page) {
+            return;
+        }
+        if self.lru.len() >= cap.max(1) {
+            self.lru.pop_front();
+        }
+        self.lru.push_back(page);
+    }
+
+    /// Number of resident pages (testing aid).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.lru.len()
+    }
+}
+
+/// Scheduler-activation bookkeeping for a space.
+#[derive(Debug, Default)]
+pub(crate) struct SaState {
+    /// Activations currently dispatched (running or upcalling). The paper's
+    /// invariant: `running.len()` equals the number of processors assigned
+    /// to this space.
+    pub running: Vec<ActId>,
+    /// Activations blocked in the kernel.
+    pub blocked: Vec<ActId>,
+    /// Husks owned by the user level, awaiting bulk recycle (§4.3).
+    pub discarded: Vec<ActId>,
+    /// Recycled husks available for cheap reallocation (§4.3).
+    pub cached: Vec<ActId>,
+    /// Table 3: the space's total desired processor count.
+    pub desired: u32,
+    /// Events pended while the space had no processor to be notified on
+    /// (§3.1: "we delay the notification until the kernel eventually
+    /// re-allocates it a processor").
+    pub pending_events: Vec<UpcallEvent>,
+    /// Upcalls whose delivery is waiting for the thread manager's page to
+    /// be faulted back in (§3.1's upcall-page-fault rule).
+    pub deferred_upcalls: u32,
+}
+
+/// One address space.
+pub(crate) struct Space {
+    pub id: AsId,
+    pub name: String,
+    /// Allocation priority; higher wins.
+    pub priority: u8,
+    pub kind: SpaceKind,
+    /// The user-level thread package (user-level kinds only). Taken out
+    /// temporarily during callbacks.
+    pub runtime: Option<Box<dyn UserRuntime>>,
+    /// Scheduler-activation state (UserOnSa only).
+    pub sa: SaState,
+    /// Per-space ready queue (kernel-direct spaces under the processor
+    /// allocator; unused in native mode, which has a global queue).
+    pub ready: ReadyQueue,
+    /// Application locks, condition variables and kernel channels, named
+    /// by the workload.
+    pub klocks: HashMap<LockId, KLock>,
+    pub kcvs: HashMap<CvId, KCv>,
+    pub kchans: HashMap<ChanId, KChan>,
+    /// Paging state.
+    pub residency: Residency,
+    /// Whether the thread manager's own pages are resident (drives the
+    /// upcall-page-fault deferral; meaningful only when paging is on).
+    pub runtime_pages_resident: bool,
+    /// Live application kernel threads (kernel-direct spaces).
+    pub live_kthreads: u32,
+    /// CPUs currently assigned (allocator mode).
+    pub assigned_cpus: u32,
+    /// The space has started (its `start_at` has passed).
+    pub started: bool,
+    /// The space has finished all its work.
+    pub done: bool,
+    /// When it finished.
+    pub completed_at: Option<SimTime>,
+    /// When it started.
+    pub started_at: Option<SimTime>,
+    /// True for the internal daemon space.
+    pub is_daemon_space: bool,
+    pub metrics: SpaceMetrics,
+}
+
+impl Space {
+    /// True for scheduler-activation spaces (used by the debug-build
+    /// invariant checks).
+    #[cfg_attr(not(debug_assertions), expect(dead_code))]
+    pub(crate) fn is_sa(&self) -> bool {
+        matches!(self.kind, SpaceKind::UserOnSa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residency_unlimited_always_hits() {
+        let mut r = Residency::new(None);
+        assert!(r.touch(PageId(1)));
+        assert!(r.touch(PageId(999)));
+    }
+
+    #[test]
+    fn residency_lru_evicts_oldest() {
+        let mut r = Residency::new(Some(2));
+        assert!(!r.touch(PageId(1)));
+        r.insert(PageId(1));
+        assert!(!r.touch(PageId(2)));
+        r.insert(PageId(2));
+        assert!(r.touch(PageId(1))); // 1 is now MRU
+        assert!(!r.touch(PageId(3)));
+        r.insert(PageId(3)); // evicts 2
+        assert!(!r.touch(PageId(2)));
+        assert!(r.touch(PageId(1)));
+        assert!(r.touch(PageId(3)));
+    }
+
+    #[test]
+    fn residency_insert_is_idempotent() {
+        let mut r = Residency::new(Some(4));
+        r.insert(PageId(1));
+        r.insert(PageId(1));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn residency_touch_refreshes_recency() {
+        let mut r = Residency::new(Some(2));
+        r.insert(PageId(1));
+        r.insert(PageId(2));
+        assert!(r.touch(PageId(1)));
+        r.insert(PageId(3)); // evicts 2, not 1
+        assert!(r.touch(PageId(1)));
+        assert!(!r.touch(PageId(2)));
+    }
+}

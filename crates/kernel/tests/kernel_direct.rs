@@ -1,0 +1,461 @@
+//! Integration tests for kernel-direct spaces (Topaz / Ultrix baselines):
+//! the whole pipeline from thread bodies through the dispatcher, scheduler,
+//! synchronization objects, I/O, paging and multiprogramming.
+
+use sa_kernel::{DaemonSpec, Kernel, KernelConfig, KernelFlavor, SchedMode, SpaceSpec, NO_LOCK};
+use sa_machine::program::{FnBody, Op, OpResult, ScriptBody};
+use sa_machine::{ComputeBody, CostModel, CvId, LockId, PageId};
+use sa_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn cfg(cpus: u16, sched: SchedMode) -> KernelConfig {
+    KernelConfig {
+        cpus,
+        sched,
+        daemons: Vec::new(),
+        seed: 7,
+        ..KernelConfig::default()
+    }
+}
+
+fn us(n: u64) -> SimDuration {
+    SimDuration::from_micros(n)
+}
+
+#[test]
+fn single_compute_thread_completes() {
+    let mut k = Kernel::new(
+        cfg(1, SchedMode::TopazNative),
+        CostModel::firefly_prototype(),
+    );
+    let body = ScriptBody::new("w", vec![Op::Compute(us(1000))]);
+    let id = k.add_space(SpaceSpec::kernel_direct(
+        "app",
+        KernelFlavor::TopazThreads,
+        Box::new(body),
+    ));
+    let out = k.run();
+    assert!(!out.timed_out && !out.deadlocked);
+    let elapsed = k.space_elapsed(id).expect("completed");
+    // Compute + trap + exit path; must exceed 1000 µs but not wildly.
+    assert!(elapsed >= us(1000), "elapsed {elapsed}");
+    assert!(elapsed < us(2000), "elapsed {elapsed}");
+}
+
+#[test]
+fn fork_join_runs_child() {
+    let mut k = Kernel::new(
+        cfg(1, SchedMode::TopazNative),
+        CostModel::firefly_prototype(),
+    );
+    let mut state = 0;
+    let body = FnBody::new("parent", move |env| {
+        state += 1;
+        match state {
+            1 => Op::Fork(Box::new(ComputeBody::new(us(500)))),
+            2 => Op::Join(env.last.forked()),
+            _ => Op::Exit,
+        }
+    });
+    let id = k.add_space(SpaceSpec::kernel_direct(
+        "app",
+        KernelFlavor::TopazThreads,
+        Box::new(body),
+    ));
+    let out = k.run();
+    assert!(!out.timed_out && !out.deadlocked);
+    let elapsed = k.space_elapsed(id).unwrap();
+    // Child computes 500 µs plus Topaz fork overhead (~1 ms).
+    assert!(elapsed > us(1400), "elapsed {elapsed}");
+    assert!(elapsed < us(4000), "elapsed {elapsed}");
+}
+
+#[test]
+fn fork_runs_in_parallel_on_two_cpus() {
+    let run = |cpus: u16| {
+        let mut k = Kernel::new(
+            cfg(cpus, SchedMode::TopazNative),
+            CostModel::firefly_prototype(),
+        );
+        let mut state = 0;
+        let mut child = None;
+        let body = FnBody::new("parent", move |env| {
+            state += 1;
+            match state {
+                1 => Op::Fork(Box::new(ComputeBody::new(us(10_000)))),
+                2 => {
+                    child = Some(env.last.forked());
+                    Op::Compute(us(10_000))
+                }
+                3 => Op::Join(child.unwrap()),
+                _ => Op::Exit,
+            }
+        });
+        let id = k.add_space(SpaceSpec::kernel_direct(
+            "app",
+            KernelFlavor::TopazThreads,
+            Box::new(body),
+        ));
+        let out = k.run();
+        assert!(!out.timed_out && !out.deadlocked);
+        k.space_elapsed(id).unwrap()
+    };
+    let t1 = run(1);
+    let t2 = run(2);
+    assert!(
+        t2.as_micros() < t1.as_micros() * 3 / 4,
+        "2 cpus {t2} not faster than 1 cpu {t1}"
+    );
+    assert!(t2 >= us(10_000));
+}
+
+#[test]
+fn signal_wait_ping_pong() {
+    let mut k = Kernel::new(
+        cfg(1, SchedMode::TopazNative),
+        CostModel::firefly_prototype(),
+    );
+    const ROUNDS: u32 = 10;
+    let cv_a = CvId(0);
+    let cv_b = CvId(1);
+    let mut state = 0;
+    let mut rounds = 0;
+    let a = FnBody::new("a", move |env| {
+        // A forks B, then ping-pongs.
+        state += 1;
+        match state {
+            1 => Op::Fork(Box::new(FnBody::new("b", {
+                let mut done = 0;
+                move |_| {
+                    done += 1;
+                    if done > ROUNDS as usize * 2 {
+                        Op::Exit
+                    } else if done % 2 == 1 {
+                        Op::Wait {
+                            cv: cv_b,
+                            lock: NO_LOCK,
+                        }
+                    } else {
+                        Op::Signal(cv_a)
+                    }
+                }
+            }))),
+            2 => {
+                let _ = env.last.forked();
+                Op::Signal(cv_b)
+            }
+            _ => {
+                if state % 2 == 1 {
+                    Op::Wait {
+                        cv: cv_a,
+                        lock: NO_LOCK,
+                    }
+                } else {
+                    rounds += 1;
+                    if rounds >= ROUNDS {
+                        Op::Exit
+                    } else {
+                        Op::Signal(cv_b)
+                    }
+                }
+            }
+        }
+    });
+    let id = k.add_space(SpaceSpec::kernel_direct(
+        "app",
+        KernelFlavor::TopazThreads,
+        Box::new(a),
+    ));
+    let out = k.run();
+    assert!(!out.timed_out, "timed out");
+    assert!(!out.deadlocked, "deadlocked");
+    assert!(k.space_completion(id).is_some());
+    // Each round costs roughly the Topaz signal-wait latency (~441 µs) in
+    // each direction.
+    let elapsed = k.space_elapsed(id).unwrap();
+    assert!(elapsed > us(4_000), "elapsed {elapsed}");
+}
+
+#[test]
+fn contended_app_lock_blocks_in_kernel() {
+    let mut k = Kernel::new(
+        cfg(2, SchedMode::TopazNative),
+        CostModel::firefly_prototype(),
+    );
+    let lock = LockId(0);
+    let order = Rc::new(RefCell::new(Vec::new()));
+    let order_b = Rc::clone(&order);
+    let order_a = Rc::clone(&order);
+    let mut state = 0;
+    let a = FnBody::new("a", move |_env| {
+        state += 1;
+        match state {
+            1 => Op::Acquire(lock),
+            2 => Op::Fork(Box::new(FnBody::new("b", {
+                let order = Rc::clone(&order_b);
+                let mut st = 0;
+                move |_| {
+                    st += 1;
+                    match st {
+                        1 => Op::Acquire(lock),
+                        2 => {
+                            order.borrow_mut().push("b-got-lock");
+                            Op::Release(lock)
+                        }
+                        _ => Op::Exit,
+                    }
+                }
+            }))),
+            3 => Op::Compute(us(2_000)),
+            4 => {
+                order_a.borrow_mut().push("a-releasing");
+                Op::Release(lock)
+            }
+            _ => Op::Exit,
+        }
+    });
+    let id = k.add_space(SpaceSpec::kernel_direct(
+        "app",
+        KernelFlavor::TopazThreads,
+        Box::new(a),
+    ));
+    let out = k.run();
+    assert!(!out.timed_out && !out.deadlocked);
+    assert!(k.space_completion(id).is_some());
+    assert_eq!(*order.borrow(), vec!["a-releasing", "b-got-lock"]);
+}
+
+#[test]
+fn io_blocks_for_its_duration() {
+    let mut k = Kernel::new(
+        cfg(1, SchedMode::TopazNative),
+        CostModel::firefly_prototype(),
+    );
+    let body = ScriptBody::new("w", vec![Op::Io(SimDuration::from_millis(50))]);
+    let id = k.add_space(SpaceSpec::kernel_direct(
+        "app",
+        KernelFlavor::TopazThreads,
+        Box::new(body),
+    ));
+    let out = k.run();
+    assert!(!out.timed_out && !out.deadlocked);
+    let elapsed = k.space_elapsed(id).unwrap();
+    assert!(elapsed >= SimDuration::from_millis(50));
+    assert!(elapsed < SimDuration::from_millis(51));
+    assert_eq!(k.space_metrics(id).disk_ops.get(), 1);
+}
+
+#[test]
+fn page_faults_respect_lru() {
+    let mut k = Kernel::new(
+        cfg(1, SchedMode::TopazNative),
+        CostModel::firefly_prototype(),
+    );
+    // Capacity 2; touch pages 1,2,1,2 (one fault each for 1 and 2), then 3
+    // (fault), then 1 (still resident? no: LRU of cap 2 with 2,3 resident →
+    // fault).
+    let ops = vec![
+        Op::MemRead(PageId(1)),
+        Op::MemRead(PageId(2)),
+        Op::MemRead(PageId(1)),
+        Op::MemRead(PageId(2)),
+        Op::MemRead(PageId(3)),
+        Op::MemRead(PageId(1)),
+    ];
+    let mut spec = SpaceSpec::kernel_direct(
+        "app",
+        KernelFlavor::TopazThreads,
+        Box::new(ScriptBody::new("w", ops)),
+    );
+    spec.mem_pages = Some(2);
+    let id = k.add_space(spec);
+    let out = k.run();
+    assert!(!out.timed_out && !out.deadlocked);
+    assert_eq!(k.space_metrics(id).page_faults.get(), 4);
+}
+
+#[test]
+fn ultrix_flavor_is_heavier_than_topaz() {
+    let run = |flavor: KernelFlavor| {
+        let mut k = Kernel::new(
+            cfg(1, SchedMode::TopazNative),
+            CostModel::firefly_prototype(),
+        );
+        let mut state = 0;
+        let body = FnBody::new("parent", move |env| {
+            state += 1;
+            match state {
+                1 => Op::Fork(Box::new(ComputeBody::null())),
+                2 => Op::Join(env.last.forked()),
+                _ => Op::Exit,
+            }
+        });
+        let id = k.add_space(SpaceSpec::kernel_direct("app", flavor, Box::new(body)));
+        let out = k.run();
+        assert!(!out.timed_out && !out.deadlocked);
+        k.space_elapsed(id).unwrap()
+    };
+    let topaz = run(KernelFlavor::TopazThreads);
+    let ultrix = run(KernelFlavor::UltrixProcesses);
+    assert!(
+        ultrix.as_micros() > topaz.as_micros() * 5,
+        "ultrix {ultrix} vs topaz {topaz}"
+    );
+}
+
+#[test]
+fn multiprogramming_time_slices_two_spaces() {
+    let mut k = Kernel::new(
+        cfg(1, SchedMode::TopazNative),
+        CostModel::firefly_prototype(),
+    );
+    let mk = || {
+        Box::new(ScriptBody::new(
+            "w",
+            vec![Op::Compute(SimDuration::from_millis(200))],
+        ))
+    };
+    let a = k.add_space(SpaceSpec::kernel_direct(
+        "a",
+        KernelFlavor::TopazThreads,
+        mk(),
+    ));
+    let b = k.add_space(SpaceSpec::kernel_direct(
+        "b",
+        KernelFlavor::TopazThreads,
+        mk(),
+    ));
+    let out = k.run();
+    assert!(!out.timed_out && !out.deadlocked);
+    let ta = k.space_completion(a).unwrap();
+    let tb = k.space_completion(b).unwrap();
+    // Both finish close to 400 ms: the quantum interleaves them.
+    assert!(ta > SimTime::from_millis(300), "a at {ta}");
+    assert!(tb > SimTime::from_millis(300), "b at {tb}");
+    // And both suffered preemptions.
+    assert!(
+        k.space_metrics(a).preemptions.get() + k.space_metrics(b).preemptions.get() >= 3,
+        "no time slicing happened"
+    );
+}
+
+#[test]
+fn daemons_preempt_low_priority_work_native() {
+    let mut config = cfg(1, SchedMode::TopazNative);
+    config.daemons = vec![DaemonSpec {
+        period: SimDuration::from_millis(10),
+        burst: SimDuration::from_millis(1),
+    }];
+    let mut k = Kernel::new(config, CostModel::firefly_prototype());
+    let body = ScriptBody::new("w", vec![Op::Compute(SimDuration::from_millis(100))]);
+    let id = k.add_space(SpaceSpec::kernel_direct(
+        "app",
+        KernelFlavor::TopazThreads,
+        Box::new(body),
+    ));
+    let out = k.run();
+    assert!(!out.timed_out && !out.deadlocked);
+    // Daemon bursts stole time: completion well past 100 ms of pure compute.
+    let elapsed = k.space_elapsed(id).unwrap();
+    assert!(
+        elapsed > SimDuration::from_millis(105),
+        "daemons did not run: {elapsed}"
+    );
+    assert!(k.space_metrics(id).preemptions.get() >= 5);
+}
+
+#[test]
+fn allocator_mode_runs_kernel_direct_spaces() {
+    let mut k = Kernel::new(
+        cfg(2, SchedMode::SaAllocator),
+        CostModel::firefly_prototype(),
+    );
+    let mk = || {
+        Box::new(ScriptBody::new(
+            "w",
+            vec![Op::Compute(SimDuration::from_millis(50))],
+        ))
+    };
+    let a = k.add_space(SpaceSpec::kernel_direct(
+        "a",
+        KernelFlavor::TopazThreads,
+        mk(),
+    ));
+    let b = k.add_space(SpaceSpec::kernel_direct(
+        "b",
+        KernelFlavor::TopazThreads,
+        mk(),
+    ));
+    let out = k.run();
+    assert!(!out.timed_out && !out.deadlocked);
+    // With 2 CPUs and space-sharing, each space gets its own CPU and both
+    // finish in ~50 ms — no time-slicing interference.
+    for id in [a, b] {
+        let elapsed = k.space_elapsed(id).unwrap();
+        assert!(elapsed < SimDuration::from_millis(52), "elapsed {elapsed}");
+    }
+}
+
+#[test]
+fn deterministic_given_same_seed() {
+    let run = |seed: u64| {
+        let mut config = cfg(2, SchedMode::TopazNative);
+        config.seed = seed;
+        config.daemons = DaemonSpec::topaz_default_set();
+        let mut k = Kernel::new(config, CostModel::firefly_prototype());
+        let mut state = 0;
+        let body = FnBody::new("parent", move |env| {
+            state += 1;
+            match state {
+                1 => Op::Fork(Box::new(ComputeBody::new(us(30_000)))),
+                2 => {
+                    let _ = env.last.forked();
+                    Op::Compute(us(30_000))
+                }
+                _ => Op::Exit,
+            }
+        });
+        let id = k.add_space(SpaceSpec::kernel_direct(
+            "app",
+            KernelFlavor::TopazThreads,
+            Box::new(body),
+        ));
+        let out = k.run();
+        assert!(!out.timed_out && !out.deadlocked);
+        k.space_completion(id).unwrap()
+    };
+    assert_eq!(run(11), run(11));
+    assert_eq!(run(12), run(12));
+}
+
+#[test]
+fn op_results_flow_to_bodies() {
+    let mut k = Kernel::new(
+        cfg(1, SchedMode::TopazNative),
+        CostModel::firefly_prototype(),
+    );
+    let seen = Rc::new(RefCell::new(Vec::new()));
+    let seen2 = Rc::clone(&seen);
+    let mut state = 0;
+    let body = FnBody::new("w", move |env| {
+        seen2.borrow_mut().push(env.last);
+        state += 1;
+        match state {
+            1 => Op::Compute(us(10)),
+            2 => Op::Yield,
+            _ => Op::Exit,
+        }
+    });
+    k.add_space(SpaceSpec::kernel_direct(
+        "app",
+        KernelFlavor::TopazThreads,
+        Box::new(body),
+    ));
+    let out = k.run();
+    assert!(!out.timed_out && !out.deadlocked);
+    assert_eq!(
+        *seen.borrow(),
+        vec![OpResult::Start, OpResult::Done, OpResult::Done]
+    );
+}

@@ -1,0 +1,307 @@
+//! The thread-program abstraction: what application code looks like.
+//!
+//! Application threads are deterministic state machines. The runtime in
+//! charge of a thread (a user-level thread package, the kernel's thread
+//! layer, or the process layer) repeatedly calls
+//! [`ThreadBody::step`]; the body inspects the result of its previous
+//! operation and returns the next [`Op`]. The runtime interprets the op,
+//! charging virtual time from the cost model along the real code path —
+//! so the same body, run under different thread systems, experiences the
+//! different costs and integration behaviours the paper compares.
+//!
+//! This is the simulator's equivalent of "the application programmer sees
+//! no difference, except for performance, from programming directly with
+//! kernel threads" (§3): bodies are written once and run unmodified under
+//! Ultrix-style processes, Topaz-style kernel threads, original
+//! FastThreads, and FastThreads on scheduler activations.
+
+use crate::ids::{ChanId, CvId, LockId, PageId, ThreadRef};
+use sa_sim::{SimDuration, SimTime};
+use std::fmt;
+
+/// The next operation a thread wants to perform.
+pub enum Op {
+    /// Execute on the processor for the given span of virtual time.
+    Compute(SimDuration),
+    /// Acquire an application mutex (created on first use).
+    Acquire(LockId),
+    /// Release an application mutex.
+    Release(LockId),
+    /// Atomically release `lock` and wait on `cv`; re-acquires `lock`
+    /// before the thread continues.
+    Wait {
+        /// The condition variable to wait on.
+        cv: CvId,
+        /// The mutex released while waiting ([`LockId::NONE`] for
+        /// event-style waits with no mutex).
+        lock: LockId,
+    },
+    /// Wake one waiter of `cv`, if any.
+    Signal(CvId),
+    /// Wake all waiters of `cv`.
+    Broadcast(CvId),
+    /// Create a new thread running `body`. The parent's next step sees
+    /// [`OpResult::Forked`] carrying the child's [`ThreadRef`].
+    Fork(Box<dyn ThreadBody>),
+    /// Like [`Op::Fork`] but with an explicit scheduling priority (higher
+    /// wins; plain `Fork` children inherit priority 1). Under kernel
+    /// threads this is the kernel scheduler's priority; under FastThreads
+    /// it takes effect when `FtConfig::priority_scheduling` is on —
+    /// including §3.1's "ask the kernel to interrupt" path when a
+    /// higher-priority thread becomes runnable.
+    ForkPrio(Box<dyn ThreadBody>, u8),
+    /// Wait until the referenced thread has exited.
+    Join(ThreadRef),
+    /// Block in the kernel for a device operation of the given duration
+    /// (the paper's 50 ms buffer-cache miss, §5.3).
+    Io(SimDuration),
+    /// Touch a virtual page; faults and blocks in the kernel if the page
+    /// is not resident.
+    MemRead(PageId),
+    /// Signal a kernel-level channel (synchronization deliberately forced
+    /// through the kernel, as in the §5.2 upcall measurement).
+    KernelSignal(ChanId),
+    /// Wait on a kernel-level channel.
+    KernelWait(ChanId),
+    /// Give up the processor voluntarily.
+    Yield,
+    /// Terminate the thread.
+    Exit,
+}
+
+impl fmt::Debug for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Compute(d) => write!(f, "Compute({d})"),
+            Op::Acquire(l) => write!(f, "Acquire({l})"),
+            Op::Release(l) => write!(f, "Release({l})"),
+            Op::Wait { cv, lock } => write!(f, "Wait({cv}, {lock})"),
+            Op::Signal(cv) => write!(f, "Signal({cv})"),
+            Op::Broadcast(cv) => write!(f, "Broadcast({cv})"),
+            Op::Fork(_) => write!(f, "Fork(..)"),
+            Op::ForkPrio(_, p) => write!(f, "ForkPrio(.., {p})"),
+            Op::Join(t) => write!(f, "Join({t})"),
+            Op::Io(d) => write!(f, "Io({d})"),
+            Op::MemRead(p) => write!(f, "MemRead({p})"),
+            Op::KernelSignal(c) => write!(f, "KernelSignal({c})"),
+            Op::KernelWait(c) => write!(f, "KernelWait({c})"),
+            Op::Yield => write!(f, "Yield"),
+            Op::Exit => write!(f, "Exit"),
+        }
+    }
+}
+
+/// Result of a thread's previous operation, visible at its next step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpResult {
+    /// First step of the thread; no previous operation.
+    Start,
+    /// The previous operation completed.
+    Done,
+    /// The previous `Fork` completed; carries the child's handle.
+    Forked(ThreadRef),
+}
+
+impl OpResult {
+    /// The child handle from a completed fork.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous operation was not a `Fork`; calling this
+    /// anywhere else is a workload bug.
+    pub fn forked(self) -> ThreadRef {
+        match self {
+            OpResult::Forked(t) => t,
+            other => panic!("expected Forked result, got {other:?}"),
+        }
+    }
+}
+
+/// What a thread body can observe when deciding its next operation.
+#[derive(Debug, Clone, Copy)]
+pub struct StepEnv {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// This thread's own handle.
+    pub self_ref: ThreadRef,
+    /// Result of the previous operation.
+    pub last: OpResult,
+}
+
+/// A deterministic application thread.
+///
+/// Bodies run in exactly one address space and are driven by exactly one
+/// runtime, so they may freely share state with sibling bodies through
+/// `Rc<RefCell<…>>` — the simulator is single-threaded.
+pub trait ThreadBody {
+    /// Returns the next operation given the outcome of the previous one.
+    ///
+    /// Called once with [`OpResult::Start`], then once after each completed
+    /// operation. Must eventually return [`Op::Exit`]; after that the
+    /// runtime never calls `step` again.
+    fn step(&mut self, env: &StepEnv) -> Op;
+
+    /// Debug label for traces.
+    fn name(&self) -> &'static str {
+        "thread"
+    }
+}
+
+/// A body driven by a closure; the easiest way to write small workloads.
+pub struct FnBody<F: FnMut(&StepEnv) -> Op> {
+    f: F,
+    label: &'static str,
+}
+
+impl<F: FnMut(&StepEnv) -> Op> FnBody<F> {
+    /// Wraps a closure as a thread body.
+    pub fn new(label: &'static str, f: F) -> Self {
+        FnBody { f, label }
+    }
+}
+
+impl<F: FnMut(&StepEnv) -> Op> ThreadBody for FnBody<F> {
+    fn step(&mut self, env: &StepEnv) -> Op {
+        (self.f)(env)
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+/// A body that replays a fixed list of operations, then exits.
+///
+/// `Fork` cannot appear in a script (it is not cloneable); use [`FnBody`]
+/// for forking workloads.
+pub struct ScriptBody {
+    ops: std::vec::IntoIter<Op>,
+    label: &'static str,
+}
+
+impl ScriptBody {
+    /// Creates a body that performs `ops` in order and then exits.
+    pub fn new(label: &'static str, ops: Vec<Op>) -> Self {
+        ScriptBody {
+            ops: ops.into_iter(),
+            label,
+        }
+    }
+}
+
+impl ThreadBody for ScriptBody {
+    fn step(&mut self, _env: &StepEnv) -> Op {
+        self.ops.next().unwrap_or(Op::Exit)
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+/// A body that computes for a fixed time and exits — the "null procedure"
+/// of the paper's Null Fork benchmark when given the procedure-call cost.
+pub struct ComputeBody {
+    remaining: Option<SimDuration>,
+}
+
+impl ComputeBody {
+    /// A body performing a single compute burst of `d`.
+    pub fn new(d: SimDuration) -> Self {
+        ComputeBody { remaining: Some(d) }
+    }
+
+    /// A body that exits immediately without computing.
+    pub fn null() -> Self {
+        ComputeBody { remaining: None }
+    }
+}
+
+impl ThreadBody for ComputeBody {
+    fn step(&mut self, _env: &StepEnv) -> Op {
+        match self.remaining.take() {
+            Some(d) => Op::Compute(d),
+            None => Op::Exit,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "compute"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> StepEnv {
+        StepEnv {
+            now: SimTime::ZERO,
+            self_ref: ThreadRef(0),
+            last: OpResult::Start,
+        }
+    }
+
+    #[test]
+    fn script_body_replays_then_exits() {
+        let mut b = ScriptBody::new(
+            "s",
+            vec![Op::Compute(SimDuration::from_micros(1)), Op::Yield],
+        );
+        assert!(matches!(b.step(&env()), Op::Compute(_)));
+        assert!(matches!(b.step(&env()), Op::Yield));
+        assert!(matches!(b.step(&env()), Op::Exit));
+        assert!(matches!(b.step(&env()), Op::Exit));
+    }
+
+    #[test]
+    fn compute_body_single_burst() {
+        let mut b = ComputeBody::new(SimDuration::from_micros(5));
+        assert!(matches!(b.step(&env()), Op::Compute(d) if d.as_micros() == 5));
+        assert!(matches!(b.step(&env()), Op::Exit));
+    }
+
+    #[test]
+    fn null_body_exits_immediately() {
+        let mut b = ComputeBody::null();
+        assert!(matches!(b.step(&env()), Op::Exit));
+    }
+
+    #[test]
+    fn fn_body_sees_results() {
+        let mut first = true;
+        let mut b = FnBody::new("f", move |e| {
+            if first {
+                assert_eq!(e.last, OpResult::Start);
+                first = false;
+                Op::Yield
+            } else {
+                assert_eq!(e.last, OpResult::Done);
+                Op::Exit
+            }
+        });
+        let _ = b.step(&env());
+        let mut e2 = env();
+        e2.last = OpResult::Done;
+        let _ = b.step(&e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Forked result")]
+    fn forked_accessor_panics_on_wrong_variant() {
+        let _ = OpResult::Done.forked();
+    }
+
+    #[test]
+    fn op_debug_formats() {
+        let op = Op::Wait {
+            cv: CvId(1),
+            lock: LockId(2),
+        };
+        assert_eq!(format!("{op:?}"), "Wait(cv1, lk2)");
+        assert_eq!(
+            format!("{:?}", Op::Fork(Box::new(ComputeBody::null()))),
+            "Fork(..)"
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Deterministic event queue with lazy cancellation.
+//!
+//! The queue is a binary heap ordered by `(time, sequence)`. The sequence
+//! number is assigned at push time, so two events scheduled for the same
+//! instant always pop in the order they were scheduled — this is what makes
+//! whole-system runs bit-for-bit reproducible.
+//!
+//! Cancellation is *lazy*: [`EventQueue::schedule`] returns an [`EventToken`];
+//! calling [`EventQueue::cancel`] marks the token dead, and the corresponding
+//! entry is silently discarded when it reaches the head of the heap. This is
+//! the standard technique for simulators with frequent preemption, where
+//! eagerly removing heap interior entries would cost `O(n)`.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventToken(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; reverse so the earliest (time, seq)
+        // pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the most recently popped
+    /// event (zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// `time` may equal the current time (the event fires "immediately",
+    /// after already-queued events at the same instant), but must not be in
+    /// the past.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the current time; scheduling into the past
+    /// indicates a bug in the caller.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
+        assert!(
+            time >= self.now,
+            "scheduled event in the past: {time} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancelling an event that already fired (or was already cancelled) is
+    /// a no-op; this makes preemption paths simpler for callers.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when no live events remain.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "event queue time inversion");
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of scheduled entries, including not-yet-reaped cancelled ones.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no entries are scheduled (cancelled or otherwise).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), 1);
+        q.schedule(t(5), 2);
+        q.schedule(t(5), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(10));
+    }
+
+    #[test]
+    fn cancel_suppresses_event() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(t(10), "dead");
+        q.schedule(t(20), "live");
+        q.cancel(tok);
+        assert_eq!(q.pop(), Some((t(20), "live")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(t(10), ());
+        assert!(q.pop().is_some());
+        q.cancel(tok);
+        q.schedule(t(20), ());
+        assert!(q.pop().is_some());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(t(10), ());
+        q.schedule(t(20), ());
+        q.cancel(tok);
+        assert_eq!(q.peek_time(), Some(t(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+
+    #[test]
+    fn same_instant_as_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        q.pop();
+        q.schedule(q.now(), 2);
+        assert_eq!(q.pop(), Some((t(10), 2)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        let (now, _) = q.pop().unwrap();
+        q.schedule(now + SimDuration::from_micros(5), 2);
+        q.schedule(now + SimDuration::from_micros(1), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! # sa-sim: deterministic discrete-event simulation engine
+//!
+//! The foundation of the scheduler-activations reproduction: a virtual
+//! clock ([`SimTime`]/[`SimDuration`]), a totally ordered cancellable
+//! event queue ([`EventQueue`]), a seeded random source ([`SimRng`]),
+//! measurement primitives ([`stats`]), and an execution trace ([`Trace`]).
+//!
+//! Everything above this crate (machine, kernel, thread packages,
+//! workloads) is *plain single-threaded Rust* driven by one event loop, so
+//! an entire multiprocessor run is reproducible bit-for-bit from its seed.
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::{EventQueue, EventToken};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceRecord};

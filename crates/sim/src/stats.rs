@@ -1,0 +1,288 @@
+//! Measurement primitives: counters, time-weighted gauges, histograms.
+//!
+//! The experiment harnesses report virtual-time quantities (latencies,
+//! utilizations, queue lengths). These helpers keep the bookkeeping
+//! honest — in particular [`TimeWeighted`] integrates a gauge over virtual
+//! time so that CPU utilization and mean ready-queue length are exact, not
+//! sampled.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Integrates an integer-valued gauge over virtual time.
+///
+/// Typical uses: number of busy CPUs (→ utilization), ready-queue length
+/// (→ mean queue length). The caller reports every level change with the
+/// timestamp at which it occurred.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    level: i64,
+    last_change: SimTime,
+    /// Integral of `level` over time, in level·nanoseconds.
+    area: i128,
+    max_level: i64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Creates a gauge at level zero.
+    pub fn new() -> Self {
+        TimeWeighted {
+            level: 0,
+            last_change: SimTime::ZERO,
+            area: 0,
+            max_level: 0,
+        }
+    }
+
+    fn accumulate(&mut self, now: SimTime) {
+        let dt = now.since(self.last_change).as_nanos() as i128;
+        self.area += self.level as i128 * dt;
+        self.last_change = now;
+    }
+
+    /// Sets the gauge to an absolute level at time `now`.
+    pub fn set(&mut self, now: SimTime, level: i64) {
+        self.accumulate(now);
+        self.level = level;
+        self.max_level = self.max_level.max(level);
+    }
+
+    /// Adjusts the gauge by a delta at time `now`.
+    pub fn adjust(&mut self, now: SimTime, delta: i64) {
+        let level = self.level + delta;
+        self.set(now, level);
+    }
+
+    /// Current instantaneous level.
+    pub fn level(&self) -> i64 {
+        self.level
+    }
+
+    /// Highest level ever set.
+    pub fn max_level(&self) -> i64 {
+        self.max_level
+    }
+
+    /// Time-average of the gauge over `[ZERO, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let mut area = self.area;
+        area += self.level as i128 * now.since(self.last_change).as_nanos() as i128;
+        let total = now.as_nanos();
+        if total == 0 {
+            0.0
+        } else {
+            area as f64 / total as f64
+        }
+    }
+
+    /// Total level·time integral as level-nanoseconds (e.g. busy-CPU·ns).
+    pub fn area(&self, now: SimTime) -> i128 {
+        self.area + self.level as i128 * now.since(self.last_change).as_nanos() as i128
+    }
+}
+
+/// A latency histogram with power-of-two buckets plus exact extrema and sum.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples with `2^i <= ns < 2^(i+1)` (bucket 0 also
+    /// holds zero-valued samples).
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        let idx = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Smallest sample, or zero if empty.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Approximate quantile (bucket upper bound), `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return SimDuration::from_nanos(upper.min(self.max_ns));
+            }
+        }
+        SimDuration::from_nanos(self.max_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut g = TimeWeighted::new();
+        g.set(t(0), 2); // level 2 for 10us
+        g.set(t(10), 4); // level 4 for 10us
+                         // mean over 20us = (2*10 + 4*10) / 20 = 3
+        assert!((g.mean(t(20)) - 3.0).abs() < 1e-9);
+        assert_eq!(g.max_level(), 4);
+    }
+
+    #[test]
+    fn time_weighted_adjust() {
+        let mut g = TimeWeighted::new();
+        g.adjust(t(0), 1);
+        g.adjust(t(5), 1);
+        g.adjust(t(10), -2);
+        assert_eq!(g.level(), 0);
+        // (1*5 + 2*5 + 0*10) / 20 = 0.75
+        assert!((g.mean(t(20)) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_area_counts_current_level() {
+        let mut g = TimeWeighted::new();
+        g.set(t(0), 1);
+        assert_eq!(g.area(t(10)), 10_000); // 1 level * 10us in ns
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        for us in [10u64, 20, 30, 40] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean().as_micros(), 25);
+        assert_eq!(h.min().as_micros(), 10);
+        assert_eq!(h.max().as_micros(), 40);
+    }
+
+    #[test]
+    fn histogram_zero_sample() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let mut h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q99);
+        assert!(q99 <= h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.9), SimDuration::ZERO);
+    }
+}

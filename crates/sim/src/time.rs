@@ -1,0 +1,300 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! All simulated durations in this workspace are virtual nanoseconds held in
+//! a `u64`. The paper reports latencies in microseconds on a CVAX Firefly
+//! (procedure call ≈ 7 µs, kernel trap ≈ 19 µs), so nanosecond resolution
+//! gives three decimal digits of headroom below the smallest cost constant
+//! while still covering ~584 years of virtual time — far beyond any run.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation's virtual clock, in nanoseconds since the
+/// start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Raw nanoseconds since the start of the run.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since the start of the run (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since the start of the run, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`; the simulator never observes
+    /// time running backwards, so this indicates a bug.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("virtual time ran backwards"),
+        )
+    }
+
+    /// Saturating difference; zero if `earlier` is after `self`.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span; used as an "infinite" sentinel for
+    /// open-ended busy periods (e.g. spinning until kicked).
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a span from fractional microseconds (rounded to nanoseconds).
+    ///
+    /// Useful for cost constants quoted with sub-microsecond precision.
+    pub fn from_micros_f64(us: f64) -> Self {
+        debug_assert!(us >= 0.0, "negative duration");
+        SimDuration((us * 1_000.0).round() as u64)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Microseconds as a float (for reporting only).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of two spans.
+    pub const fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the span by an integer factor, saturating on overflow.
+    pub const fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// Divides the span by an integer divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub const fn div(self, divisor: u64) -> SimDuration {
+        SimDuration(self.0 / divisor)
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("duration subtraction underflow"),
+        )
+    }
+}
+
+impl core::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+/// Formats a nanosecond count with a human-friendly unit.
+fn format_ns(ns: u64) -> String {
+    if ns == u64::MAX {
+        "inf".to_string()
+    } else if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimTime::from_millis(50).as_micros(), 50_000);
+        assert_eq!(SimDuration::from_micros(19).as_micros(), 19);
+        assert_eq!(SimDuration::from_micros_f64(1.5).as_nanos(), 1_500);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_micros(10) + SimDuration::from_micros(5);
+        assert_eq!(t.as_micros(), 15);
+        assert_eq!(t.since(SimTime::from_micros(10)).as_micros(), 5);
+        let mut d = SimDuration::from_micros(1);
+        d += SimDuration::from_micros(2);
+        assert_eq!(d.as_micros(), 3);
+        assert_eq!((d - SimDuration::from_micros(1)).as_micros(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual time ran backwards")]
+    fn since_panics_on_backwards_time() {
+        let _ = SimTime::from_micros(1).since(SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let d = SimTime::from_micros(1).saturating_since(SimTime::from_micros(2));
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_does_not_overflow() {
+        let t = SimTime::MAX + SimDuration::from_micros(1);
+        assert_eq!(t, SimTime::MAX);
+        let d = SimDuration::MAX + SimDuration::from_micros(1);
+        assert_eq!(d, SimDuration::MAX);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_micros(34).to_string(), "34.000us");
+        assert_eq!(SimDuration::from_millis(50).to_string(), "50.000ms");
+        assert_eq!(SimDuration::from_millis(2500).to_string(), "2.500s");
+        assert_eq!(SimDuration::MAX.to_string(), "inf");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
+        assert_eq!(total.as_micros(), 10);
+    }
+}

@@ -1,0 +1,156 @@
+//! Lightweight execution tracing.
+//!
+//! The kernel and thread runtimes emit [`TraceRecord`]s at interesting
+//! points (upcalls, preemptions, blocks, allocator decisions). Tracing is
+//! off by default; tests and the `upcall_points` example turn it on to
+//! assert on the *sequence* of events, which is how we unit-test Table 2's
+//! upcall protocol.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// One traced occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time at which the event occurred.
+    pub at: SimTime,
+    /// Dot-separated category, e.g. `"kernel.upcall"` or `"uthread.spin"`.
+    pub tag: &'static str,
+    /// Free-form detail line.
+    pub detail: String,
+}
+
+/// A bounded in-memory trace buffer.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    echo: bool,
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Trace {
+    /// A trace that records nothing (the default for experiments).
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            echo: false,
+            capacity: 0,
+            records: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// A trace that keeps the most recent `capacity` records.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            echo: false,
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Also print each record to stdout as it is emitted (for examples).
+    pub fn with_echo(mut self) -> Self {
+        self.echo = true;
+        self
+    }
+
+    /// True if records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Emits a record if tracing is enabled.
+    ///
+    /// `detail` is a closure so disabled traces pay no formatting cost.
+    pub fn emit(&mut self, at: SimTime, tag: &'static str, detail: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        let rec = TraceRecord {
+            at,
+            tag,
+            detail: detail(),
+        };
+        if self.echo {
+            println!("[{at}] {}: {}", rec.tag, rec.detail);
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Records whose tag matches exactly, oldest first.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.tag == tag)
+    }
+
+    /// Number of records evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::disabled();
+        tr.emit(t(1), "x", || "should not format".into());
+        assert_eq!(tr.records().count(), 0);
+    }
+
+    #[test]
+    fn disabled_trace_skips_formatting() {
+        let mut tr = Trace::disabled();
+        tr.emit(t(1), "x", || panic!("formatted while disabled"));
+        assert_eq!(tr.records().count(), 0);
+    }
+
+    #[test]
+    fn bounded_trace_keeps_recent() {
+        let mut tr = Trace::bounded(2);
+        tr.emit(t(1), "a", || "1".into());
+        tr.emit(t(2), "b", || "2".into());
+        tr.emit(t(3), "c", || "3".into());
+        let tags: Vec<_> = tr.records().map(|r| r.tag).collect();
+        assert_eq!(tags, vec!["b", "c"]);
+        assert_eq!(tr.dropped(), 1);
+    }
+
+    #[test]
+    fn with_tag_filters() {
+        let mut tr = Trace::bounded(16);
+        tr.emit(t(1), "kernel.upcall", || "a".into());
+        tr.emit(t(2), "uthread.spin", || "b".into());
+        tr.emit(t(3), "kernel.upcall", || "c".into());
+        let details: Vec<_> = tr
+            .with_tag("kernel.upcall")
+            .map(|r| r.detail.clone())
+            .collect();
+        assert_eq!(details, vec!["a", "c"]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests of the simulation engine against reference models.
+
+use proptest::prelude::*;
+use sa_sim::stats::{Histogram, TimeWeighted};
+use sa_sim::{EventQueue, SimDuration, SimTime};
+
+proptest! {
+    /// Events pop in nondecreasing time order with FIFO tie-breaking,
+    /// regardless of the schedule order.
+    #[test]
+    fn queue_pops_sorted_stable(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort_by_key(|&(t, i)| (t, i));
+        let mut got = Vec::new();
+        while let Some((at, idx)) = q.pop() {
+            got.push((at.as_micros(), idx));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Cancellation removes exactly the cancelled events.
+    #[test]
+    fn queue_cancellation_model(
+        times in prop::collection::vec(0u64..10_000, 1..200),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            tokens.push(q.schedule(SimTime::from_micros(t), i));
+        }
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let cancelled = *cancel_mask.get(i).unwrap_or(&false);
+            if cancelled {
+                q.cancel(tokens[i]);
+            } else {
+                expected.push((t, i));
+            }
+        }
+        expected.sort_by_key(|&(t, i)| (t, i));
+        let mut got = Vec::new();
+        while let Some((at, idx)) = q.pop() {
+            got.push((at.as_micros(), idx));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Interleaved schedule/pop keeps the clock monotone and never loses
+    /// a live event.
+    #[test]
+    fn queue_interleaved_clock_monotone(
+        ops in prop::collection::vec((0u64..500, any::<bool>()), 1..300)
+    ) {
+        let mut q = EventQueue::new();
+        let mut scheduled = 0usize;
+        let mut popped = 0usize;
+        let mut last = SimTime::ZERO;
+        for (delay, do_pop) in ops {
+            if do_pop {
+                if let Some((at, _)) = q.pop() {
+                    prop_assert!(at >= last);
+                    last = at;
+                    popped += 1;
+                }
+            } else {
+                q.schedule(q.now() + SimDuration::from_micros(delay), scheduled);
+                scheduled += 1;
+            }
+        }
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(scheduled, popped);
+    }
+
+    /// The time-weighted gauge equals a straightforward integral.
+    #[test]
+    fn time_weighted_matches_reference(
+        steps in prop::collection::vec((1u64..1000, -5i64..6), 1..100)
+    ) {
+        let mut g = TimeWeighted::new();
+        let mut now = SimTime::ZERO;
+        let mut level = 0i64;
+        let mut area = 0i128;
+        for (dt, delta) in steps {
+            let next = now + SimDuration::from_micros(dt);
+            area += level as i128 * (dt as i128) * 1_000;
+            now = next;
+            level += delta;
+            g.adjust(now, delta);
+        }
+        prop_assert_eq!(g.level(), level);
+        let mean = g.mean(now);
+        let ref_mean = if now.as_nanos() == 0 {
+            0.0
+        } else {
+            area as f64 / now.as_nanos() as f64
+        };
+        prop_assert!((mean - ref_mean).abs() < 1e-9, "{} vs {}", mean, ref_mean);
+    }
+
+    /// Histogram mean/min/max equal exact statistics.
+    #[test]
+    fn histogram_matches_reference(samples in prop::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_nanos(s));
+        }
+        let sum: u128 = samples.iter().map(|&s| s as u128).sum();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.mean().as_nanos(), (sum / samples.len() as u128) as u64);
+        prop_assert_eq!(h.min().as_nanos(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max().as_nanos(), *samples.iter().max().unwrap());
+        // Quantiles are monotone and bounded by max.
+        let q1 = h.quantile(0.25);
+        let q2 = h.quantile(0.5);
+        let q3 = h.quantile(0.99);
+        prop_assert!(q1 <= q2 && q2 <= q3 && q3 <= h.max());
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # sa-uthread: the FastThreads-like user-level thread package
+//!
+//! One runtime, two substrates:
+//!
+//! - [`FtConfig::kernel_threads`] — **original FastThreads**: virtual
+//!   processors are kernel threads, scheduled obliviously by the kernel,
+//!   with all of §2.2's integration problems (lost processors on I/O,
+//!   spin-waste under preemption, idle VPs invisible to the kernel).
+//! - [`FtConfig::scheduler_activations`] — **new FastThreads**: the
+//!   paper's system, processing Table 2 upcalls, issuing Table 3 hints,
+//!   recovering preempted critical sections (§3.3) and bulk-recycling
+//!   activations (§4.3).
+//!
+//! Application code (thread bodies) is identical under both; only the
+//! integration with the kernel differs — which is the paper's point.
+
+pub mod config;
+pub mod runtime;
+pub mod stats;
+pub mod sync;
+pub mod types;
+
+pub use config::{CriticalSectionMode, FtConfig, Substrate};
+pub use runtime::FastThreads;
+pub use stats::FtStats;
+pub use sync::SpinPolicy;
+pub use types::{UtId, UtState};

@@ -1,0 +1,1390 @@
+//! The FastThreads-like user-level thread scheduler.
+//!
+//! One implementation serves both substrates ([`Substrate`]): on kernel
+//! threads it is "original FastThreads" (no kernel events, oblivious VP
+//! scheduling); on scheduler activations it is the paper's system —
+//! processing Table 2 upcalls, issuing Table 3 hints, recovering preempted
+//! critical sections (§3.3), and recycling activations in bulk (§4.3).
+//!
+//! ## Execution model
+//!
+//! The kernel drives each virtual processor by calling
+//! [`UserRuntime::poll`]; the runtime answers one action at a time. All
+//! deferred work lives in explicit continuation queues — per-thread
+//! (`Utcb::cont`) for operations a thread is in the middle of, and
+//! per-slot (`Slot::cont`) for runtime-level work (upcall processing,
+//! dispatch overhead). Because a preempted processor's continuations
+//! simply stay in those queues, the kernel's saved "machine state"
+//! (a [`SavedContext`]) plus these queues reconstruct the thread exactly,
+//! which is what makes Table 2's `Preempted`/`Unblocked` protocol work.
+//!
+//! A design rule inherited from real hardware: every `Step` re-validates
+//! its preconditions when it executes, because other processors run during
+//! the segment that precedes it.
+
+use crate::config::{CriticalSectionMode, FtConfig, Substrate};
+use crate::stats::FtStats;
+use crate::sync::{HandOff, SpinPolicy, UCv, ULock};
+use crate::types::{cookie, seg, Awaiting, RtMicro, Slot, SpinCtx, Step, UtId, UtState, Utcb};
+use sa_kernel::upcall::{
+    PollReason, RtEnv, SavedContext, Syscall, UpcallEvent, UserRuntime, VpAction, WorkKind,
+};
+use sa_kernel::VpId;
+use sa_kernel::NO_LOCK;
+use sa_machine::ids::{CvId, LockId};
+use sa_machine::program::{Op, OpResult, StepEnv, ThreadBody};
+use sa_machine::CostModel;
+use sa_sim::SimDuration;
+use std::collections::HashMap;
+
+/// The user-level thread package.
+pub struct FastThreads {
+    cfg: FtConfig,
+    tcbs: Vec<Utcb>,
+    slots: Vec<Slot>,
+    /// VP id → slot index.
+    vp_slot: HashMap<u32, usize>,
+    /// Blocked activation → the user threads it carried into the kernel,
+    /// in block order. A queue rather than a single slot: a recycled
+    /// activation id can block again before its previous notifications
+    /// have been processed (events are observed out of order when a
+    /// preempted processor's unprocessed events migrate, §3.1).
+    act_thread: HashMap<u32, std::collections::VecDeque<UtId>>,
+    /// Per-activation count of unblock notifications that arrived before
+    /// their matching Blocked event was processed.
+    early_unblocks: HashMap<u32, u32>,
+    locks: HashMap<LockId, ULock>,
+    cvs: HashMap<CvId, UCv>,
+    /// The main thread, created at `set_main`, waiting for the first VP.
+    boot_thread: Option<UtId>,
+    /// Runnable + running + spinning threads.
+    busy: u32,
+    /// Threads not yet exited.
+    live: u32,
+    /// A `SetDesiredProcessors` hint should be sent at the next chance.
+    hint_due: bool,
+    /// We told the kernel we want more processors and it has not granted
+    /// any since — no point repeating the hint (§3.2).
+    notified_want_more: bool,
+    /// Discarded activation husks not yet returned to the kernel.
+    discard_backlog: u32,
+    /// A §3.1 priority-preemption request to issue at the next chance.
+    preempt_request: Option<VpId>,
+    /// Statistics.
+    pub stats: FtStats,
+}
+
+impl FastThreads {
+    /// Creates a runtime with the given configuration.
+    pub fn new(cfg: FtConfig) -> Self {
+        let slots = match cfg.substrate {
+            Substrate::KernelThreads { vps } => (0..vps).map(|_| Slot::new()).collect(),
+            Substrate::SchedulerActivations => Vec::new(),
+        };
+        FastThreads {
+            cfg,
+            tcbs: Vec::new(),
+            slots,
+            vp_slot: HashMap::new(),
+            act_thread: HashMap::new(),
+            early_unblocks: HashMap::new(),
+            locks: HashMap::new(),
+            cvs: HashMap::new(),
+            boot_thread: None,
+            busy: 0,
+            live: 0,
+            hint_due: false,
+            notified_want_more: false,
+            discard_backlog: 0,
+            preempt_request: None,
+            stats: FtStats::default(),
+        }
+    }
+
+    /// True when running on scheduler activations.
+    fn is_sa(&self) -> bool {
+        matches!(self.cfg.substrate, Substrate::SchedulerActivations)
+    }
+
+    /// Extra per-critical-section cost in `ExplicitFlag` mode; zero in the
+    /// paper's zero-overhead scheme (§4.3).
+    fn flag_cost(&self, cost: &CostModel) -> SimDuration {
+        match self.cfg.critical {
+            CriticalSectionMode::ExplicitFlag => cost.explicit_flag,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Busy-count accounting cost (scheduler activations only; this is the
+    /// Table 4 delta over original FastThreads).
+    fn busy_acct(&self, cost: &CostModel) -> SimDuration {
+        if self.is_sa() {
+            cost.sa_busy_accounting
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    // ---- TCB and queue primitives -------------------------------------
+
+    /// Allocates a TCB from the slot's free list (or grows the table).
+    fn alloc_tcb(&mut self, slot: usize, body: Box<dyn ThreadBody>) -> UtId {
+        let id = match self.slots[slot].free_tcbs.pop() {
+            Some(id) => id,
+            None => {
+                let id = UtId(self.tcbs.len() as u32);
+                self.tcbs.push(Utcb::new(id));
+                id
+            }
+        };
+        self.tcbs[id.index()].reinit(body);
+        id
+    }
+
+    /// Pushes a thread onto a slot's ready list (LIFO) and wakes an idle
+    /// processor if one is spinning. Under priority scheduling, a readied
+    /// thread that outranks a running one asks the kernel to interrupt the
+    /// lowest-priority processor (§3.1).
+    fn ready_thread(&mut self, slot: usize, t: UtId, env: &mut RtEnv<'_>) {
+        debug_assert_ne!(self.tcbs[t.index()].state, UtState::Free);
+        self.tcbs[t.index()].state = UtState::Ready;
+        self.slots[slot].ready.push_back(t);
+        self.kick_an_idler(env);
+        if self.cfg.priority_scheduling && self.is_sa() {
+            let new_prio = self.tcbs[t.index()].prio;
+            // Find the lowest-priority running thread; if it ranks below
+            // the newcomer and no processor is idle, request a preemption.
+            let any_idle = self
+                .slots
+                .iter()
+                .any(|s| s.active_vp.is_some() && s.spin == Some(SpinCtx::Idle));
+            if !any_idle {
+                // Exclude the processor doing the readying: it reaches its
+                // own dispatch naturally (the kernel is only needed to
+                // interrupt *other* processors, §3.1).
+                let victim = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|&(si, s)| {
+                        si != slot && s.active_vp.is_some() && s.recovering.is_none()
+                    })
+                    .filter_map(|(_, s)| {
+                        let cur = s.current?;
+                        Some((s.active_vp.expect("filtered"), self.tcbs[cur.index()].prio))
+                    })
+                    .min_by_key(|&(_, p)| p);
+                if let Some((vp, p)) = victim {
+                    if p < new_prio {
+                        self.preempt_request = Some(vp);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Kicks one idle-spinning VP, if any.
+    fn kick_an_idler(&mut self, env: &mut RtEnv<'_>) {
+        for s in &self.slots {
+            if s.spin == Some(SpinCtx::Idle) {
+                if let Some(vp) = s.active_vp {
+                    env.kick(vp);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Notes a busy-count change and decides whether the kernel must be
+    /// told (§3.2: only transitions matter, and only when the kernel has
+    /// not already been asked).
+    fn note_busy_changed(&mut self) {
+        if !self.is_sa() {
+            return;
+        }
+        let held = self.active_slot_count() as u32;
+        if self.busy > held && !self.notified_want_more {
+            self.hint_due = true;
+        }
+    }
+
+    /// The Table 4 "+5 µs" component: under scheduler activations, a
+    /// dispatch of a thread resumed from a condition wait or a preemption
+    /// checks whether saved state (condition codes) must be restored.
+    fn resume_check_cost(&self, t: UtId, c: &CostModel) -> SimDuration {
+        if self.is_sa() && self.tcbs[t.index()].needs_resume_check {
+            c.sa_resume_check
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    fn active_slot_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.active_vp.is_some()).count()
+    }
+
+    /// Binds a VP to a slot (reusing an inactive slot if possible).
+    fn bind_slot(&mut self, vp: VpId) -> usize {
+        if let Some(&idx) = self.vp_slot.get(&vp.0) {
+            return idx;
+        }
+        let idx = match self.cfg.substrate {
+            Substrate::KernelThreads { .. } => vp.index(),
+            Substrate::SchedulerActivations => self
+                .slots
+                .iter()
+                .position(|s| s.active_vp.is_none())
+                .unwrap_or_else(|| {
+                    self.slots.push(Slot::new());
+                    self.slots.len() - 1
+                }),
+        };
+        let s = &mut self.slots[idx];
+        s.active_vp = Some(vp);
+        s.hysteresis_done = false;
+        s.idle_hinted = false;
+        self.vp_slot.insert(vp.0, idx);
+        idx
+    }
+
+    /// Unbinds a slot whose activation was stopped or blocked; returns the
+    /// thread that was loaded (if any) after migrating the slot-level
+    /// continuation and unprocessed tasks to `dest`.
+    fn deactivate_slot(&mut self, vp: VpId, dest: usize) -> Option<UtId> {
+        let idx = self.vp_slot.remove(&vp.0)?;
+        let t = {
+            let s = &mut self.slots[idx];
+            s.active_vp = None;
+            s.spin = None;
+            s.awaiting = None;
+            s.recovering = None;
+            s.hysteresis_done = false;
+            s.idle_hinted = false;
+            s.current.take()
+        };
+        if idx != dest {
+            // "A user-level context switch can be made to continue
+            // processing the event" (§3.1): interrupted upcall handling and
+            // the events it had not reached continue on the new processor.
+            let cont: Vec<RtMicro> = self.slots[idx].cont.drain(..).collect();
+            let tasks: Vec<UpcallEvent> = self.slots[idx].tasks.drain(..).collect();
+            self.slots[dest].cont.extend(cont);
+            self.slots[dest].tasks.extend(tasks);
+        }
+        t
+    }
+
+    /// First boot: place the main thread on this slot's ready list.
+    fn ensure_booted(&mut self, slot: usize, env: &mut RtEnv<'_>) {
+        if let Some(main) = self.boot_thread.take() {
+            self.ready_thread(slot, main, env);
+        }
+    }
+
+    // ---- Op interpretation --------------------------------------------
+
+    /// Steps the current thread's body and queues the micro-ops of its
+    /// next operation.
+    fn step_body(&mut self, slot: usize, t: UtId, env: &mut RtEnv<'_>) {
+        let last = std::mem::replace(&mut self.tcbs[t.index()].next_result, OpResult::Done);
+        let step_env = StepEnv {
+            now: env.now,
+            self_ref: t.as_ref(),
+            last,
+        };
+        let mut body = self.tcbs[t.index()]
+            .body
+            .take()
+            .expect("running thread without body");
+        let op = body.step(&step_env);
+        self.tcbs[t.index()].body = Some(body);
+        self.interpret(slot, t, op, env);
+    }
+
+    /// Queues the micro-ops implementing `op` for thread `t`.
+    fn interpret(&mut self, slot: usize, t: UtId, op: Op, env: &mut RtEnv<'_>) {
+        let c = env.cost;
+        let flag = self.flag_cost(c);
+        let acct = self.busy_acct(c);
+        let fork_prio = match &op {
+            Op::ForkPrio(_, prio) => Some(*prio),
+            _ => None,
+        };
+        match op {
+            Op::Compute(d) => {
+                let critical = self.tcbs[t.index()].locks_held > 0;
+                let s = seg(d, WorkKind::UserWork, cookie::Tag::User, Some(t), critical);
+                let q = &mut self.tcbs[t.index()].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::OpDone(OpResult::Done)));
+            }
+            Op::Acquire(l) => {
+                let d = c.test_and_set + c.ut_lock_fast + flag;
+                let s = seg(
+                    d,
+                    WorkKind::RuntimeOverhead,
+                    cookie::Tag::RuntimeOp,
+                    Some(t),
+                    true,
+                );
+                let q = &mut self.tcbs[t.index()].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::FinishAcquire(l)));
+            }
+            Op::Release(l) => {
+                let d = c.ut_lock_fast + flag;
+                let s = seg(
+                    d,
+                    WorkKind::RuntimeOverhead,
+                    cookie::Tag::RuntimeOp,
+                    Some(t),
+                    true,
+                );
+                let q = &mut self.tcbs[t.index()].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::FinishRelease(l)));
+            }
+            Op::Wait { cv, lock } => {
+                let d = c.ut_cv_op + flag + acct;
+                let s = seg(
+                    d,
+                    WorkKind::RuntimeOverhead,
+                    cookie::Tag::RuntimeOp,
+                    Some(t),
+                    true,
+                );
+                let q = &mut self.tcbs[t.index()].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::FinishCvWait { cv, lock }));
+            }
+            Op::Signal(cv) => {
+                let d = c.ut_cv_op + flag + acct;
+                let s = seg(
+                    d,
+                    WorkKind::RuntimeOverhead,
+                    cookie::Tag::RuntimeOp,
+                    Some(t),
+                    true,
+                );
+                let q = &mut self.tcbs[t.index()].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::FinishCvSignal(cv)));
+                q.push_back(RtMicro::Step(Step::OpDone(OpResult::Done)));
+            }
+            Op::Broadcast(cv) => {
+                let d = c.ut_cv_op + flag + acct;
+                let s = seg(
+                    d,
+                    WorkKind::RuntimeOverhead,
+                    cookie::Tag::RuntimeOp,
+                    Some(t),
+                    true,
+                );
+                let q = &mut self.tcbs[t.index()].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::FinishCvBroadcast(cv)));
+                q.push_back(RtMicro::Step(Step::OpDone(OpResult::Done)));
+            }
+            Op::Fork(body) | Op::ForkPrio(body, _) => {
+                self.stats.forks.inc();
+                let child = self.alloc_tcb(slot, body);
+                if let Some(prio) = fork_prio {
+                    self.tcbs[child.index()].prio = prio;
+                }
+                // TCB free list + init + ready-list push: two critical
+                // sections plus the scheduler-activation busy accounting.
+                let d = c.ut_tcb_alloc + c.ut_tcb_init + c.ut_ready_enqueue + flag + flag + acct;
+                let s = seg(
+                    d,
+                    WorkKind::RuntimeOverhead,
+                    cookie::Tag::RuntimeOp,
+                    Some(t),
+                    true,
+                );
+                let q = &mut self.tcbs[t.index()].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::FinishFork(child)));
+                q.push_back(RtMicro::Step(Step::OpDone(OpResult::Forked(
+                    child.as_ref(),
+                ))));
+            }
+            Op::Join(r) => {
+                let target = UtId::from_ref(r);
+                let d = c.ut_join;
+                let s = seg(
+                    d,
+                    WorkKind::RuntimeOverhead,
+                    cookie::Tag::RuntimeOp,
+                    Some(t),
+                    true,
+                );
+                let q = &mut self.tcbs[t.index()].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::FinishJoin(target)));
+            }
+            Op::Exit => {
+                self.stats.exits.inc();
+                let d = c.ut_exit_cleanup + c.ut_tcb_free + flag + flag + acct;
+                let s = seg(
+                    d,
+                    WorkKind::RuntimeOverhead,
+                    cookie::Tag::RuntimeOp,
+                    Some(t),
+                    true,
+                );
+                let q = &mut self.tcbs[t.index()].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::FinishExit));
+            }
+            Op::Yield => {
+                let d = c.ut_ready_enqueue + flag;
+                let s = seg(
+                    d,
+                    WorkKind::RuntimeOverhead,
+                    cookie::Tag::RuntimeOp,
+                    Some(t),
+                    true,
+                );
+                let q = &mut self.tcbs[t.index()].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::FinishYield));
+            }
+            Op::Io(dur) => {
+                self.queue_thread_call(t, Syscall::Io { dur }, env);
+            }
+            Op::MemRead(page) => {
+                self.queue_thread_call(t, Syscall::MemRead { page }, env);
+            }
+            Op::KernelSignal(chan) => {
+                self.queue_thread_call(t, Syscall::KernelSignal { chan }, env);
+            }
+            Op::KernelWait(chan) => {
+                self.queue_thread_call(t, Syscall::KernelWait { chan }, env);
+            }
+        }
+    }
+
+    /// Queues a kernel call on behalf of the current thread.
+    fn queue_thread_call(&mut self, t: UtId, call: Syscall, env: &mut RtEnv<'_>) {
+        let acct = self.busy_acct(env.cost);
+        let q = &mut self.tcbs[t.index()].cont;
+        if !acct.is_zero() {
+            q.push_back(RtMicro::Seg(seg(
+                acct,
+                WorkKind::RuntimeOverhead,
+                cookie::Tag::RuntimeOp,
+                Some(t),
+                false,
+            )));
+        }
+        q.push_back(RtMicro::Call(call));
+    }
+
+    /// The (slot, position) of the highest-priority ready thread anywhere
+    /// (ties: latest on its list, preserving LIFO within a priority).
+    fn best_priority_pick(&self) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize, u8)> = None;
+        for (si, s) in self.slots.iter().enumerate() {
+            for (pos, &t) in s.ready.iter().enumerate() {
+                let p = self.tcbs[t.index()].prio;
+                if best.is_none_or(|(_, _, bp)| p >= bp) {
+                    best = Some((si, pos, p));
+                }
+            }
+        }
+        best.map(|(si, pos, _)| (si, pos))
+    }
+
+    /// Removes leftover spin segments/steps from the front of a thread's
+    /// continuation.
+    fn clear_spin_micros(&mut self, t: UtId) {
+        loop {
+            match self.tcbs[t.index()].cont.front() {
+                Some(RtMicro::Seg(s)) if matches!(s.kind, WorkKind::SpinWait) => {
+                    self.tcbs[t.index()].cont.pop_front();
+                }
+                Some(RtMicro::SpinFor(_)) | Some(RtMicro::Step(Step::SpinExpired(_))) => {
+                    self.tcbs[t.index()].cont.pop_front();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    // ---- Steps ---------------------------------------------------------
+
+    /// Applies one step; may push further micro-work.
+    fn apply_step(&mut self, slot: usize, st: Step, env: &mut RtEnv<'_>) {
+        match st {
+            Step::FinishDispatch(t) => {
+                self.stats.dispatches.inc();
+                self.tcbs[t.index()].needs_resume_check = false;
+                self.slots[slot].hysteresis_done = false;
+                self.slots[slot].idle_hinted = false;
+                if self.slots[slot].current.is_some() {
+                    // A migrated dispatch raced with this slot's own; keep
+                    // the incumbent and requeue the newcomer.
+                    self.ready_thread(slot, t, env);
+                } else {
+                    self.slots[slot].current = Some(t);
+                    self.tcbs[t.index()].state = UtState::Running;
+                }
+            }
+            Step::OpDone(r) => {
+                let t = self.slots[slot].current.expect("OpDone without thread");
+                self.tcbs[t.index()].next_result = r;
+            }
+            Step::FinishAcquire(l) => self.finish_acquire(slot, l, env),
+            Step::FinishRelease(l) => self.finish_release(slot, l, env),
+            Step::FinishCvWait { cv, lock } => self.finish_cv_wait(slot, cv, lock, env),
+            Step::FinishCvSignal(cv) => self.finish_cv_signal(slot, cv, env),
+            Step::FinishCvBroadcast(cv) => self.finish_cv_broadcast(slot, cv, env),
+            Step::FinishFork(child) => {
+                let t = self.slots[slot].current.expect("fork without thread");
+                debug_assert_ne!(child, t);
+                self.live += 1;
+                self.busy += 1;
+                self.ready_thread(slot, child, env);
+                self.note_busy_changed();
+            }
+            Step::FinishJoin(target) => self.finish_join(slot, target),
+            Step::FinishYield => {
+                let t = self.slots[slot]
+                    .current
+                    .take()
+                    .expect("yield without thread");
+                // A yielding thread goes to the *cold* end of the LIFO
+                // ready list so every other runnable thread goes first.
+                self.tcbs[t.index()].state = UtState::Ready;
+                self.slots[slot].ready.push_front(t);
+                self.kick_an_idler(env);
+            }
+            Step::FinishExit => self.finish_exit(slot, env),
+            Step::SpinExpired(l) => self.spin_expired(slot, l),
+            Step::StartRecovery(t) => {
+                self.stats.recoveries.inc();
+                // A dispatch migrated from the preempted processor may have
+                // loaded a thread already; the critical-section recovery
+                // takes priority, so put that thread back on the ready list.
+                if let Some(cur) = self.slots[slot].current.take() {
+                    debug_assert_ne!(cur, t, "recovering the loaded thread");
+                    self.ready_thread(slot, cur, env);
+                }
+                self.slots[slot].recovering = Some(t);
+                self.slots[slot].current = Some(t);
+                self.tcbs[t.index()].state = UtState::Running;
+            }
+            Step::EndRecovery => {
+                let Some(t) = self.slots[slot].recovering.take() else {
+                    return; // recovery superseded by a second preemption
+                };
+                debug_assert_eq!(self.slots[slot].current, Some(t));
+                self.slots[slot].current = None;
+                self.ready_thread(slot, t, env);
+            }
+            Step::ReadyThread(t) => {
+                self.ready_thread(slot, t, env);
+            }
+        }
+    }
+
+    fn finish_acquire(&mut self, slot: usize, l: LockId, env: &mut RtEnv<'_>) {
+        let _ = env; // the fast path makes no kernel requests
+        let t = self.slots[slot].current.expect("acquire without thread");
+        let lock = self.locks.entry(l).or_default();
+        match lock.holder {
+            None => {
+                lock.holder = Some(t);
+                self.stats.lock_fast.inc();
+                self.tcbs[t.index()].locks_held += 1;
+                self.tcbs[t.index()].spinning_on = None;
+                self.tcbs[t.index()].state = UtState::Running;
+                self.tcbs[t.index()]
+                    .cont
+                    .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
+            }
+            Some(h) if h == t => {
+                // Handed off to us while we were spinning or blocked.
+                self.tcbs[t.index()].locks_held += 1;
+                self.tcbs[t.index()].spinning_on = None;
+                self.tcbs[t.index()].state = UtState::Running;
+                self.tcbs[t.index()]
+                    .cont
+                    .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
+            }
+            Some(_) => {
+                self.stats.lock_contended.inc();
+                match self.cfg.lock_policy {
+                    SpinPolicy::SpinForever => {
+                        lock.spinners.push_back((t, slot));
+                        self.tcbs[t.index()].state = UtState::Spinning;
+                        self.tcbs[t.index()].spinning_on = Some(l);
+                        self.tcbs[t.index()]
+                            .cont
+                            .push_front(RtMicro::SpinFor(SpinCtx::Lock { t, lock: l }));
+                    }
+                    SpinPolicy::SpinThenBlock { spin } => {
+                        lock.spinners.push_back((t, slot));
+                        self.tcbs[t.index()].state = UtState::Spinning;
+                        self.tcbs[t.index()].spinning_on = Some(l);
+                        self.slots[slot].spin = Some(SpinCtx::Lock { t, lock: l });
+                        let s = seg(
+                            spin,
+                            WorkKind::SpinWait,
+                            cookie::Tag::SpinLock,
+                            Some(t),
+                            false,
+                        );
+                        let q = &mut self.tcbs[t.index()].cont;
+                        q.push_front(RtMicro::Step(Step::SpinExpired(l)));
+                        q.push_front(RtMicro::Seg(s));
+                    }
+                    SpinPolicy::BlockImmediately => {
+                        self.block_on_lock(slot, t, l);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The bounded spin ran out: block at user level.
+    fn spin_expired(&mut self, slot: usize, l: LockId) {
+        self.slots[slot].spin = None;
+        let t = self.slots[slot].current.expect("spin without thread");
+        self.tcbs[t.index()].spinning_on = None;
+        let lock = self.locks.entry(l).or_default();
+        if lock.holder == Some(t) {
+            // Granted at the last moment; take it.
+            self.tcbs[t.index()].locks_held += 1;
+            self.tcbs[t.index()].state = UtState::Running;
+            self.tcbs[t.index()]
+                .cont
+                .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
+            return;
+        }
+        lock.spinners.retain(|&(x, _)| x != t);
+        self.stats.spin_blocks.inc();
+        self.block_on_lock(slot, t, l);
+    }
+
+    fn block_on_lock(&mut self, slot: usize, t: UtId, l: LockId) {
+        self.locks.entry(l).or_default().waiters.push_back(t);
+        self.tcbs[t.index()].state = UtState::BlockedLock(l);
+        self.slots[slot].current = None;
+        self.busy -= 1;
+    }
+
+    fn finish_release(&mut self, slot: usize, l: LockId, env: &mut RtEnv<'_>) {
+        let t = self.slots[slot].current.expect("release without thread");
+        {
+            let held = &mut self.tcbs[t.index()].locks_held;
+            debug_assert!(*held > 0, "release while holding no locks");
+            *held = held.saturating_sub(1);
+        }
+        let lock = self.locks.get_mut(&l).expect("release of unknown lock");
+        debug_assert_eq!(lock.holder, Some(t), "release by non-holder");
+        match lock.hand_off() {
+            HandOff::None => {}
+            HandOff::Spinner { t: w, slot: wslot } => {
+                // The spinner's next test-and-set sees the lock is its own.
+                if self.slots[wslot].current == Some(w)
+                    && self.slots[wslot].spin == Some(SpinCtx::Lock { t: w, lock: l })
+                {
+                    if let Some(vp) = self.slots[wslot].active_vp {
+                        env.kick(vp);
+                    }
+                }
+                // Otherwise the spinner was preempted; it re-checks when
+                // it is resumed and finds itself the holder.
+            }
+            HandOff::WakeRetry(w) => {
+                self.busy += 1;
+                self.tcbs[w.index()]
+                    .cont
+                    .push_front(RtMicro::Step(Step::FinishAcquire(l)));
+                self.ready_thread(slot, w, env);
+                self.note_busy_changed();
+            }
+        }
+        self.tcbs[t.index()]
+            .cont
+            .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
+    }
+
+    fn finish_cv_wait(&mut self, slot: usize, cv: CvId, lock: LockId, env: &mut RtEnv<'_>) {
+        let t = self.slots[slot].current.expect("wait without thread");
+        let c = self.cvs.entry(cv).or_default();
+        if c.banked > 0 {
+            // Equivalent to an immediate (spurious) wakeup; the lock is
+            // kept. Mesa-style users re-check their predicate.
+            c.banked -= 1;
+            self.tcbs[t.index()]
+                .cont
+                .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
+            return;
+        }
+        c.waiters.push_back((t, lock));
+        self.tcbs[t.index()].state = UtState::BlockedCv(cv);
+        self.slots[slot].current = None;
+        self.busy -= 1;
+        if lock != NO_LOCK {
+            // Atomically release the mutex.
+            self.release_for_wait(slot, t, lock, env);
+        }
+    }
+
+    /// Lock release performed inside a cv wait (the waiter is already
+    /// blocked, so no OpDone is queued for it here).
+    fn release_for_wait(&mut self, slot: usize, t: UtId, l: LockId, env: &mut RtEnv<'_>) {
+        {
+            let held = &mut self.tcbs[t.index()].locks_held;
+            debug_assert!(*held > 0, "cv wait without holding the lock");
+            *held -= 1;
+        }
+        let lock = self.locks.get_mut(&l).expect("wait with unknown lock");
+        debug_assert_eq!(lock.holder, Some(t));
+        match lock.hand_off() {
+            HandOff::None => {}
+            HandOff::Spinner { t: w, slot: wslot } => {
+                if self.slots[wslot].current == Some(w)
+                    && self.slots[wslot].spin == Some(SpinCtx::Lock { t: w, lock: l })
+                {
+                    if let Some(vp) = self.slots[wslot].active_vp {
+                        env.kick(vp);
+                    }
+                }
+            }
+            HandOff::WakeRetry(w) => {
+                self.busy += 1;
+                self.tcbs[w.index()]
+                    .cont
+                    .push_front(RtMicro::Step(Step::FinishAcquire(l)));
+                self.ready_thread(slot, w, env);
+                self.note_busy_changed();
+            }
+        }
+    }
+
+    fn finish_cv_signal(&mut self, slot: usize, cv: CvId, env: &mut RtEnv<'_>) {
+        let c = self.cvs.entry(cv).or_default();
+        match c.waiters.pop_front() {
+            None => c.banked += 1,
+            Some((w, lock)) => self.wake_cv_waiter(slot, w, lock, env),
+        }
+    }
+
+    fn finish_cv_broadcast(&mut self, slot: usize, cv: CvId, env: &mut RtEnv<'_>) {
+        let waiters: Vec<(UtId, LockId)> =
+            self.cvs.entry(cv).or_default().waiters.drain(..).collect();
+        for (w, lock) in waiters {
+            self.wake_cv_waiter(slot, w, lock, env);
+        }
+    }
+
+    /// A signalled waiter either becomes ready (re-acquiring a free mutex
+    /// on the way) or moves onto the mutex's wait queue.
+    fn wake_cv_waiter(&mut self, slot: usize, w: UtId, lock: LockId, env: &mut RtEnv<'_>) {
+        if lock != NO_LOCK {
+            let l = self.locks.entry(lock).or_default();
+            if l.holder.is_some() {
+                l.waiters.push_back(w);
+                self.tcbs[w.index()].state = UtState::BlockedLock(lock);
+                return;
+            }
+            l.holder = Some(w);
+            self.tcbs[w.index()].locks_held += 1;
+        }
+        self.tcbs[w.index()].needs_resume_check = true;
+        self.busy += 1;
+        self.tcbs[w.index()]
+            .cont
+            .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
+        self.ready_thread(slot, w, env);
+        self.note_busy_changed();
+    }
+
+    fn finish_join(&mut self, slot: usize, target: UtId) {
+        let t = self.slots[slot].current.expect("join without thread");
+        if self.tcbs[target.index()].exited {
+            if self.tcbs[target.index()].state == UtState::Exited {
+                // Reap: the control block can be reused now.
+                self.tcbs[target.index()].state = UtState::Free;
+                self.tcbs[target.index()].body = None;
+                self.slots[slot].free_tcbs.push(target);
+            }
+            self.tcbs[t.index()]
+                .cont
+                .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
+        } else {
+            self.tcbs[target.index()].joiners.push(t);
+            self.tcbs[t.index()].state = UtState::BlockedJoin(target);
+            self.slots[slot].current = None;
+            self.busy -= 1;
+        }
+    }
+
+    fn finish_exit(&mut self, slot: usize, env: &mut RtEnv<'_>) {
+        let t = self.slots[slot]
+            .current
+            .take()
+            .expect("exit without thread");
+        debug_assert_eq!(
+            self.tcbs[t.index()].locks_held,
+            0,
+            "thread exited holding a lock"
+        );
+        self.tcbs[t.index()].exited = true;
+        self.tcbs[t.index()].body = None;
+        self.live -= 1;
+        self.busy -= 1;
+        let joiners = std::mem::take(&mut self.tcbs[t.index()].joiners);
+        if joiners.is_empty() {
+            self.tcbs[t.index()].state = UtState::Exited;
+        } else {
+            // Joined already: reap immediately.
+            self.tcbs[t.index()].state = UtState::Free;
+            self.slots[slot].free_tcbs.push(t);
+            for j in joiners {
+                self.busy += 1;
+                self.tcbs[j.index()]
+                    .cont
+                    .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
+                self.ready_thread(slot, j, env);
+            }
+            self.note_busy_changed();
+        }
+    }
+
+    // ---- Upcall event processing (scheduler activations) ---------------
+
+    /// Processes one Table 2 event, pushing any follow-up micro-work onto
+    /// the slot's continuation.
+    fn process_task(&mut self, slot: usize, ev: UpcallEvent, env: &mut RtEnv<'_>) {
+        let c = env.cost;
+        match ev {
+            UpcallEvent::AddProcessor => {
+                // The processor is the one we are running on; nothing to
+                // record beyond resetting the want-more notification state.
+                self.notified_want_more = false;
+                self.note_busy_changed();
+            }
+            UpcallEvent::Blocked { vp } => {
+                let t = self.deactivate_slot(vp, slot);
+                if let Some(t) = t {
+                    debug_assert_ne!(self.tcbs[t.index()].state, UtState::Free);
+                    let early = self.early_unblocks.get_mut(&vp.0);
+                    if let Some(n) = early.filter(|n| **n > 0) {
+                        // The unblock notification overtook this event; the
+                        // thread is already runnable again.
+                        *n -= 1;
+                        self.tcbs[t.index()]
+                            .cont
+                            .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
+                        let d = c.ut_ready_enqueue + self.flag_cost(c);
+                        let sgm = seg(d, WorkKind::UpcallWork, cookie::Tag::Upcall, None, true);
+                        let q = &mut self.slots[slot].cont;
+                        q.push_back(RtMicro::Seg(sgm));
+                        q.push_back(RtMicro::Step(Step::ReadyThread(t)));
+                    } else {
+                        self.tcbs[t.index()].state = UtState::BlockedKernel;
+                        self.busy -= 1;
+                        self.act_thread.entry(vp.0).or_default().push_back(t);
+                    }
+                }
+            }
+            UpcallEvent::Unblocked {
+                vp,
+                outcome: _,
+                saved: _,
+            } => {
+                self.stats.unblocks.inc();
+                self.discard_backlog += 1;
+                let next = self.act_thread.get_mut(&vp.0).and_then(|q| q.pop_front());
+                let Some(t) = next else {
+                    // Arrived before the matching Blocked event (§3.1
+                    // migration reordering); remember it.
+                    *self.early_unblocks.entry(vp.0).or_default() += 1;
+                    return;
+                };
+                debug_assert_eq!(self.tcbs[t.index()].state, UtState::BlockedKernel);
+                self.busy += 1;
+                self.tcbs[t.index()]
+                    .cont
+                    .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
+                let d = c.ut_ready_enqueue + self.flag_cost(c) + self.busy_acct(c);
+                let s = seg(d, WorkKind::UpcallWork, cookie::Tag::Upcall, None, true);
+                let q = &mut self.slots[slot].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::ReadyThread(t)));
+                self.note_busy_changed();
+            }
+            UpcallEvent::Preempted { vp, saved } => {
+                self.stats.preemptions_seen.inc();
+                self.discard_backlog += 1;
+                let t = self.deactivate_slot(vp, slot);
+                let Some(t) = t else {
+                    // "If a preempted processor was in the idle loop, no
+                    // action is necessary." (§3.1)
+                    return;
+                };
+                self.handle_preempted_thread(slot, t, saved, env);
+            }
+        }
+    }
+
+    /// Returns a preempted thread to the ready list — after continuing it
+    /// through its critical section if necessary (§3.3).
+    fn handle_preempted_thread(
+        &mut self,
+        slot: usize,
+        t: UtId,
+        saved: SavedContext,
+        env: &mut RtEnv<'_>,
+    ) {
+        let c = env.cost;
+        match self.tcbs[t.index()].state {
+            UtState::Spinning => {
+                // Drop the spin; the thread re-attempts the acquire when
+                // it is resumed (a spinner's first action is always to
+                // re-read the lock word).
+                let lock = self.tcbs[t.index()]
+                    .spinning_on
+                    .take()
+                    .expect("spinning thread without a target lock");
+                if let Some(l) = self.locks.get_mut(&lock) {
+                    l.spinners.retain(|&(x, _)| x != t);
+                }
+                self.clear_spin_micros(t);
+                self.tcbs[t.index()]
+                    .cont
+                    .push_front(RtMicro::Step(Step::FinishAcquire(lock)));
+                self.tcbs[t.index()].state = UtState::Preempted;
+                self.tcbs[t.index()].needs_resume_check = true;
+            }
+            UtState::Running => {
+                self.tcbs[t.index()].state = UtState::Preempted;
+                self.tcbs[t.index()].needs_resume_check = true;
+                // The kernel-saved register state: the unfinished segment.
+                let (_, owner, _crit) = cookie::unpack(saved.cookie);
+                if owner == Some(t) && !saved.remaining.is_zero() {
+                    let rem = seg(
+                        saved.remaining,
+                        saved.kind,
+                        cookie::Tag::User,
+                        Some(t),
+                        cookie::unpack(saved.cookie).2,
+                    );
+                    self.tcbs[t.index()].cont.push_front(RtMicro::Seg(rem));
+                }
+            }
+            other => {
+                debug_assert!(false, "preempted thread {t} in unexpected state {other:?}");
+            }
+        }
+        let in_critical = cookie::unpack(saved.cookie).2 || self.tcbs[t.index()].locks_held > 0;
+        if in_critical && self.cfg.critical != CriticalSectionMode::NoRecovery {
+            // Continue the thread via a user-level context switch until it
+            // leaves its critical section; it then relinquishes control
+            // back to this upcall (§3.3).
+            let d = c.ut_ctx_switch;
+            let s = seg(d, WorkKind::UpcallWork, cookie::Tag::Upcall, None, false);
+            let q = &mut self.slots[slot].cont;
+            q.push_back(RtMicro::Seg(s));
+            q.push_back(RtMicro::Step(Step::StartRecovery(t)));
+        } else {
+            let d = c.ut_ready_enqueue + self.flag_cost(c);
+            let s = seg(d, WorkKind::UpcallWork, cookie::Tag::Upcall, None, true);
+            let q = &mut self.slots[slot].cont;
+            q.push_back(RtMicro::Seg(s));
+            q.push_back(RtMicro::Step(Step::ReadyThread(t)));
+        }
+    }
+
+    // ---- The fill decision --------------------------------------------
+
+    /// Decides what this processor does next when all queued micro-work is
+    /// exhausted. Pushes new micro-work and returns `None`, or returns a
+    /// terminal action.
+    fn fill(&mut self, slot: usize, env: &mut RtEnv<'_>) -> Option<VpAction> {
+        let c = env.cost;
+        // 0. Recovery in progress: drive the recovered thread.
+        if let Some(r) = self.slots[slot].recovering {
+            if self.slots[slot].current != Some(r) {
+                // The recovered thread exited or blocked at user level
+                // while being continued; switch straight back to the
+                // interrupted upcall processing.
+                self.slots[slot].recovering = None;
+                let s = seg(
+                    c.ut_ctx_switch,
+                    WorkKind::UpcallWork,
+                    cookie::Tag::Upcall,
+                    None,
+                    false,
+                );
+                self.slots[slot].cont.push_back(RtMicro::Seg(s));
+                return None;
+            }
+            if self.tcbs[r.index()].locks_held == 0 && self.tcbs[r.index()].cont.is_empty() {
+                let d = c.ut_ctx_switch;
+                let s = seg(d, WorkKind::UpcallWork, cookie::Tag::Upcall, None, false);
+                let q = &mut self.slots[slot].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::EndRecovery));
+                return None;
+            }
+            self.step_body(slot, r, env);
+            return None;
+        }
+        // 1. Unprocessed upcall events.
+        if let Some(ev) = self.slots[slot].tasks.pop_front() {
+            self.process_task(slot, ev, env);
+            return None;
+        }
+        // 2. Pending kernel notifications (Table 3 / recycling / §3.1
+        //    priority preemption).
+        if self.is_sa() {
+            if let Some(vp) = self.preempt_request.take() {
+                // Don't interrupt ourselves; the high-priority thread will
+                // be picked by this slot's own next dispatch.
+                if self.slots[slot].active_vp != Some(vp) {
+                    self.slots[slot].awaiting = Some(Awaiting::Hint);
+                    return Some(VpAction::Syscall {
+                        call: Syscall::PreemptVp { vp },
+                    });
+                }
+            }
+        }
+        if self.is_sa() && self.hint_due {
+            self.hint_due = false;
+            self.notified_want_more = true;
+            self.stats.hints.inc();
+            self.slots[slot].awaiting = Some(Awaiting::Hint);
+            let total = self.busy.min(self.cfg.max_processors);
+            return Some(VpAction::Syscall {
+                call: Syscall::SetDesiredProcessors { total },
+            });
+        }
+        if self.is_sa() && self.discard_backlog >= self.cfg.recycle_batch {
+            let count = self.discard_backlog;
+            self.discard_backlog = 0;
+            self.stats.recycles.inc();
+            self.slots[slot].awaiting = Some(Awaiting::Hint);
+            return Some(VpAction::Syscall {
+                call: Syscall::RecycleActivations { count },
+            });
+        }
+        // 3. A loaded thread: run its next operation.
+        if let Some(t) = self.slots[slot].current {
+            self.step_body(slot, t, env);
+            return None;
+        }
+        // 4. Dispatch: own ready list (LIFO), then scan the others (§4.2).
+        //    Under priority scheduling, pick the highest-priority runnable
+        //    thread anywhere instead.
+        if self.cfg.priority_scheduling {
+            if let Some((vslot, pos)) = self.best_priority_pick() {
+                let t = self.slots[vslot]
+                    .ready
+                    .remove(pos)
+                    .expect("picked position exists");
+                let stolen = vslot != slot;
+                if stolen {
+                    self.stats.steals.inc();
+                }
+                let d = c.ut_ready_dequeue
+                    + c.ut_ctx_switch
+                    + self.flag_cost(c)
+                    + self.resume_check_cost(t, c)
+                    + if stolen {
+                        c.ut_scan_step
+                    } else {
+                        SimDuration::ZERO
+                    };
+                let s = seg(
+                    d,
+                    WorkKind::RuntimeOverhead,
+                    cookie::Tag::Dispatch,
+                    Some(t),
+                    true,
+                );
+                let q = &mut self.slots[slot].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::FinishDispatch(t)));
+                return None;
+            }
+        } else if let Some(t) = self.slots[slot].ready.pop_back() {
+            let d = c.ut_ready_dequeue
+                + c.ut_ctx_switch
+                + self.flag_cost(c)
+                + self.resume_check_cost(t, c);
+            let s = seg(
+                d,
+                WorkKind::RuntimeOverhead,
+                cookie::Tag::Dispatch,
+                Some(t),
+                true,
+            );
+            let q = &mut self.slots[slot].cont;
+            q.push_back(RtMicro::Seg(s));
+            q.push_back(RtMicro::Step(Step::FinishDispatch(t)));
+            return None;
+        }
+        let nslots = self.slots.len();
+        for k in 1..nslots {
+            let victim = (slot + k) % nslots;
+            if let Some(t) = self.slots[victim].ready.pop_front() {
+                self.stats.steals.inc();
+                let d = c.ut_scan_step.saturating_mul(k as u64)
+                    + c.ut_ready_dequeue
+                    + c.ut_ctx_switch
+                    + self.flag_cost(c)
+                    + self.resume_check_cost(t, c);
+                let s = seg(
+                    d,
+                    WorkKind::RuntimeOverhead,
+                    cookie::Tag::Dispatch,
+                    Some(t),
+                    true,
+                );
+                let q = &mut self.slots[slot].cont;
+                q.push_back(RtMicro::Seg(s));
+                q.push_back(RtMicro::Step(Step::FinishDispatch(t)));
+                return None;
+            }
+        }
+        // 5. Nothing runnable.
+        if self.live == 0 {
+            return Some(VpAction::GiveUp);
+        }
+        if self.is_sa() {
+            if !self.slots[slot].hysteresis_done {
+                // Spin briefly before offering the processor back, to avoid
+                // re-allocation churn (§4.2).
+                self.slots[slot].hysteresis_done = true;
+                self.slots[slot].spin = Some(SpinCtx::Idle);
+                let s = seg(
+                    self.cfg.idle_hysteresis,
+                    WorkKind::IdleSpin,
+                    cookie::Tag::Idle,
+                    None,
+                    false,
+                );
+                self.slots[slot].cont.push_back(RtMicro::Seg(s));
+                return None;
+            }
+            if !self.slots[slot].idle_hinted {
+                self.slots[slot].idle_hinted = true;
+                self.stats.hints.inc();
+                self.slots[slot].awaiting = Some(Awaiting::Hint);
+                return Some(VpAction::Syscall {
+                    call: Syscall::ProcessorIdle,
+                });
+            }
+        }
+        // Idle loop: burn the processor until work appears or the kernel
+        // takes it (on kernel threads this burning is invisible to the
+        // kernel — the §2.2 problem).
+        self.slots[slot].spin = Some(SpinCtx::Idle);
+        Some(VpAction::Spin {
+            cookie: cookie::pack(cookie::Tag::Idle, None, false),
+            kind: WorkKind::IdleSpin,
+        })
+    }
+}
+
+impl UserRuntime for FastThreads {
+    fn kthread_vps(&self) -> Option<u32> {
+        match self.cfg.substrate {
+            Substrate::KernelThreads { vps } => Some(vps),
+            Substrate::SchedulerActivations => None,
+        }
+    }
+
+    fn set_main(&mut self, body: Box<dyn ThreadBody>) {
+        debug_assert!(self.boot_thread.is_none(), "set_main called twice");
+        let id = UtId(self.tcbs.len() as u32);
+        self.tcbs.push(Utcb::new(id));
+        self.tcbs[id.index()].reinit(body);
+        self.live = 1;
+        self.busy = 1;
+        self.boot_thread = Some(id);
+    }
+
+    fn deliver_upcall(&mut self, _env: &mut RtEnv<'_>, vp: VpId, events: &[UpcallEvent]) {
+        self.stats.upcalls.inc();
+        let slot = self.bind_slot(vp);
+        self.slots[slot].tasks.extend(events.iter().copied());
+    }
+
+    fn poll(&mut self, env: &mut RtEnv<'_>, vp: VpId, reason: PollReason) -> VpAction {
+        let slot = self.bind_slot(vp);
+        self.ensure_booted(slot, env);
+        match reason {
+            PollReason::Fresh | PollReason::SegDone => {}
+            PollReason::SyscallDone(_outcome) => match self.slots[slot].awaiting.take() {
+                Some(Awaiting::ThreadCall(t)) => {
+                    self.tcbs[t.index()]
+                        .cont
+                        .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
+                }
+                Some(Awaiting::Hint) | None => {}
+            },
+            PollReason::Kicked => {
+                match self.slots[slot].spin.take() {
+                    Some(SpinCtx::Lock { t, lock }) => {
+                        // Drop the pending spin remainder, if any, and
+                        // re-run the acquire: the releaser made us holder.
+                        self.clear_spin_micros(t);
+                        let l = self.locks.entry(lock).or_default();
+                        l.spinners.retain(|&(x, _)| x != t);
+                        self.tcbs[t.index()].spinning_on = None;
+                        self.tcbs[t.index()].state = UtState::Running;
+                        self.tcbs[t.index()]
+                            .cont
+                            .push_front(RtMicro::Step(Step::FinishAcquire(lock)));
+                    }
+                    Some(SpinCtx::Idle) | None => {}
+                }
+            }
+        }
+        // Main execution loop: slot-level work first (upcall processing and
+        // dispatch), then the loaded thread's continuation, else decide.
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 100_000, "runtime livelock on slot {slot}");
+            let micro = if let Some(m) = self.slots[slot].cont.pop_front() {
+                Some(m)
+            } else if let Some(t) = self.slots[slot].current {
+                self.tcbs[t.index()].cont.pop_front()
+            } else {
+                None
+            };
+            match micro {
+                Some(RtMicro::Seg(s)) => return VpAction::Run(s),
+                Some(RtMicro::Step(st)) => {
+                    self.apply_step(slot, st, env);
+                }
+                Some(RtMicro::Call(call)) => {
+                    let t = self.slots[slot].current;
+                    if let Some(t) = t {
+                        self.slots[slot].awaiting = Some(Awaiting::ThreadCall(t));
+                    }
+                    return VpAction::Syscall { call };
+                }
+                Some(RtMicro::SpinFor(ctx)) => {
+                    self.slots[slot].spin = Some(ctx);
+                    let kind = match ctx {
+                        SpinCtx::Lock { .. } => WorkKind::SpinWait,
+                        SpinCtx::Idle => WorkKind::IdleSpin,
+                    };
+                    let t = match ctx {
+                        SpinCtx::Lock { t, .. } => Some(t),
+                        SpinCtx::Idle => None,
+                    };
+                    return VpAction::Spin {
+                        cookie: cookie::pack(cookie::Tag::SpinLock, t, false),
+                        kind,
+                    };
+                }
+                None => {
+                    if let Some(action) = self.fill(slot, env) {
+                        return action;
+                    }
+                }
+            }
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.live == 0 && self.boot_thread.is_none()
+    }
+
+    fn desired_processors(&self) -> u32 {
+        self.busy.min(self.cfg.max_processors)
+    }
+
+    fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut by_state: std::collections::HashMap<String, u32> = Default::default();
+        for t in &self.tcbs {
+            *by_state.entry(format!("{:?}", t.state)).or_default() += 1;
+        }
+        let mut states: Vec<_> = by_state.into_iter().collect();
+        states.sort();
+        let _ = writeln!(out, "threads by state: {states:?}");
+        let _ = writeln!(
+            out,
+            "busy={} live={} boot={:?} hint_due={} want_more={} backlog={}",
+            self.busy,
+            self.live,
+            self.boot_thread,
+            self.hint_due,
+            self.notified_want_more,
+            self.discard_backlog
+        );
+        for (l, lk) in &self.locks {
+            let _ = writeln!(
+                out,
+                "lock {l}: holder={:?} (state {:?}) spinners={} waiters={}",
+                lk.holder,
+                lk.holder.map(|h| self.tcbs[h.index()].state),
+                lk.spinners.len(),
+                lk.waiters.len()
+            );
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "slot {i}: vp={:?} current={:?} ready={} cont={} tasks={} spin={:?} recovering={:?} awaiting={:?}",
+                s.active_vp, s.current, s.ready.len(), s.cont.len(), s.tasks.len(),
+                s.spin, s.recovering, s.awaiting
+            );
+        }
+        let _ = writeln!(
+            out,
+            "ready totals: {}",
+            self.slots.iter().map(|s| s.ready.len()).sum::<usize>()
+        );
+        let _ = writeln!(out, "act_thread: {:?}", self.act_thread);
+        let _ = writeln!(out, "early_unblocks: {:?}", self.early_unblocks);
+        for t in &self.tcbs {
+            if matches!(
+                t.state,
+                UtState::BlockedKernel | UtState::Spinning | UtState::Preempted | UtState::Running
+            ) {
+                let _ = writeln!(
+                    out,
+                    "  {}: {:?} cont={} locks={} spin_on={:?}",
+                    t.id,
+                    t.state,
+                    t.cont.len(),
+                    t.locks_held,
+                    t.spinning_on
+                );
+            }
+        }
+        out
+    }
+
+    fn stats_line(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "forks={} dispatches={} steals={} lock_fast={} lock_contended={} \
+spin_blocks={} upcalls={} recoveries={} hints={} recycles={} unblocks={} preempts_seen={}",
+            s.forks.get(),
+            s.dispatches.get(),
+            s.steals.get(),
+            s.lock_fast.get(),
+            s.lock_contended.get(),
+            s.spin_blocks.get(),
+            s.upcalls.get(),
+            s.recoveries.get(),
+            s.hints.get(),
+            s.recycles.get(),
+            s.unblocks.get(),
+            s.preemptions_seen.get()
+        )
+    }
+}

@@ -1,0 +1,34 @@
+//! Runtime-level statistics.
+
+use sa_sim::stats::Counter;
+
+/// Operation counts maintained by the thread package.
+#[derive(Debug, Default, Clone)]
+pub struct FtStats {
+    /// User threads created.
+    pub forks: Counter,
+    /// User threads exited.
+    pub exits: Counter,
+    /// User-level context switches (dispatches of a thread onto a VP).
+    pub dispatches: Counter,
+    /// Threads stolen from another processor's ready list.
+    pub steals: Counter,
+    /// Lock acquisitions that found the lock free.
+    pub lock_fast: Counter,
+    /// Lock acquisitions that had to spin or block.
+    pub lock_contended: Counter,
+    /// Spins that gave up and blocked (spin-then-block policy).
+    pub spin_blocks: Counter,
+    /// Upcall batches processed.
+    pub upcalls: Counter,
+    /// Critical-section recoveries performed (§3.3).
+    pub recoveries: Counter,
+    /// Processor-allocation hints sent to the kernel (Table 3).
+    pub hints: Counter,
+    /// Bulk activation-recycle calls made (§4.3).
+    pub recycles: Counter,
+    /// Threads readied by unblock notifications.
+    pub unblocks: Counter,
+    /// Preemption notifications processed.
+    pub preemptions_seen: Counter,
+}

@@ -1,0 +1,124 @@
+//! User-level synchronization objects.
+//!
+//! These run entirely at user level — no kernel involvement on any path —
+//! which is the heart of the paper's performance argument (§2.1). A
+//! contended mutex spins briefly (the holder is usually running on another
+//! processor) and then blocks at user level; condition variables follow the
+//! same banked-signal convention as the kernel's (a waiter-less signal is
+//! remembered, which Mesa-style users observe as a spurious wakeup).
+
+use crate::types::UtId;
+use sa_machine::ids::LockId;
+use sa_sim::SimDuration;
+use std::collections::VecDeque;
+
+/// How a user-level mutex behaves under contention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpinPolicy {
+    /// Spin until the lock is granted (original FastThreads ready-list
+    /// style; pathological under processor preemption, §3.3).
+    SpinForever,
+    /// Spin for a bounded time, then block at user level
+    /// ([Karlin et al. 91]'s competitive spinning).
+    SpinThenBlock {
+        /// Spin budget before blocking.
+        spin: SimDuration,
+    },
+    /// Block immediately if the lock is held.
+    BlockImmediately,
+}
+
+impl Default for SpinPolicy {
+    fn default() -> Self {
+        SpinPolicy::SpinThenBlock {
+            spin: SimDuration::from_micros(30),
+        }
+    }
+}
+
+/// A user-level mutex.
+#[derive(Debug, Default)]
+pub(crate) struct ULock {
+    pub holder: Option<UtId>,
+    /// Threads spinning for the lock, with the slot their VP occupies.
+    pub spinners: VecDeque<(UtId, usize)>,
+    /// Threads blocked (de-scheduled) waiting for the lock.
+    pub waiters: VecDeque<UtId>,
+}
+
+impl ULock {
+    /// On release: hands the lock to a spinner directly (it is burning a
+    /// processor right now and will notice immediately), or wakes one
+    /// blocked waiter to *retry* the acquire. Wake-and-retry rather than
+    /// direct handoff: granting to a descheduled waiter would leave the
+    /// lock logically held by a thread that is not running — a convoy.
+    pub(crate) fn hand_off(&mut self) -> HandOff {
+        if let Some((t, slot)) = self.spinners.pop_front() {
+            self.holder = Some(t);
+            HandOff::Spinner { t, slot }
+        } else {
+            self.holder = None;
+            match self.waiters.pop_front() {
+                Some(t) => HandOff::WakeRetry(t),
+                None => HandOff::None,
+            }
+        }
+    }
+}
+
+/// Result of a lock release.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum HandOff {
+    None,
+    /// A spinner got the lock; kick its VP.
+    Spinner {
+        t: UtId,
+        slot: usize,
+    },
+    /// A blocked waiter was woken and will retry the acquire.
+    WakeRetry(UtId),
+}
+
+/// A user-level condition variable.
+#[derive(Debug, Default)]
+pub(crate) struct UCv {
+    /// Waiting threads and the mutex each must re-acquire.
+    pub waiters: VecDeque<(UtId, LockId)>,
+    /// Signals that arrived with no waiter (spurious-wakeup semantics for
+    /// lock-coupled users; event memory for `NO_LOCK` users).
+    pub banked: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_off_prefers_spinner() {
+        let mut l = ULock {
+            holder: Some(UtId(0)),
+            spinners: VecDeque::from([(UtId(1), 2)]),
+            waiters: VecDeque::from([UtId(2)]),
+        };
+        assert_eq!(
+            l.hand_off(),
+            HandOff::Spinner {
+                t: UtId(1),
+                slot: 2
+            }
+        );
+        assert_eq!(l.holder, Some(UtId(1)));
+        // No spinner left: the waiter is woken to retry, lock left free.
+        assert_eq!(l.hand_off(), HandOff::WakeRetry(UtId(2)));
+        assert_eq!(l.holder, None);
+        assert_eq!(l.hand_off(), HandOff::None);
+    }
+
+    #[test]
+    fn default_policy_is_spin_then_block() {
+        assert!(matches!(
+            SpinPolicy::default(),
+            SpinPolicy::SpinThenBlock { .. }
+        ));
+    }
+}

@@ -1,0 +1,360 @@
+//! Core types of the user-level thread package.
+
+use sa_kernel::upcall::{VpSeg, WorkKind};
+use sa_kernel::Syscall;
+use sa_machine::ids::{LockId, ThreadRef};
+use sa_machine::program::{OpResult, ThreadBody};
+use sa_sim::SimDuration;
+use std::collections::VecDeque;
+
+/// A user-level thread id (index into the TCB table).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UtId(pub u32);
+
+impl UtId {
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The handle exposed to thread bodies.
+    pub fn as_ref(self) -> ThreadRef {
+        ThreadRef(self.0 as u64)
+    }
+
+    /// Recovers the id from a body-visible handle.
+    pub fn from_ref(r: ThreadRef) -> Self {
+        UtId(r.0 as u32)
+    }
+}
+
+impl core::fmt::Debug for UtId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ut{}", self.0)
+    }
+}
+
+impl core::fmt::Display for UtId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ut{}", self.0)
+    }
+}
+
+/// State of a user-level thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UtState {
+    /// Control block on a free list.
+    Free,
+    /// On some ready list.
+    Ready,
+    /// Loaded on a virtual processor.
+    Running,
+    /// Spinning for a user lock (still occupying its VP).
+    Spinning,
+    /// Waiting on a user-level lock.
+    BlockedLock(LockId),
+    /// Waiting on a user-level condition variable.
+    BlockedCv(sa_machine::ids::CvId),
+    /// Waiting for another user thread to exit.
+    BlockedJoin(UtId),
+    /// Blocked inside the kernel (I/O, page fault, kernel channel).
+    BlockedKernel,
+    /// Stopped by a processor preemption; state saved, waiting to be
+    /// returned to the ready list (or continued through its critical
+    /// section first).
+    Preempted,
+    /// Exited; the control block lingers for joiners.
+    Exited,
+}
+
+/// Deferred micro-work: a segment to charge, a step to apply, a kernel
+/// call to make, or an open-ended spin to enter.
+#[derive(Debug)]
+pub(crate) enum RtMicro {
+    /// Charge this segment (the kernel runs it on the VP).
+    Seg(VpSeg),
+    /// Apply this state transition.
+    Step(Step),
+    /// Trap into the kernel.
+    Call(KernelCall),
+    /// Spin until kicked or preempted.
+    SpinFor(SpinCtx),
+}
+
+/// Instantaneous runtime state transitions, applied between segments.
+///
+/// Each one re-validates its preconditions when it runs, because other
+/// virtual processors execute during the preceding segment (exactly the
+/// interleaving a real test-and-set path faces).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Step {
+    /// Finish the dispatch of a thread onto this VP.
+    FinishDispatch(UtId),
+    /// The previous op completed; record its result so the next body step
+    /// sees it.
+    OpDone(OpResult),
+    /// Try to complete a user-lock acquire (fast path charged already).
+    FinishAcquire(LockId),
+    /// Complete a user-lock release (hand off to spinners/waiters).
+    FinishRelease(LockId),
+    /// Complete a cv wait: enqueue and block, or consume a banked signal.
+    FinishCvWait {
+        cv: sa_machine::ids::CvId,
+        lock: LockId,
+    },
+    /// Complete a cv signal.
+    FinishCvSignal(sa_machine::ids::CvId),
+    /// Complete a cv broadcast.
+    FinishCvBroadcast(sa_machine::ids::CvId),
+    /// Complete a fork: TCB already allocated; enqueue the child.
+    FinishFork(UtId),
+    /// Complete a join: continue if the target exited, else block.
+    FinishJoin(UtId),
+    /// Complete a yield: requeue self.
+    FinishYield,
+    /// Complete thread exit: free TCB, wake joiners.
+    FinishExit,
+    /// The bounded spin expired without the lock being granted; block.
+    SpinExpired(LockId),
+    /// Begin continuing a preempted thread through its critical section.
+    StartRecovery(UtId),
+    /// The recovered thread finished its critical section; switch back to
+    /// the interrupted context (§3.3).
+    EndRecovery,
+    /// Put a thread on this slot's ready list.
+    ReadyThread(UtId),
+}
+
+/// What a VP is spinning on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SpinCtx {
+    /// Thread `t` wants `lock`.
+    Lock { t: UtId, lock: LockId },
+    /// The idle loop.
+    Idle,
+}
+
+/// What syscall outcome the VP expects next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Awaiting {
+    /// The current thread's blocking/returning kernel call.
+    ThreadCall(UtId),
+    /// A processor-allocation hint or recycle call (no thread involved).
+    Hint,
+}
+
+/// A user-level thread control block.
+pub(crate) struct Utcb {
+    pub id: UtId,
+    pub state: UtState,
+    pub body: Option<Box<dyn ThreadBody>>,
+    /// Result the next body step will observe.
+    pub next_result: OpResult,
+    /// Saved continuation: segments/steps still to run for the current op
+    /// (includes the preemption-saved remainder at its front).
+    pub cont: VecDeque<RtMicro>,
+    /// Scheduling priority (higher wins; only consulted when
+    /// `FtConfig::priority_scheduling` is on).
+    pub prio: u8,
+    /// Application-level locks held (critical-section recovery, §3.3).
+    pub locks_held: u32,
+    /// The lock this thread is currently spinning for, if any.
+    pub spinning_on: Option<LockId>,
+    /// The next dispatch must check for saved state to restore (set when
+    /// the thread is woken from a condition wait or preemption).
+    pub needs_resume_check: bool,
+    /// Threads joined on this one.
+    pub joiners: Vec<UtId>,
+    pub exited: bool,
+}
+
+impl Utcb {
+    pub(crate) fn new(id: UtId) -> Self {
+        Utcb {
+            id,
+            state: UtState::Free,
+            body: None,
+            next_result: OpResult::Start,
+            cont: VecDeque::new(),
+            prio: 1,
+            locks_held: 0,
+            spinning_on: None,
+            needs_resume_check: false,
+            joiners: Vec::new(),
+            exited: false,
+        }
+    }
+
+    /// Re-initializes a recycled control block for a new thread.
+    pub(crate) fn reinit(&mut self, body: Box<dyn ThreadBody>) {
+        debug_assert_eq!(self.state, UtState::Free);
+        self.state = UtState::Ready;
+        self.body = Some(body);
+        self.next_result = OpResult::Start;
+        self.cont.clear();
+        self.prio = 1;
+        self.locks_held = 0;
+        self.spinning_on = None;
+        self.needs_resume_check = false;
+        self.joiners.clear();
+        self.exited = false;
+    }
+}
+
+/// Per-segment identification packed into the kernel-visible cookie.
+///
+/// Layout: bits 63..56 tag, bit 55 critical-section flag, bits 31..0 the
+/// thread id plus one (zero meaning "no thread").
+pub(crate) mod cookie {
+    use super::UtId;
+
+    /// What kind of runtime work a segment was.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Tag {
+        /// Application computation.
+        User = 1,
+        /// Runtime bookkeeping on behalf of a thread.
+        RuntimeOp = 2,
+        /// Dispatch path (ready-list lock held).
+        Dispatch = 3,
+        /// Spinning for a lock.
+        SpinLock = 4,
+        /// The idle loop.
+        Idle = 5,
+        /// Upcall processing.
+        Upcall = 6,
+    }
+
+    /// Packs a cookie.
+    pub fn pack(tag: Tag, t: Option<UtId>, critical: bool) -> u64 {
+        ((tag as u64) << 56) | ((critical as u64) << 55) | t.map(|t| t.0 as u64 + 1).unwrap_or(0)
+    }
+
+    /// Unpacks `(tag, thread, critical)`; unknown tags map to `User`.
+    pub fn unpack(c: u64) -> (Tag, Option<UtId>, bool) {
+        let tag = match c >> 56 {
+            2 => Tag::RuntimeOp,
+            3 => Tag::Dispatch,
+            4 => Tag::SpinLock,
+            5 => Tag::Idle,
+            6 => Tag::Upcall,
+            _ => Tag::User,
+        };
+        let critical = (c >> 55) & 1 == 1;
+        let tl = c & 0xffff_ffff;
+        let t = if tl == 0 {
+            None
+        } else {
+            Some(UtId(tl as u32 - 1))
+        };
+        (tag, t, critical)
+    }
+}
+
+/// A virtual-processor slot: the per-processor state of the thread system
+/// (ready list, TCB free list, and the execution context of whatever the
+/// processor is doing). Slots outlive individual scheduler activations;
+/// the activation currently animating a slot is `active_vp`.
+pub(crate) struct Slot {
+    /// The VP (kernel thread index or activation id) currently bound here.
+    pub active_vp: Option<sa_kernel::VpId>,
+    /// Thread loaded on this processor.
+    pub current: Option<UtId>,
+    /// Per-processor LIFO ready list (§4.2).
+    pub ready: VecDeque<UtId>,
+    /// Per-processor unlocked TCB free list ([Anderson et al. 89]).
+    pub free_tcbs: Vec<UtId>,
+    /// Slot-level (non-thread) pending micro-work: upcall processing,
+    /// dispatch overhead.
+    pub cont: VecDeque<RtMicro>,
+    /// Upcall events awaiting processing.
+    pub tasks: VecDeque<sa_kernel::UpcallEvent>,
+    /// What the VP is spinning on, if spinning.
+    pub spin: Option<SpinCtx>,
+    /// Outcome routing for an in-flight syscall.
+    pub awaiting: Option<Awaiting>,
+    /// Thread being continued through its critical section (§3.3).
+    pub recovering: Option<UtId>,
+    /// The idle hysteresis burn has been done since the VP last idled.
+    pub hysteresis_done: bool,
+    /// The kernel has been told this processor is idle.
+    pub idle_hinted: bool,
+}
+
+impl Slot {
+    pub(crate) fn new() -> Self {
+        Slot {
+            active_vp: None,
+            current: None,
+            ready: VecDeque::new(),
+            free_tcbs: Vec::new(),
+            cont: VecDeque::new(),
+            tasks: VecDeque::new(),
+            spin: None,
+            awaiting: None,
+            recovering: None,
+            hysteresis_done: false,
+            idle_hinted: false,
+        }
+    }
+}
+
+/// Builds a [`VpSeg`] with a packed cookie.
+pub(crate) fn seg(
+    dur: SimDuration,
+    kind: WorkKind,
+    tag: cookie::Tag,
+    t: Option<UtId>,
+    critical: bool,
+) -> VpSeg {
+    VpSeg {
+        dur,
+        cookie: cookie::pack(tag, t, critical),
+        kind,
+    }
+}
+
+/// Convenience alias used throughout the runtime.
+pub(crate) type KernelCall = Syscall;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cookie_round_trip() {
+        let c = cookie::pack(cookie::Tag::Dispatch, Some(UtId(41)), true);
+        let (tag, t, crit) = cookie::unpack(c);
+        assert_eq!(tag, cookie::Tag::Dispatch);
+        assert_eq!(t, Some(UtId(41)));
+        assert!(crit);
+    }
+
+    #[test]
+    fn cookie_no_thread() {
+        let c = cookie::pack(cookie::Tag::Idle, None, false);
+        let (tag, t, crit) = cookie::unpack(c);
+        assert_eq!(tag, cookie::Tag::Idle);
+        assert_eq!(t, None);
+        assert!(!crit);
+    }
+
+    #[test]
+    fn tcb_reinit_resets() {
+        let mut t = Utcb::new(UtId(0));
+        t.locks_held = 3;
+        t.exited = true;
+        t.state = UtState::Free;
+        t.reinit(Box::new(sa_machine::ComputeBody::null()));
+        assert_eq!(t.state, UtState::Ready);
+        assert_eq!(t.locks_held, 0);
+        assert!(!t.exited);
+        assert!(t.body.is_some());
+    }
+
+    #[test]
+    fn utid_ref_round_trip() {
+        let t = UtId(7);
+        assert_eq!(UtId::from_ref(t.as_ref()), t);
+    }
+}

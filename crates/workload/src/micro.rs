@@ -1,0 +1,255 @@
+//! The paper's microbenchmarks (Tables 1 and 4, §5.2).
+//!
+//! - **Null Fork**: "the time to create, schedule, execute and complete a
+//!   process/thread that invokes the null procedure (in other words, the
+//!   overhead of forking a thread)".
+//! - **Signal-Wait**: "the time for a process/thread to signal a waiting
+//!   process/thread, and then wait on a condition (in other words, the
+//!   overhead of synchronizing two threads together)".
+//! - **Kernel-forced Signal-Wait** (§5.2): the same ping-pong deliberately
+//!   synchronized through the kernel, measuring the upcall machinery.
+//!
+//! Each benchmark body runs on a single processor, repeats many times, and
+//! records iteration boundary timestamps into a shared [`Samples`] sink;
+//! the harness averages the per-iteration latencies, discarding a warmup
+//! prefix — the paper's methodology ("each benchmark was executed on a
+//! single processor, and the results were averaged across multiple
+//! repetitions").
+
+use sa_machine::ids::{ChanId, CvId, ThreadRef};
+use sa_machine::program::{ComputeBody, FnBody, Op, ThreadBody};
+use sa_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared sink of iteration boundary timestamps.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    stamps: Rc<RefCell<Vec<SimTime>>>,
+}
+
+impl Samples {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&self, t: SimTime) {
+        self.stamps.borrow_mut().push(t);
+    }
+
+    /// Per-interval latencies, each divided by `per_interval` events,
+    /// after dropping `warmup` intervals.
+    pub fn latencies(&self, warmup: usize, per_interval: u64) -> Vec<SimDuration> {
+        let stamps = self.stamps.borrow();
+        stamps
+            .windows(2)
+            .skip(warmup)
+            .map(|w| SimDuration::from_nanos(w[1].since(w[0]).as_nanos() / per_interval))
+            .collect()
+    }
+
+    /// Mean latency after warmup.
+    pub fn mean(&self, warmup: usize, per_interval: u64) -> SimDuration {
+        let lat = self.latencies(warmup, per_interval);
+        if lat.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = lat.iter().map(|d| d.as_nanos() as u128).sum();
+        SimDuration::from_nanos((total / lat.len() as u128) as u64)
+    }
+
+    /// Number of recorded stamps.
+    pub fn len(&self) -> usize {
+        self.stamps.borrow().len()
+    }
+
+    /// True when no stamps have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.borrow().is_empty()
+    }
+}
+
+/// Builds the Null Fork benchmark body: `iters` fork+join pairs of a
+/// thread invoking the null procedure (`null_proc` of compute — the paper
+/// uses one procedure call, ≈ 7 µs).
+///
+/// One stamp is recorded per iteration (use `per_interval = 1`).
+pub fn null_fork(iters: usize, null_proc: SimDuration) -> (Box<dyn ThreadBody>, Samples) {
+    let samples = Samples::new();
+    let sink = samples.clone();
+    let mut iter = 0usize;
+    let mut joining = false;
+    let body = FnBody::new("null-fork", move |env| {
+        if joining {
+            joining = false;
+            return Op::Join(env.last.forked());
+        }
+        sink.push(env.now);
+        if iter >= iters {
+            return Op::Exit;
+        }
+        iter += 1;
+        joining = true;
+        Op::Fork(Box::new(ComputeBody::new(null_proc)))
+    });
+    (Box::new(body), samples)
+}
+
+/// Which synchronization primitive the Signal-Wait ping-pong uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigWaitPath {
+    /// Application-level condition variables: user-level under FastThreads,
+    /// kernel condition variables under Topaz/Ultrix (Table 1/4).
+    AppLevel,
+    /// Kernel channels: forced through the kernel even under scheduler
+    /// activations (§5.2's upcall measurement).
+    ForcedKernel,
+}
+
+impl SigWaitPath {
+    fn signal(self, which: u32) -> Op {
+        match self {
+            SigWaitPath::AppLevel => Op::Signal(CvId(1_000 + which)),
+            SigWaitPath::ForcedKernel => Op::KernelSignal(ChanId(1_000 + which)),
+        }
+    }
+
+    fn wait(self, which: u32) -> Op {
+        match self {
+            SigWaitPath::AppLevel => Op::Wait {
+                cv: CvId(1_000 + which),
+                lock: sa_machine::LockId::NONE,
+            },
+            SigWaitPath::ForcedKernel => Op::KernelWait(ChanId(1_000 + which)),
+        }
+    }
+}
+
+/// Builds the Signal-Wait benchmark: two threads alternately signal each
+/// other and wait, for `rounds` full round trips.
+///
+/// One stamp is recorded per round trip; each round trip contains **two**
+/// signal-wait pairs, so reduce with `per_interval = 2`.
+pub fn signal_wait(rounds: usize, path: SigWaitPath) -> (Box<dyn ThreadBody>, Samples) {
+    let samples = Samples::new();
+    let sink = samples.clone();
+    // Channel/cv 0 wakes A; 1 wakes B.
+    let mut st_b = 0usize;
+    let b = FnBody::new("sigwait-b", move |_| {
+        st_b += 1;
+        if st_b > 2 * rounds {
+            Op::Exit
+        } else if st_b % 2 == 1 {
+            path.wait(1)
+        } else {
+            path.signal(0)
+        }
+    });
+    let mut b_box = Some(Box::new(b) as Box<dyn ThreadBody>);
+    let mut b_ref: Option<ThreadRef> = None;
+    let mut captured = false;
+    let mut k = 0usize; // completed ping-pong half-steps
+    let mut started = false;
+    let a = FnBody::new("sigwait-a", move |env| {
+        if !started {
+            started = true;
+            return Op::Fork(b_box.take().expect("fork exactly once"));
+        }
+        if !captured {
+            captured = true;
+            b_ref = Some(env.last.forked());
+            sink.push(env.now);
+        }
+        if k >= 2 * rounds {
+            return match b_ref.take() {
+                Some(b) => Op::Join(b),
+                None => Op::Exit,
+            };
+        }
+        let op = if k.is_multiple_of(2) {
+            path.signal(1)
+        } else {
+            let _ = &sink; // keep the sink captured for the stamp below
+            path.wait(0)
+        };
+        if k.is_multiple_of(2) && k > 0 {
+            sink.push(env.now);
+        }
+        k += 1;
+        op
+    });
+    (Box::new(a), samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_machine::program::{OpResult, StepEnv};
+
+    fn env(now_us: u64, last: OpResult) -> StepEnv {
+        StepEnv {
+            now: SimTime::from_micros(now_us),
+            self_ref: ThreadRef(0),
+            last,
+        }
+    }
+
+    #[test]
+    fn null_fork_cycles_fork_join_exit() {
+        let (mut body, samples) = null_fork(2, SimDuration::from_micros(7));
+        assert!(matches!(body.step(&env(0, OpResult::Start)), Op::Fork(_)));
+        assert!(matches!(
+            body.step(&env(10, OpResult::Forked(ThreadRef(5)))),
+            Op::Join(ThreadRef(5))
+        ));
+        assert!(matches!(body.step(&env(20, OpResult::Done)), Op::Fork(_)));
+        assert!(matches!(
+            body.step(&env(30, OpResult::Forked(ThreadRef(6)))),
+            Op::Join(ThreadRef(6))
+        ));
+        assert!(matches!(body.step(&env(40, OpResult::Done)), Op::Exit));
+        assert_eq!(samples.len(), 3);
+        let lats = samples.latencies(0, 1);
+        assert_eq!(lats.len(), 2);
+        assert_eq!(lats[0], SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn samples_mean_and_warmup() {
+        let s = Samples::new();
+        for us in [0u64, 10, 30, 60] {
+            s.push(SimTime::from_micros(us));
+        }
+        // Intervals: 10, 20, 30. Warmup 1 → mean(20, 30) = 25.
+        assert_eq!(s.mean(1, 1), SimDuration::from_micros(25));
+        assert_eq!(s.mean(0, 1), SimDuration::from_micros(20));
+        assert!(Samples::new().mean(0, 1).is_zero());
+    }
+
+    #[test]
+    fn signal_wait_shape() {
+        let (mut a, _samples) = signal_wait(2, SigWaitPath::AppLevel);
+        assert!(matches!(a.step(&env(0, OpResult::Start)), Op::Fork(_)));
+        assert!(matches!(
+            a.step(&env(1, OpResult::Forked(ThreadRef(9)))),
+            Op::Signal(_)
+        ));
+        assert!(matches!(a.step(&env(2, OpResult::Done)), Op::Wait { .. }));
+        assert!(matches!(a.step(&env(3, OpResult::Done)), Op::Signal(_)));
+        assert!(matches!(a.step(&env(4, OpResult::Done)), Op::Wait { .. }));
+        assert!(matches!(a.step(&env(5, OpResult::Done)), Op::Join(_)));
+        assert!(matches!(a.step(&env(6, OpResult::Done)), Op::Exit));
+    }
+
+    #[test]
+    fn forced_kernel_path_uses_channels() {
+        let (mut a, _s) = signal_wait(1, SigWaitPath::ForcedKernel);
+        let _ = a.step(&env(0, OpResult::Start));
+        assert!(matches!(
+            a.step(&env(1, OpResult::Forked(ThreadRef(9)))),
+            Op::KernelSignal(_)
+        ));
+        assert!(matches!(a.step(&env(2, OpResult::Done)), Op::KernelWait(_)));
+    }
+}

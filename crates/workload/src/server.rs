@@ -1,0 +1,198 @@
+//! A request-serving application: the other workload shape the paper's
+//! introduction motivates (fine-grained, latency-sensitive parallelism
+//! with blocking I/O in the middle of requests).
+//!
+//! A listener thread sleeps until each request's arrival time, then forks
+//! a handler per request (the fork cost is the thread system's price of
+//! admission). Handlers compute, often block in the kernel for device
+//! I/O, compute again, and record their response time. The response-time
+//! *distribution* — especially the tail — separates the thread systems:
+//! original FastThreads loses a physical processor for every in-flight
+//! I/O, kernel threads pay traps on every fork, and scheduler activations
+//! do neither.
+
+use sa_machine::program::{FnBody, Op, OpResult, ThreadBody};
+use sa_sim::stats::Histogram;
+use sa_sim::{SimDuration, SimRng, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Configuration of the server workload.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Total requests to serve.
+    pub requests: usize,
+    /// Mean inter-arrival time (exponential, seeded).
+    pub mean_interarrival: SimDuration,
+    /// Compute before the I/O phase.
+    pub compute_pre: SimDuration,
+    /// Probability a request needs device I/O.
+    pub io_probability: f64,
+    /// Device time for requests that do I/O.
+    pub io_time: SimDuration,
+    /// Compute after the I/O phase.
+    pub compute_post: SimDuration,
+    /// RNG seed for arrivals and I/O coin flips.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            requests: 400,
+            mean_interarrival: SimDuration::from_micros(1_600),
+            compute_pre: SimDuration::from_micros(300),
+            io_probability: 0.3,
+            io_time: SimDuration::from_millis(10),
+            compute_post: SimDuration::from_micros(200),
+            seed: 17,
+        }
+    }
+}
+
+/// Shared measurement sink.
+#[derive(Clone, Default)]
+pub struct ServerStats {
+    inner: Rc<RefCell<Histogram>>,
+}
+
+impl ServerStats {
+    /// Response-time histogram of completed requests.
+    pub fn response_times(&self) -> Histogram {
+        self.inner.borrow().clone()
+    }
+
+    fn record(&self, d: SimDuration) {
+        self.inner.borrow_mut().record(d);
+    }
+}
+
+/// One request handler: compute, maybe I/O, compute, record latency.
+fn handler(
+    stats: ServerStats,
+    cfg: ServerConfig,
+    arrived: SimTime,
+    does_io: bool,
+) -> Box<dyn ThreadBody> {
+    let mut st = 0;
+    Box::new(FnBody::new("handler", move |env| {
+        st += 1;
+        match st {
+            1 => Op::Compute(cfg.compute_pre),
+            2 if does_io => Op::Io(cfg.io_time),
+            2 => Op::Compute(cfg.compute_post),
+            3 if does_io => Op::Compute(cfg.compute_post),
+            _ => {
+                stats.record(env.now.since(arrived));
+                Op::Exit
+            }
+        }
+    }))
+}
+
+/// Builds the server: returns the listener body and the stats sink.
+///
+/// Handlers are detached (never joined); the listener exits after the last
+/// fork and the space finishes when the last handler does.
+pub fn server(cfg: ServerConfig) -> (Box<dyn ThreadBody>, ServerStats) {
+    let stats = ServerStats::default();
+    let sink = stats.clone();
+    let mut rng = SimRng::new(cfg.seed);
+    // Pre-draw the arrival schedule so every thread system serves the
+    // identical trace.
+    let mut arrivals = Vec::with_capacity(cfg.requests);
+    let mut t = SimTime::ZERO;
+    for _ in 0..cfg.requests {
+        t = t + SimDuration::from_nanos(rng.exp(cfg.mean_interarrival.as_nanos() as f64) as u64);
+        arrivals.push((t, rng.chance(cfg.io_probability)));
+    }
+    let mut next = 0usize;
+    let mut sleeping = false;
+    let body = FnBody::new("listener", move |env| {
+        if let OpResult::Forked(_) = env.last {
+            // Handler launched; fall through to schedule the next one.
+        }
+        loop {
+            if next >= arrivals.len() {
+                return Op::Exit;
+            }
+            let (at, does_io) = arrivals[next];
+            if env.now < at && !sleeping {
+                // Sleep (kernel timer) until the next arrival.
+                sleeping = true;
+                return Op::Io(at.since(env.now));
+            }
+            sleeping = false;
+            next += 1;
+            let arrived = if env.now > at { env.now } else { at };
+            return Op::Fork(handler(sink.clone(), cfg.clone(), arrived, does_io));
+        }
+    });
+    (Box::new(body), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_machine::program::StepEnv;
+    use sa_machine::ThreadRef;
+
+    fn env(now: SimTime, last: OpResult) -> StepEnv {
+        StepEnv {
+            now,
+            self_ref: ThreadRef(0),
+            last,
+        }
+    }
+
+    #[test]
+    fn listener_sleeps_then_forks() {
+        let cfg = ServerConfig {
+            requests: 2,
+            ..ServerConfig::default()
+        };
+        let (mut body, _stats) = server(cfg);
+        // First step: sleep until the first arrival.
+        let op = body.step(&env(SimTime::ZERO, OpResult::Start));
+        assert!(matches!(op, Op::Io(_)), "{op:?}");
+        // After the sleep: fork the handler.
+        let op = body.step(&env(SimTime::from_millis(100), OpResult::Done));
+        assert!(matches!(op, Op::Fork(_)), "{op:?}");
+        // Immediately fork the second (its arrival already passed).
+        let op = body.step(&env(
+            SimTime::from_millis(100),
+            OpResult::Forked(ThreadRef(1)),
+        ));
+        assert!(matches!(op, Op::Fork(_) | Op::Io(_)));
+    }
+
+    #[test]
+    fn handler_records_latency() {
+        let stats = ServerStats::default();
+        let cfg = ServerConfig::default();
+        let arrived = SimTime::from_millis(1);
+        let mut h = handler(stats.clone(), cfg.clone(), arrived, false);
+        let op = h.step(&env(SimTime::from_millis(1), OpResult::Start));
+        assert!(matches!(op, Op::Compute(_)));
+        let op = h.step(&env(SimTime::from_millis(2), OpResult::Done));
+        assert!(matches!(op, Op::Compute(_)));
+        let op = h.step(&env(SimTime::from_millis(3), OpResult::Done));
+        assert!(matches!(op, Op::Exit));
+        let hist = stats.response_times();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.mean(), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn identical_seeds_draw_identical_schedules() {
+        let mk = || {
+            let (mut body, _s) = server(ServerConfig::default());
+            let op = body.step(&env(SimTime::ZERO, OpResult::Start));
+            match op {
+                Op::Io(d) => d,
+                other => panic!("{other:?}"),
+            }
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,158 @@
+//! Synthetic workload generators for tests and ablation benches.
+
+use sa_machine::ids::{LockId, ThreadRef};
+use sa_machine::program::{ComputeBody, FnBody, Op, OpResult, ThreadBody};
+use sa_sim::SimDuration;
+
+/// A body that forks `n` children each computing `work`, then joins them
+/// all — the canonical coarse-grained parallel program.
+pub fn fork_join(n: usize, work: SimDuration) -> Box<dyn ThreadBody> {
+    let mut children: Vec<ThreadRef> = Vec::new();
+    let mut forked = 0usize;
+    let mut joined = 0usize;
+    Box::new(FnBody::new("fork-join", move |env| {
+        if let OpResult::Forked(c) = env.last {
+            children.push(c);
+        }
+        if forked < n {
+            forked += 1;
+            return Op::Fork(Box::new(ComputeBody::new(work)));
+        }
+        if joined < n {
+            let c = children[joined];
+            joined += 1;
+            return Op::Join(c);
+        }
+        Op::Exit
+    }))
+}
+
+/// A worker that repeatedly acquires a shared lock, computes inside the
+/// critical section, releases, then computes outside — the "lock ladder"
+/// used to probe critical-section behaviour under preemption (§3.3).
+pub fn lock_ladder(
+    lock: LockId,
+    rounds: usize,
+    inside: SimDuration,
+    outside: SimDuration,
+) -> Box<dyn ThreadBody> {
+    let mut step = 0usize;
+    Box::new(FnBody::new("lock-ladder", move |_| {
+        let round = step / 4;
+        if round >= rounds {
+            return Op::Exit;
+        }
+        let op = match step % 4 {
+            0 => Op::Acquire(lock),
+            1 => Op::Compute(inside),
+            2 => Op::Release(lock),
+            _ => Op::Compute(outside),
+        };
+        step += 1;
+        op
+    }))
+}
+
+/// Forks `n` lock-ladder workers sharing one lock, then joins them.
+pub fn contended_ladder(
+    n: usize,
+    rounds: usize,
+    inside: SimDuration,
+    outside: SimDuration,
+) -> Box<dyn ThreadBody> {
+    let lock = LockId(77);
+    let mut children: Vec<ThreadRef> = Vec::new();
+    let mut forked = 0usize;
+    let mut joined = 0usize;
+    Box::new(FnBody::new("contended-ladder", move |env| {
+        if let OpResult::Forked(c) = env.last {
+            children.push(c);
+        }
+        if forked < n {
+            forked += 1;
+            return Op::Fork(lock_ladder(lock, rounds, inside, outside));
+        }
+        if joined < n {
+            let c = children[joined];
+            joined += 1;
+            return Op::Join(c);
+        }
+        Op::Exit
+    }))
+}
+
+/// A body alternating compute bursts with blocking I/O, for integration
+/// experiments (`bursts` iterations of `work` + `io`).
+pub fn compute_io_mix(bursts: usize, work: SimDuration, io: SimDuration) -> Box<dyn ThreadBody> {
+    let mut step = 0usize;
+    Box::new(FnBody::new("compute-io", move |_| {
+        let round = step / 2;
+        if round >= bursts {
+            return Op::Exit;
+        }
+        let op = if step.is_multiple_of(2) {
+            Op::Compute(work)
+        } else {
+            Op::Io(io)
+        };
+        step += 1;
+        op
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_machine::program::StepEnv;
+    use sa_sim::SimTime;
+
+    fn env(last: OpResult) -> StepEnv {
+        StepEnv {
+            now: SimTime::ZERO,
+            self_ref: ThreadRef(0),
+            last,
+        }
+    }
+
+    #[test]
+    fn fork_join_op_sequence() {
+        let mut b = fork_join(2, SimDuration::from_micros(1));
+        assert!(matches!(b.step(&env(OpResult::Start)), Op::Fork(_)));
+        assert!(matches!(
+            b.step(&env(OpResult::Forked(ThreadRef(1)))),
+            Op::Fork(_)
+        ));
+        assert!(matches!(
+            b.step(&env(OpResult::Forked(ThreadRef(2)))),
+            Op::Join(ThreadRef(1))
+        ));
+        assert!(matches!(
+            b.step(&env(OpResult::Done)),
+            Op::Join(ThreadRef(2))
+        ));
+        assert!(matches!(b.step(&env(OpResult::Done)), Op::Exit));
+    }
+
+    #[test]
+    fn lock_ladder_cycles() {
+        let mut b = lock_ladder(
+            LockId(1),
+            1,
+            SimDuration::from_micros(2),
+            SimDuration::from_micros(3),
+        );
+        assert!(matches!(b.step(&env(OpResult::Start)), Op::Acquire(_)));
+        assert!(matches!(b.step(&env(OpResult::Done)), Op::Compute(_)));
+        assert!(matches!(b.step(&env(OpResult::Done)), Op::Release(_)));
+        assert!(matches!(b.step(&env(OpResult::Done)), Op::Compute(_)));
+        assert!(matches!(b.step(&env(OpResult::Done)), Op::Exit));
+    }
+
+    #[test]
+    fn compute_io_alternates() {
+        let mut b = compute_io_mix(1, SimDuration::from_micros(5), SimDuration::from_millis(1));
+        assert!(matches!(b.step(&env(OpResult::Start)), Op::Compute(_)));
+        assert!(matches!(b.step(&env(OpResult::Done)), Op::Io(_)));
+        assert!(matches!(b.step(&env(OpResult::Done)), Op::Exit));
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's §5.3 application: a Barnes-Hut N-body simulation with an
+//! application-managed buffer cache, run under the three systems of
+//! Figures 1 and 2.
+//!
+//! ```sh
+//! cargo run --release --example nbody [memory_percent]
+//! ```
+//!
+//! With `memory_percent < 100`, buffer-cache misses block in the kernel
+//! for 50 ms and the integration differences between the systems dominate
+//! (Figure 2); at 100 the differences are pure thread-management overhead
+//! (Figure 1's 6-processor points).
+
+use scheduler_activations::experiments::{figure_apis, nbody_run, nbody_sequential_time};
+use scheduler_activations::machine::CostModel;
+use scheduler_activations::workload::nbody::NBodyConfig;
+
+fn main() {
+    let percent: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100.0);
+    let cfg = NBodyConfig {
+        memory_fraction: percent / 100.0,
+        ..NBodyConfig::default()
+    };
+    let cost = CostModel::firefly_prototype();
+    println!(
+        "Barnes-Hut: {} bodies, {} steps, theta {}, {}% memory, 6 CPUs\n",
+        cfg.bodies, cfg.steps, cfg.theta, percent
+    );
+    let seq = nbody_sequential_time(cfg.clone(), cost.clone(), 1);
+    println!(
+        "{:<20} {:>10}   (baseline, 1 CPU, no threads)",
+        "sequential",
+        format!("{seq}")
+    );
+    for (name, api) in figure_apis(6) {
+        let r = nbody_run(api, 6, cfg.clone(), cost.clone(), 1, 1);
+        let speedup = seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64;
+        println!(
+            "{:<20} {:>10}   speedup {speedup:>5.2}   cache misses {}",
+            name,
+            format!("{}", r.elapsed),
+            r.cache_misses
+        );
+    }
+}

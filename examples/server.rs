@@ -1,0 +1,67 @@
+//! Request latency under the three thread systems: a listener forks a
+//! handler per request; handlers block in the kernel for device I/O in
+//! the middle of a request.
+//!
+//! ```sh
+//! cargo run --release --example server
+//! ```
+//!
+//! The response-time *tail* tells the integration story: original
+//! FastThreads loses a physical processor for every in-flight I/O (late
+//! requests queue behind lost processors), Topaz pays kernel thread
+//! management on every request, and scheduler activations keep both the
+//! cheap operations and the processors.
+
+use scheduler_activations::machine::CostModel;
+use scheduler_activations::workload::server::{server, ServerConfig};
+use scheduler_activations::{AppSpec, SystemBuilder, ThreadApi};
+
+fn main() {
+    println!("400 requests, ~1.6 ms apart; 30% block 10 ms in the kernel; 2 CPUs\n");
+    println!("{:<44} {:>9} {:>9} {:>9}", "system", "p50", "p99", "max");
+    let systems: Vec<(&str, ThreadApi, CostModel)> = vec![
+        (
+            "Topaz kernel threads",
+            ThreadApi::TopazThreads,
+            CostModel::firefly_prototype(),
+        ),
+        (
+            "original FastThreads",
+            ThreadApi::OrigFastThreads { vps: 2 },
+            CostModel::firefly_prototype(),
+        ),
+        (
+            "FastThreads on sched. activations (proto)",
+            ThreadApi::SchedulerActivations { max_processors: 2 },
+            CostModel::firefly_prototype(),
+        ),
+        (
+            "FastThreads on sched. activations (tuned)",
+            ThreadApi::SchedulerActivations { max_processors: 2 },
+            CostModel::tuned(),
+        ),
+    ];
+    for (name, api, cost) in systems {
+        let (body, stats) = server(ServerConfig::default());
+        let mut sys = SystemBuilder::new(2)
+            .cost(cost)
+            .app(AppSpec::new(name, api, body))
+            .build();
+        let report = sys.run();
+        assert!(report.all_done(), "{name}: {:?}", report.outcome);
+        let h = stats.response_times();
+        println!(
+            "{:<44} {:>9} {:>9} {:>9}",
+            name,
+            format!("{}", h.quantile(0.5)),
+            format!("{}", h.quantile(0.99)),
+            format!("{}", h.max())
+        );
+    }
+    println!(
+        "\noriginal FastThreads queues catastrophically: every in-flight I/O\n\
+         takes a physical processor with it. The prototype's ~2.4 ms upcall\n\
+         path taxes the activation system per I/O; the paper's projected\n\
+         tuned path (last row) removes that tax."
+    );
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # scheduler-activations
+//!
+//! A from-scratch Rust reproduction of *"Scheduler Activations: Effective
+//! Kernel Support for the User-Level Management of Parallelism"*
+//! (Anderson, Bershad, Lazowska, Levy — SOSP 1991), built on a
+//! deterministic discrete-event multiprocessor simulator.
+//!
+//! The workspace provides, side by side, the four thread systems the
+//! paper compares — Ultrix-style processes, Topaz-style kernel threads,
+//! original FastThreads on kernel threads, and FastThreads on scheduler
+//! activations — plus the kernel mechanisms that make the last one work:
+//! Table 2's upcalls, Table 3's processor-allocation hints, the explicit
+//! space-sharing processor allocator (§4.1), critical-section recovery
+//! (§3.3), and activation recycling (§4.3).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scheduler_activations::{AppSpec, SystemBuilder, ThreadApi};
+//! use scheduler_activations::machine::ComputeBody;
+//! use scheduler_activations::sim::SimDuration;
+//!
+//! let mut sys = SystemBuilder::new(6)
+//!     .app(AppSpec::new(
+//!         "hello",
+//!         ThreadApi::SchedulerActivations { max_processors: 6 },
+//!         Box::new(ComputeBody::new(SimDuration::from_millis(1))),
+//!     ))
+//!     .build();
+//! let report = sys.run();
+//! assert!(report.all_done());
+//! ```
+//!
+//! See `examples/` for complete programs and `crates/bench/benches/` for
+//! the harnesses that regenerate every table and figure of the paper.
+
+pub use sa_core::experiments;
+pub use sa_core::{AppId, AppSpec, RunReport, System, SystemBuilder, ThreadApi};
+
+/// The simulation engine (virtual time, event queue, RNG, statistics).
+pub use sa_sim as sim;
+
+/// The simulated machine (cost model, thread programs, devices).
+pub use sa_machine as machine;
+
+/// The simulated kernel (kernel threads, processes, scheduler activations,
+/// processor allocator).
+pub use sa_kernel as kernel;
+
+/// The FastThreads-like user-level thread package.
+pub use sa_uthread as uthread;
+
+/// Workloads: microbenchmarks, Barnes-Hut N-body, buffer cache.
+pub use sa_workload as workload;
