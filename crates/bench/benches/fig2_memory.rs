@@ -32,7 +32,11 @@ fn main() {
                 ..NBodyConfig::default()
             };
             let r = nbody_run(api, 6, cfg, cost.clone(), 1, 1);
-            cells.push(format!("{:.2} ({})", r.elapsed.as_secs_f64(), r.cache_misses));
+            cells.push(format!(
+                "{:.2} ({})",
+                r.elapsed.as_secs_f64(),
+                r.cache_misses
+            ));
         }
         let cfg = NBodyConfig {
             memory_fraction: frac,

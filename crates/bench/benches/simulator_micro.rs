@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sa_core::{AppSpec, SystemBuilder, ThreadApi};
 use sa_machine::{BlockId, ComputeBody, CostModel};
-use sa_sim::{EventQueue, SimDuration, SimTime};
+use sa_sim::{event::lazy::LazyEventQueue, EventQueue, SimDuration, SimTime};
 use sa_workload::nbody::BarnesHut;
 use sa_workload::BufCache;
 use std::hint::black_box;
@@ -21,6 +21,61 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut sum = 0u64;
             while let Some((_, v)) = q.pop() {
                 sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+/// The kernel's actual workload shape: pushes interleaved with eager
+/// cancels (timeouts that don't fire) and pops. Runs the same mix against
+/// the indexed queue and the retained lazy-cancellation baseline so the
+/// win (and any regression) is visible in one output.
+fn bench_event_queue_cancel_mix(c: &mut Criterion) {
+    c.bench_function("event_queue_push_cancel_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut sum = 0u64;
+            for round in 0..16u64 {
+                let base = (round + 1) * 200_000;
+                let toks: Vec<_> = (0..64)
+                    .map(|i| {
+                        let t = round * 64 + i;
+                        q.schedule(SimTime::from_nanos(base + t * 7919 % 100_000), t)
+                    })
+                    .collect();
+                for tok in toks.iter().step_by(4) {
+                    q.cancel(*tok);
+                }
+                for _ in 0..48 {
+                    if let Some((_, v)) = q.pop() {
+                        sum += v;
+                    }
+                }
+            }
+            black_box(sum)
+        })
+    });
+    c.bench_function("event_queue_push_cancel_pop_1k_lazy", |b| {
+        b.iter(|| {
+            let mut q = LazyEventQueue::new();
+            let mut sum = 0u64;
+            for round in 0..16u64 {
+                let base = (round + 1) * 200_000;
+                let toks: Vec<_> = (0..64)
+                    .map(|i| {
+                        let t = round * 64 + i;
+                        q.schedule(SimTime::from_nanos(base + t * 7919 % 100_000), t)
+                    })
+                    .collect();
+                for tok in toks.iter().step_by(4) {
+                    q.cancel(*tok);
+                }
+                for _ in 0..48 {
+                    if let Some((_, v)) = q.pop() {
+                        sum += v;
+                    }
+                }
             }
             black_box(sum)
         })
@@ -75,6 +130,7 @@ fn bench_system_run(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_event_queue_cancel_mix,
     bench_bufcache,
     bench_barnes_hut,
     bench_system_run

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! the macro/API surface its benches use — [`criterion_group!`],
+//! [`criterion_main!`], [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`] — backed by a simple calibrated wall-clock
+//! harness: warm up, pick an iteration count that makes one sample take
+//! ~`SAMPLE_TARGET`, collect `SAMPLES` samples, report the median and the
+//! min/max spread. No statistical outlier analysis, no HTML reports; the
+//! numbers print to stdout and are machine-greppable
+//! (`<name> ... median <n> ns/iter`).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+const SAMPLES: usize = 15;
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+const WARMUP_TARGET: Duration = Duration::from_millis(150);
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// harness always times routine calls individually).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark routine.
+pub struct Bencher {
+    samples_ns: Vec<u64>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, called in calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate the per-sample iteration count.
+        let mut iters: u64 = 1;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if warm_start.elapsed() >= WARMUP_TARGET && dt >= SAMPLE_TARGET / 4 {
+                break;
+            }
+            if dt < SAMPLE_TARGET / 2 {
+                iters = iters.saturating_mul(2);
+            }
+        }
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            self.samples_ns.push((dt.as_nanos() as u64) / iters.max(1));
+        }
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate.
+        let mut iters: u64 = 1;
+        let warm_start = Instant::now();
+        loop {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                spent += t.elapsed();
+            }
+            if warm_start.elapsed() >= WARMUP_TARGET && spent >= SAMPLE_TARGET / 4 {
+                break;
+            }
+            if spent < SAMPLE_TARGET / 2 {
+                iters = iters.saturating_mul(2);
+            }
+        }
+        for _ in 0..SAMPLES {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                spent += t.elapsed();
+            }
+            self.samples_ns
+                .push((spent.as_nanos() as u64) / iters.max(1));
+        }
+    }
+}
+
+/// The benchmark driver (a trimmed `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver, honouring a substring filter from the command
+    /// line (`cargo bench -- <filter>`).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+
+    /// Runs one named benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher::new();
+        f(&mut b);
+        let mut s = b.samples_ns;
+        if s.is_empty() {
+            println!("{name:<40} no samples collected");
+            return self;
+        }
+        s.sort_unstable();
+        let median = s[s.len() / 2];
+        let lo = s[0];
+        let hi = s[s.len() - 1];
+        println!(
+            "{name:<40} median {median} ns/iter (range {lo} .. {hi}, {} samples)",
+            s.len()
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new();
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert_eq!(b.samples_ns.len(), SAMPLES);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("match_nothing_xyz".into()),
+        };
+        let mut ran = false;
+        c.bench_function("some_bench", |_b| ran = true);
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the small slice of `rand`'s API it actually uses: `SmallRng`
+//! seeded via [`SeedableRng::seed_from_u64`], uniform integer ranges via
+//! [`Rng::random_range`], and uniform `f64` via [`Rng::random`]. The
+//! generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction `rand`'s `SmallRng` uses on 64-bit targets, so streams
+//! are high quality and deterministic per seed (exact bit-compatibility
+//! with upstream `rand` is *not* promised, only determinism).
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from their whole domain.
+pub trait Uniform {
+    /// Draws one uniform value.
+    fn sample(rng: &mut SmallRng) -> Self;
+}
+
+impl Uniform for f64 {
+    fn sample(rng: &mut SmallRng) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Uniform for u64 {
+    fn sample(rng: &mut SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Uniform for u32 {
+    fn sample(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Uniform for bool {
+    fn sample(rng: &mut SmallRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a [`Rng`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below_u128(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below_u128(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The subset of `rand::Rng` this workspace uses.
+pub trait Rng {
+    /// Uniform value over a range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Uniform value over a type's whole domain (`f64` is `[0, 1)`).
+    fn random<T: Uniform>(&mut self) -> T;
+}
+
+/// The subset of `rand::SeedableRng` this workspace uses.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::SmallRng;
+}
+
+/// A small, fast, deterministic generator (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Unbiased uniform draw in `[0, span)` for spans up to 2^64
+    /// (Lemire's multiply-shift with rejection).
+    fn below_u128(&mut self, span: u128) -> u64 {
+        debug_assert!(span > 0 && span <= (1u128 << 64));
+        if span == 1u128 << 64 {
+            return self.next_u64();
+        }
+        let s = span as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (s as u128);
+            let lo = m as u64;
+            if lo >= s || lo >= (u64::MAX - s + 1) % s {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for SmallRng {
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    fn random<T: Uniform>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = r.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w: i64 = r.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_is_reachable() {
+        let mut r = SmallRng::seed_from_u64(3);
+        // 0..=u64::MAX exercises the 2^64 span path.
+        let _: u64 = r.random_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn unit_floats_cover_interval() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let f: f64 = r.random();
+            if f < 0.1 {
+                lo = true;
+            }
+            if f > 0.9 {
+                hi = true;
+            }
+        }
+        assert!(lo && hi);
+    }
+}

@@ -8,13 +8,16 @@
 //! ```
 
 use sa_core::experiments::{
-    figure_apis, nbody_run, nbody_sequential_time, thread_op_latencies, topaz_signal_wait,
-    upcall_signal_wait,
+    engine_throughput, figure_apis, nbody_run, nbody_sequential_time, thread_op_latencies,
+    topaz_signal_wait, upcall_signal_wait,
 };
 use sa_core::ThreadApi;
 use sa_machine::CostModel;
+use sa_sim::{event::lazy::LazyEventQueue, EventQueue, SimTime};
 use sa_uthread::CriticalSectionMode;
 use sa_workload::nbody::NBodyConfig;
+use std::fmt::Write as _;
+use std::time::Instant;
 
 fn table1() {
     let cost = CostModel::firefly_prototype();
@@ -172,6 +175,153 @@ fn table5() {
     }
 }
 
+/// One engine-bench measurement: a name plus operations (or events) per
+/// host second.
+struct BenchLine {
+    name: &'static str,
+    ops_per_sec: f64,
+    detail: String,
+}
+
+/// Push/pop/cancel microloop against the indexed event queue.
+fn queue_microloop_indexed(ops: u64) -> f64 {
+    let start = Instant::now();
+    let mut q = EventQueue::new();
+    let mut sum = 0u64;
+    let mut tokens = Vec::with_capacity(64);
+    for round in 0..ops / 64 {
+        tokens.clear();
+        // Each round's window sits above the previous round's times so the
+        // pops never leave `now` ahead of a later schedule.
+        let base = (round + 1) * 200_000;
+        for i in 0..64u64 {
+            let t = round * 64 + i;
+            tokens.push(q.schedule(SimTime::from_nanos(base + t * 7919 % 100_000), t));
+        }
+        // Cancel a quarter eagerly, pop the rest.
+        for tok in tokens.iter().step_by(4) {
+            q.cancel(*tok);
+        }
+        for _ in 0..48 {
+            if let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+        }
+    }
+    std::hint::black_box(sum);
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The same microloop against the retained lazy-cancellation baseline.
+fn queue_microloop_lazy(ops: u64) -> f64 {
+    let start = Instant::now();
+    let mut q = LazyEventQueue::new();
+    let mut sum = 0u64;
+    let mut tokens = Vec::with_capacity(64);
+    for round in 0..ops / 64 {
+        tokens.clear();
+        let base = (round + 1) * 200_000;
+        for i in 0..64u64 {
+            let t = round * 64 + i;
+            tokens.push(q.schedule(SimTime::from_nanos(base + t * 7919 % 100_000), t));
+        }
+        for tok in tokens.iter().step_by(4) {
+            q.cancel(*tok);
+        }
+        for _ in 0..48 {
+            if let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+        }
+    }
+    std::hint::black_box(sum);
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Engine throughput harness: a Figure 1-sized N-body system run plus
+/// queue/dispatch microloops, reported in host events (or ops) per second
+/// and written to `BENCH_engine.json` for tracking across commits.
+fn engine_bench() {
+    let cost = CostModel::firefly_prototype();
+    let cfg = NBodyConfig::default();
+    println!("Engine throughput (host-side; virtual-time results unaffected)");
+
+    let mut lines: Vec<BenchLine> = Vec::new();
+
+    // Whole-system run: the paper's Figure 1 workload at 6 processors
+    // under scheduler activations — the end-to-end number.
+    let r = engine_throughput(
+        ThreadApi::SchedulerActivations { max_processors: 6 },
+        6,
+        cfg.clone(),
+        cost.clone(),
+        1,
+    );
+    lines.push(BenchLine {
+        name: "system_nbody_fig1_sa",
+        ops_per_sec: r.events_per_sec(),
+        detail: format!("{} events in {:.3}s", r.sim_events, r.host_seconds),
+    });
+
+    // Dispatch-heavy run: one processor, forcing the upcall/ready-queue
+    // machinery through many more scheduling decisions per unit work.
+    let r1 = engine_throughput(
+        ThreadApi::SchedulerActivations { max_processors: 1 },
+        1,
+        NBodyConfig {
+            bodies: cfg.bodies / 2,
+            ..cfg.clone()
+        },
+        cost.clone(),
+        1,
+    );
+    lines.push(BenchLine {
+        name: "system_nbody_dispatch_1cpu",
+        ops_per_sec: r1.events_per_sec(),
+        detail: format!("{} events in {:.3}s", r1.sim_events, r1.host_seconds),
+    });
+
+    // Queue microloops: indexed (current) vs lazy-cancellation (baseline
+    // retained in `sa_sim::event::lazy`), same push/cancel/pop mix.
+    const QOPS: u64 = 2_000_000;
+    let indexed = queue_microloop_indexed(QOPS);
+    let lazy = queue_microloop_lazy(QOPS);
+    lines.push(BenchLine {
+        name: "queue_mix_indexed",
+        ops_per_sec: indexed,
+        detail: format!("{QOPS} scheduled"),
+    });
+    lines.push(BenchLine {
+        name: "queue_mix_lazy_baseline",
+        ops_per_sec: lazy,
+        detail: format!("{QOPS} scheduled; indexed is {:.2}x", indexed / lazy),
+    });
+
+    for l in &lines {
+        println!(
+            "  {:<28} {:>14.0} /sec   ({})",
+            l.name, l.ops_per_sec, l.detail
+        );
+    }
+
+    // Hand-rolled JSON (no serde in the tree); schema is flat on purpose.
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, l) in lines.iter().enumerate() {
+        let comma = if i + 1 < lines.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ops_per_sec\": {:.1}, \"detail\": \"{}\"}}{comma}",
+            l.name, l.ops_per_sec, l.detail
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_engine.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     match what.as_str() {
@@ -181,6 +331,7 @@ fn main() {
         "fig1" => fig1(),
         "fig2" => fig2(),
         "table5" => table5(),
+        "engine-bench" => engine_bench(),
         "all" => {
             table1();
             println!();
@@ -196,7 +347,9 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: sa-experiments [table1|table4|upcall|fig1|fig2|table5|all]");
+            eprintln!(
+                "usage: sa-experiments [table1|table4|upcall|fig1|fig2|table5|engine-bench|all]"
+            );
             std::process::exit(2);
         }
     }

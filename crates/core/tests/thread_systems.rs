@@ -694,7 +694,10 @@ fn queued_disk_serializes_concurrent_requests() {
     let parallel = run(DiskModel::FixedLatency);
     let queued = run(DiskModel::Queued);
     // Four 10 ms requests: overlapped ≈ 10-15 ms, serialized ≥ 40 ms.
-    assert!(parallel < ms(25), "fixed-latency did not overlap: {parallel}");
+    assert!(
+        parallel < ms(25),
+        "fixed-latency did not overlap: {parallel}"
+    );
     assert!(queued >= ms(40), "queued disk did not serialize: {queued}");
 }
 

@@ -1,57 +1,71 @@
-//! Deterministic event queue with lazy cancellation.
+//! Deterministic event queue with eager, indexed cancellation.
 //!
-//! The queue is a binary heap ordered by `(time, sequence)`. The sequence
-//! number is assigned at push time, so two events scheduled for the same
-//! instant always pop in the order they were scheduled — this is what makes
-//! whole-system runs bit-for-bit reproducible.
+//! The queue is a slab-backed **indexed binary min-heap** ordered by
+//! `(time, sequence)`. The sequence number is assigned at push time, so two
+//! events scheduled for the same instant always pop in the order they were
+//! scheduled — this is what makes whole-system runs bit-for-bit
+//! reproducible.
 //!
-//! Cancellation is *lazy*: [`EventQueue::schedule`] returns an [`EventToken`];
-//! calling [`EventQueue::cancel`] marks the token dead, and the corresponding
-//! entry is silently discarded when it reaches the head of the heap. This is
-//! the standard technique for simulators with frequent preemption, where
-//! eagerly removing heap interior entries would cost `O(n)`.
+//! ## Why indexed rather than lazy-cancel
+//!
+//! The previous design was a `BinaryHeap` plus a `HashSet` of cancelled
+//! sequence numbers: cancellation marked the token dead and the entry was
+//! discarded when it reached the head. Preemption-heavy workloads (quantum
+//! timers cancelled on every early dispatch) left the heap full of corpses
+//! and paid a hash probe per pop. Here every live entry's heap position is
+//! tracked in its slab node, so:
+//!
+//! - [`EventQueue::cancel`] removes the entry *eagerly* in `O(log n)` —
+//!   no corpses, no hash set;
+//! - [`EventQueue::pop`] touches only the heap array — no hash probe;
+//! - [`EventQueue::peek_time`] is a true `O(1)` immutable read (the lazy
+//!   design had to reap corpses, so even peek needed `&mut self`);
+//! - [`EventQueue::len`]/[`EventQueue::is_empty`] are exact live counts.
+//!
+//! Tokens are generation-stamped slab indices: a slot's generation bumps
+//! every time its entry leaves the queue (pop or cancel), so a stale token
+//! held across reuse can never cancel the wrong event.
+//!
+//! ## Determinism
+//!
+//! Pop order is the unique ascending `(time, seq)` order of live entries,
+//! identical to the lazy design's order — heap-internal layout differences
+//! are unobservable through the API, so existing traces stay byte-equal.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// Identifies a scheduled event so it can be cancelled before it fires.
+///
+/// Tokens are generation-stamped: cancelling a token whose event already
+/// fired (or was already cancelled) is a no-op, even if the underlying
+/// slot has since been reused for a new event.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventToken(u64);
+pub struct EventToken {
+    slot: u32,
+    gen: u32,
+}
 
-struct Entry<E> {
+/// A slab node: the event plus its heap bookkeeping.
+///
+/// `event` is `None` while the slot sits on the free list; `heap_pos` is
+/// only meaningful while the slot is live.
+struct Node<E> {
     time: SimTime,
     seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // `BinaryHeap` is a max-heap; reverse so the earliest (time, seq)
-        // pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
+    gen: u32,
+    heap_pos: u32,
+    event: Option<E>,
 }
 
 /// A deterministic future-event list.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Slab of nodes, indexed by `EventToken::slot`.
+    nodes: Vec<Node<E>>,
+    /// Free slab slots.
+    free: Vec<u32>,
+    /// Binary min-heap of slab indices, ordered by `(time, seq)`.
+    heap: Vec<u32>,
     next_seq: u64,
-    cancelled: HashSet<u64>,
     now: SimTime,
 }
 
@@ -65,9 +79,10 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
             next_seq: 0,
-            cancelled: HashSet::new(),
             now: SimTime::ZERO,
         }
     }
@@ -96,55 +111,285 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
-        EventToken(seq)
+        let pos = self.heap.len() as u32;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let n = &mut self.nodes[slot as usize];
+                debug_assert!(n.event.is_none(), "free-list slot holds an event");
+                n.time = time;
+                n.seq = seq;
+                n.heap_pos = pos;
+                n.event = Some(event);
+                slot
+            }
+            None => {
+                let slot = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    time,
+                    seq,
+                    gen: 0,
+                    heap_pos: pos,
+                    event: Some(event),
+                });
+                slot
+            }
+        };
+        self.heap.push(slot);
+        self.sift_up(pos as usize);
+        EventToken {
+            slot,
+            gen: self.nodes[slot as usize].gen,
+        }
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event, removing it eagerly in
+    /// `O(log n)`.
     ///
     /// Cancelling an event that already fired (or was already cancelled) is
-    /// a no-op; this makes preemption paths simpler for callers.
-    pub fn cancel(&mut self, token: EventToken) {
-        self.cancelled.insert(token.0);
+    /// a no-op; this makes preemption paths simpler for callers. Returns
+    /// whether a live event was actually removed.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        let Some(node) = self.nodes.get(token.slot as usize) else {
+            return false;
+        };
+        if node.gen != token.gen || node.event.is_none() {
+            return false; // stale token: already fired or cancelled
+        }
+        let pos = node.heap_pos as usize;
+        debug_assert_eq!(self.heap[pos], token.slot);
+        self.remove_at(pos);
+        true
     }
 
     /// Pops the next live event, advancing the clock to its timestamp.
     ///
     /// Returns `None` when no live events remain.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            debug_assert!(entry.time >= self.now, "event queue time inversion");
-            self.now = entry.time;
-            return Some((entry.time, entry.event));
-        }
-        None
+        let &slot = self.heap.first()?;
+        let event = self.remove_at(0);
+        let time = self.nodes[slot as usize].time;
+        debug_assert!(time >= self.now, "event queue time inversion");
+        self.now = time;
+        Some((time, event))
     }
 
     /// Timestamp of the next live event without popping it, if any.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
-            }
-            return Some(entry.time);
-        }
-        None
+    ///
+    /// `O(1)` and immutable: eager cancellation means the heap head is
+    /// always live.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap
+            .first()
+            .map(|&slot| self.nodes[slot as usize].time)
     }
 
-    /// Number of scheduled entries, including not-yet-reaped cancelled ones.
+    /// Number of live (scheduled, not cancelled, not yet fired) events.
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// True if no entries are scheduled (cancelled or otherwise).
+    /// Number of live events; alias of [`EventQueue::len`], kept distinct
+    /// in the API so callers written against the lazy-cancel design (where
+    /// `len` counted corpses) read unambiguously.
+    pub fn live_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no live events are scheduled.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    // ---- heap internals ------------------------------------------------
+
+    /// `(time, seq)` key of the node at heap position `pos`.
+    #[inline]
+    fn key(&self, pos: usize) -> (SimTime, u64) {
+        let n = &self.nodes[self.heap[pos] as usize];
+        (n.time, n.seq)
+    }
+
+    /// Records that the node at heap position `pos` moved there.
+    #[inline]
+    fn place(&mut self, pos: usize) {
+        let slot = self.heap[pos];
+        self.nodes[slot as usize].heap_pos = pos as u32;
+    }
+
+    /// Removes the entry at heap position `pos`, returning its event.
+    /// Bumps the slot's generation and returns it to the free list.
+    fn remove_at(&mut self, pos: usize) -> E {
+        let slot = self.heap[pos];
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.heap.pop();
+        if pos <= last && pos < self.heap.len() {
+            // The displaced tail entry can need to move either way.
+            self.place(pos);
+            let moved_up = self.sift_up(pos);
+            if !moved_up {
+                self.sift_down(pos);
+            }
+        }
+        let node = &mut self.nodes[slot as usize];
+        node.gen = node.gen.wrapping_add(1);
+        self.free.push(slot);
+        node.event.take().expect("removed a dead heap entry")
+    }
+
+    /// Restores the heap property upward from `pos`; returns whether the
+    /// entry moved.
+    fn sift_up(&mut self, mut pos: usize) -> bool {
+        let mut moved = false;
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.key(pos) < self.key(parent) {
+                self.heap.swap(pos, parent);
+                self.place(pos);
+                self.place(parent);
+                pos = parent;
+                moved = true;
+            } else {
+                break;
+            }
+        }
+        moved
+    }
+
+    /// Restores the heap property downward from `pos`.
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        loop {
+            let left = 2 * pos + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let mut child = left;
+            if right < len && self.key(right) < self.key(left) {
+                child = right;
+            }
+            if self.key(child) < self.key(pos) {
+                self.heap.swap(pos, child);
+                self.place(pos);
+                self.place(child);
+                pos = child;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Validates slab/heap cross-links (test support).
+    #[cfg(test)]
+    pub(crate) fn check_heap_invariants(&self) {
+        for (pos, &slot) in self.heap.iter().enumerate() {
+            let n = &self.nodes[slot as usize];
+            assert!(n.event.is_some(), "dead entry in heap at {pos}");
+            assert_eq!(n.heap_pos as usize, pos, "stale heap_pos for slot {slot}");
+            if pos > 0 {
+                let parent = (pos - 1) / 2;
+                assert!(
+                    self.key(parent) <= self.key(pos),
+                    "heap order violated at {pos}"
+                );
+            }
+        }
+        let live = self.heap.len();
+        let free = self.free.len();
+        assert_eq!(live + free, self.nodes.len(), "slab leak");
+    }
+}
+
+/// The previous lazy-cancellation design, retained as a benchmark baseline
+/// and differential-testing reference.
+///
+/// Not part of the public API contract; see `benches/simulator_micro.rs`
+/// and the `engine-bench` experiment for how the indexed queue above is
+/// compared against it.
+#[doc(hidden)]
+pub mod lazy {
+    use crate::time::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, HashSet};
+
+    /// Token of the lazy queue (a bare sequence number).
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    pub struct LazyToken(u64);
+
+    struct Entry<E> {
+        time: SimTime,
+        seq: u64,
+        event: E,
+    }
+
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for Entry<E> {}
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            (other.time, other.seq).cmp(&(self.time, self.seq))
+        }
+    }
+
+    /// The pre-overhaul queue: `BinaryHeap` + lazy-cancel `HashSet`.
+    pub struct LazyEventQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        next_seq: u64,
+        cancelled: HashSet<u64>,
+        now: SimTime,
+    }
+
+    impl<E> Default for LazyEventQueue<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> LazyEventQueue<E> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            LazyEventQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                cancelled: HashSet::new(),
+                now: SimTime::ZERO,
+            }
+        }
+
+        /// Schedules an event.
+        pub fn schedule(&mut self, time: SimTime, event: E) -> LazyToken {
+            assert!(time >= self.now);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { time, seq, event });
+            LazyToken(seq)
+        }
+
+        /// Marks a token dead; the entry is reaped at pop time.
+        pub fn cancel(&mut self, token: LazyToken) {
+            self.cancelled.insert(token.0);
+        }
+
+        /// Pops the next live event.
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            while let Some(entry) = self.heap.pop() {
+                if self.cancelled.remove(&entry.seq) {
+                    continue;
+                }
+                self.now = entry.time;
+                return Some((entry.time, entry.event));
+            }
+            None
+        }
     }
 }
 
@@ -194,7 +439,7 @@ mod tests {
         let mut q = EventQueue::new();
         let tok = q.schedule(t(10), "dead");
         q.schedule(t(20), "live");
-        q.cancel(tok);
+        assert!(q.cancel(tok));
         assert_eq!(q.pop(), Some((t(20), "live")));
         assert_eq!(q.pop(), None);
     }
@@ -204,18 +449,59 @@ mod tests {
         let mut q = EventQueue::new();
         let tok = q.schedule(t(10), ());
         assert!(q.pop().is_some());
-        q.cancel(tok);
+        assert!(!q.cancel(tok));
         q.schedule(t(20), ());
         assert!(q.pop().is_some());
     }
 
     #[test]
-    fn peek_skips_cancelled() {
+    fn double_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(t(10), 1);
+        assert!(q.cancel(tok));
+        assert!(!q.cancel(tok));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn stale_token_cannot_cancel_reused_slot() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(t(10), 1);
+        q.cancel(tok);
+        // The slab slot is reused for the next event; the stale token's
+        // generation no longer matches.
+        q.schedule(t(20), 2);
+        assert!(!q.cancel(tok));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+    }
+
+    #[test]
+    fn peek_is_live_and_immutable() {
         let mut q = EventQueue::new();
         let tok = q.schedule(t(10), ());
         q.schedule(t(20), ());
         q.cancel(tok);
-        assert_eq!(q.peek_time(), Some(t(20)));
+        let q_ref = &q; // immutable peek
+        assert_eq!(q_ref.peek_time(), Some(t(20)));
+    }
+
+    #[test]
+    fn len_is_exact_under_cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), ());
+        let b = q.schedule(t(20), ());
+        q.schedule(t(30), ());
+        assert_eq!(q.len(), 3);
+        q.cancel(a);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.live_len(), 2);
+        q.cancel(b);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        q.check_heap_invariants();
     }
 
     #[test]
@@ -245,5 +531,36 @@ mod tests {
         q.schedule(now + SimDuration::from_micros(1), 3);
         assert_eq!(q.pop().unwrap().1, 3);
         assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn heavy_cancel_mix_keeps_invariants() {
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::new();
+        for i in 0..500u64 {
+            tokens.push(q.schedule(t(i * 7919 % 1000 + 1000), i));
+        }
+        // Cancel every third, pop a third, reschedule more.
+        for (i, tok) in tokens.iter().enumerate() {
+            if i % 3 == 0 {
+                q.cancel(*tok);
+            }
+        }
+        q.check_heap_invariants();
+        for _ in 0..150 {
+            q.pop();
+        }
+        q.check_heap_invariants();
+        for i in 0..200u64 {
+            q.schedule(q.now() + SimDuration::from_micros(i % 37 + 1), 1000 + i);
+        }
+        q.check_heap_invariants();
+        let mut last = (SimTime::ZERO, 0u64);
+        while let Some((at, _)) = q.pop() {
+            assert!(at >= last.0);
+            last = (at, 0);
+        }
+        assert!(q.is_empty());
+        q.check_heap_invariants();
     }
 }

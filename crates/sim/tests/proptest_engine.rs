@@ -1,8 +1,53 @@
 //! Property tests of the simulation engine against reference models.
 
 use proptest::prelude::*;
+use sa_sim::event::lazy::LazyEventQueue;
 use sa_sim::stats::{Histogram, TimeWeighted};
 use sa_sim::{EventQueue, SimDuration, SimTime};
+
+/// One step of the model-based interleaving test. Delays are drawn from a
+/// tiny range so same-instant ties (the determinism-critical case) are
+/// common; `Cancel`/`Pop`/`Peek` indices are reduced modulo the current
+/// state at execution time.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    Schedule(u64),
+    Cancel(usize),
+    Pop,
+    Peek,
+}
+
+fn queue_ops() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        (0u64..8).prop_map(QueueOp::Schedule),
+        (0usize..64).prop_map(QueueOp::Cancel),
+        Just(QueueOp::Pop),
+        Just(QueueOp::Peek),
+    ]
+}
+
+/// Naive reference: a vec of live `(time, seq, value)` entries, popped by
+/// scanning for the minimum `(time, seq)`. Deliberately O(n) and obvious.
+#[derive(Default)]
+struct ModelQueue {
+    live: Vec<(u64, usize, usize)>,
+}
+
+impl ModelQueue {
+    fn min_index(&self) -> Option<usize> {
+        (0..self.live.len()).min_by_key(|&i| (self.live[i].0, self.live[i].1))
+    }
+
+    fn pop(&mut self) -> Option<(u64, usize)> {
+        let i = self.min_index()?;
+        let (t, _, v) = self.live.remove(i);
+        Some((t, v))
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.min_index().map(|i| self.live[i].0)
+    }
+}
 
 proptest! {
     /// Events pop in nondecreasing time order with FIFO tie-breaking,
@@ -77,6 +122,91 @@ proptest! {
             popped += 1;
         }
         prop_assert_eq!(scheduled, popped);
+    }
+
+    /// Model-based equivalence: arbitrary schedule/cancel/pop/peek
+    /// interleavings (with frequent same-instant ties) agree with a naive
+    /// sorted-vec reference at every step, for both the indexed queue and
+    /// the retained lazy-cancellation baseline. Also pins the exact-`len`
+    /// semantics: after an eager cancel, `len()` and `live_len()` both
+    /// drop immediately.
+    #[test]
+    fn queue_matches_model_under_interleaving(
+        ops in prop::collection::vec(queue_ops(), 1..300)
+    ) {
+        let mut q = EventQueue::new();
+        let mut lazy = LazyEventQueue::new();
+        let mut model = ModelQueue::default();
+        // Live tokens, parallel across all three implementations.
+        let mut tokens: Vec<(sa_sim::EventToken, sa_sim::event::lazy::LazyToken, usize)> =
+            Vec::new();
+        let mut next_seq = 0usize;
+        for op in ops {
+            match op {
+                QueueOp::Schedule(delay) => {
+                    let at = q.now() + SimDuration::from_micros(delay);
+                    let tok = q.schedule(at, next_seq);
+                    let ltok = lazy.schedule(at, next_seq);
+                    model.live.push((at.as_micros(), next_seq, next_seq));
+                    tokens.push((tok, ltok, next_seq));
+                    next_seq += 1;
+                }
+                QueueOp::Cancel(i) => {
+                    if tokens.is_empty() {
+                        continue;
+                    }
+                    let (tok, ltok, seq) = tokens.swap_remove(i % tokens.len());
+                    prop_assert!(q.cancel(tok), "token for live entry {} refused", seq);
+                    lazy.cancel(ltok);
+                    let mi = model
+                        .live
+                        .iter()
+                        .position(|&(_, s, _)| s == seq)
+                        .expect("model out of sync");
+                    model.live.remove(mi);
+                    // Eager removal: exact len immediately, and a second
+                    // cancel of the same token must refuse.
+                    prop_assert_eq!(q.len(), model.live.len());
+                    prop_assert!(!q.cancel(tok));
+                }
+                QueueOp::Pop => {
+                    let got = q.pop().map(|(t, v)| (t.as_micros(), v));
+                    let lgot = lazy.pop().map(|(t, v)| (t.as_micros(), v));
+                    let want = model.pop();
+                    prop_assert_eq!(got, want);
+                    prop_assert_eq!(lgot, want);
+                    if let Some((_, v)) = want {
+                        let ti = tokens.iter().position(|&(_, _, s)| s == v);
+                        if let Some(ti) = ti {
+                            let (tok, _, _) = tokens.swap_remove(ti);
+                            // A popped event's token is dead.
+                            prop_assert!(!q.cancel(tok));
+                        }
+                    }
+                }
+                QueueOp::Peek => {
+                    prop_assert_eq!(q.peek_time().map(|t| t.as_micros()), model.peek_time());
+                }
+            }
+            prop_assert_eq!(q.len(), model.live.len());
+            prop_assert_eq!(q.live_len(), model.live.len());
+            prop_assert_eq!(q.is_empty(), model.live.is_empty());
+        }
+        // Drain: remaining events agree in full (time, value) order.
+        let mut got = Vec::new();
+        while let Some((t, v)) = q.pop() {
+            got.push((t.as_micros(), v));
+        }
+        let mut lgot = Vec::new();
+        while let Some((t, v)) = lazy.pop() {
+            lgot.push((t.as_micros(), v));
+        }
+        let mut want = Vec::new();
+        while let Some(e) = model.pop() {
+            want.push(e);
+        }
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(&lgot, &want);
     }
 
     /// The time-weighted gauge equals a straightforward integral.

@@ -42,17 +42,32 @@ pub struct FastThreads {
     cfg: FtConfig,
     tcbs: Vec<Utcb>,
     slots: Vec<Slot>,
-    /// VP id → slot index.
-    vp_slot: HashMap<u32, usize>,
+    /// VP id → slot index. A slab rather than a hash map: this is read on
+    /// every poll and upcall delivery, and VP ids (kernel-thread indexes
+    /// or activation ids) are dense — the kernel allocates activation ids
+    /// from a compact table and recycles them (§4.3).
+    vp_slot: Vec<Option<u32>>,
     /// Blocked activation → the user threads it carried into the kernel,
-    /// in block order. A queue rather than a single slot: a recycled
-    /// activation id can block again before its previous notifications
-    /// have been processed (events are observed out of order when a
-    /// preempted processor's unprocessed events migrate, §3.1).
-    act_thread: HashMap<u32, std::collections::VecDeque<UtId>>,
+    /// in block order, slab-indexed by activation id. A queue rather than
+    /// a single slot: a recycled activation id can block again before its
+    /// previous notifications have been processed (events are observed out
+    /// of order when a preempted processor's unprocessed events migrate,
+    /// §3.1). Queues are reused across activations, so the steady state
+    /// allocates nothing.
+    act_thread: Vec<std::collections::VecDeque<UtId>>,
     /// Per-activation count of unblock notifications that arrived before
-    /// their matching Blocked event was processed.
-    early_unblocks: HashMap<u32, u32>,
+    /// their matching Blocked event was processed, slab-indexed by
+    /// activation id.
+    early_unblocks: Vec<u32>,
+    /// Reusable buffer for migrating slot continuations (see
+    /// [`FastThreads::deactivate_slot`]); empty between calls.
+    scratch_cont: Vec<RtMicro>,
+    /// Reusable buffer for migrating unprocessed upcall events; empty
+    /// between calls.
+    scratch_tasks: Vec<UpcallEvent>,
+    /// Reusable buffer for condition-variable broadcast wakeups; empty
+    /// between calls.
+    scratch_cv: Vec<(UtId, LockId)>,
     locks: HashMap<LockId, ULock>,
     cvs: HashMap<CvId, UCv>,
     /// The main thread, created at `set_main`, waiting for the first VP.
@@ -85,9 +100,12 @@ impl FastThreads {
             cfg,
             tcbs: Vec::new(),
             slots,
-            vp_slot: HashMap::new(),
-            act_thread: HashMap::new(),
-            early_unblocks: HashMap::new(),
+            vp_slot: Vec::new(),
+            act_thread: Vec::new(),
+            early_unblocks: Vec::new(),
+            scratch_cont: Vec::new(),
+            scratch_tasks: Vec::new(),
+            scratch_cv: Vec::new(),
             locks: HashMap::new(),
             cvs: HashMap::new(),
             boot_thread: None,
@@ -223,10 +241,28 @@ impl FastThreads {
         self.slots.iter().filter(|s| s.active_vp.is_some()).count()
     }
 
+    /// Blocked-thread queue for an activation, growing the slab on first
+    /// sight of a new activation id.
+    fn act_queue(&mut self, vp: VpId) -> &mut std::collections::VecDeque<UtId> {
+        if self.act_thread.len() <= vp.index() {
+            self.act_thread
+                .resize_with(vp.index() + 1, Default::default);
+        }
+        &mut self.act_thread[vp.index()]
+    }
+
+    /// Early-unblock counter for an activation (see `early_unblocks`).
+    fn early_unblocks_mut(&mut self, vp: VpId) -> &mut u32 {
+        if self.early_unblocks.len() <= vp.index() {
+            self.early_unblocks.resize(vp.index() + 1, 0);
+        }
+        &mut self.early_unblocks[vp.index()]
+    }
+
     /// Binds a VP to a slot (reusing an inactive slot if possible).
     fn bind_slot(&mut self, vp: VpId) -> usize {
-        if let Some(&idx) = self.vp_slot.get(&vp.0) {
-            return idx;
+        if let Some(Some(idx)) = self.vp_slot.get(vp.index()) {
+            return *idx as usize;
         }
         let idx = match self.cfg.substrate {
             Substrate::KernelThreads { .. } => vp.index(),
@@ -243,7 +279,10 @@ impl FastThreads {
         s.active_vp = Some(vp);
         s.hysteresis_done = false;
         s.idle_hinted = false;
-        self.vp_slot.insert(vp.0, idx);
+        if self.vp_slot.len() <= vp.index() {
+            self.vp_slot.resize(vp.index() + 1, None);
+        }
+        self.vp_slot[vp.index()] = Some(idx as u32);
         idx
     }
 
@@ -251,7 +290,7 @@ impl FastThreads {
     /// thread that was loaded (if any) after migrating the slot-level
     /// continuation and unprocessed tasks to `dest`.
     fn deactivate_slot(&mut self, vp: VpId, dest: usize) -> Option<UtId> {
-        let idx = self.vp_slot.remove(&vp.0)?;
+        let idx = self.vp_slot.get_mut(vp.index())?.take()? as usize;
         let t = {
             let s = &mut self.slots[idx];
             s.active_vp = None;
@@ -266,10 +305,18 @@ impl FastThreads {
             // "A user-level context switch can be made to continue
             // processing the event" (§3.1): interrupted upcall handling and
             // the events it had not reached continue on the new processor.
-            let cont: Vec<RtMicro> = self.slots[idx].cont.drain(..).collect();
-            let tasks: Vec<UpcallEvent> = self.slots[idx].tasks.drain(..).collect();
-            self.slots[dest].cont.extend(cont);
-            self.slots[dest].tasks.extend(tasks);
+            // Staged through persistent scratch buffers (two `self.slots`
+            // entries cannot be borrowed at once) so the per-upcall path
+            // allocates nothing in the steady state.
+            debug_assert!(self.scratch_cont.is_empty() && self.scratch_tasks.is_empty());
+            let mut cont = std::mem::take(&mut self.scratch_cont);
+            let mut tasks = std::mem::take(&mut self.scratch_tasks);
+            cont.extend(self.slots[idx].cont.drain(..));
+            tasks.extend(self.slots[idx].tasks.drain(..));
+            self.slots[dest].cont.extend(cont.drain(..));
+            self.slots[dest].tasks.extend(tasks.drain(..));
+            self.scratch_cont = cont;
+            self.scratch_tasks = tasks;
         }
         t
     }
@@ -662,7 +709,7 @@ impl FastThreads {
                 .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
             return;
         }
-        lock.spinners.retain(|&(x, _)| x != t);
+        lock.remove_spinner(t);
         self.stats.spin_blocks.inc();
         self.block_on_lock(slot, t, l);
     }
@@ -774,11 +821,17 @@ impl FastThreads {
     }
 
     fn finish_cv_broadcast(&mut self, slot: usize, cv: CvId, env: &mut RtEnv<'_>) {
-        let waiters: Vec<(UtId, LockId)> =
-            self.cvs.entry(cv).or_default().waiters.drain(..).collect();
-        for (w, lock) in waiters {
+        // Staged through a persistent scratch buffer: `wake_cv_waiter`
+        // needs `&mut self`, so the waiter list cannot stay borrowed while
+        // waking, and a fresh `Vec` per broadcast would put an allocation
+        // on the signal path.
+        debug_assert!(self.scratch_cv.is_empty());
+        let mut waiters = std::mem::take(&mut self.scratch_cv);
+        waiters.extend(self.cvs.entry(cv).or_default().waiters.drain(..));
+        for (w, lock) in waiters.drain(..) {
             self.wake_cv_waiter(slot, w, lock, env);
         }
+        self.scratch_cv = waiters;
     }
 
     /// A signalled waiter either becomes ready (re-acquiring a free mutex
@@ -872,7 +925,7 @@ impl FastThreads {
                 let t = self.deactivate_slot(vp, slot);
                 if let Some(t) = t {
                     debug_assert_ne!(self.tcbs[t.index()].state, UtState::Free);
-                    let early = self.early_unblocks.get_mut(&vp.0);
+                    let early = self.early_unblocks.get_mut(vp.index());
                     if let Some(n) = early.filter(|n| **n > 0) {
                         // The unblock notification overtook this event; the
                         // thread is already runnable again.
@@ -888,7 +941,7 @@ impl FastThreads {
                     } else {
                         self.tcbs[t.index()].state = UtState::BlockedKernel;
                         self.busy -= 1;
-                        self.act_thread.entry(vp.0).or_default().push_back(t);
+                        self.act_queue(vp).push_back(t);
                     }
                 }
             }
@@ -899,11 +952,14 @@ impl FastThreads {
             } => {
                 self.stats.unblocks.inc();
                 self.discard_backlog += 1;
-                let next = self.act_thread.get_mut(&vp.0).and_then(|q| q.pop_front());
+                let next = self
+                    .act_thread
+                    .get_mut(vp.index())
+                    .and_then(|q| q.pop_front());
                 let Some(t) = next else {
                     // Arrived before the matching Blocked event (§3.1
                     // migration reordering); remember it.
-                    *self.early_unblocks.entry(vp.0).or_default() += 1;
+                    *self.early_unblocks_mut(vp) += 1;
                     return;
                 };
                 debug_assert_eq!(self.tcbs[t.index()].state, UtState::BlockedKernel);
@@ -952,7 +1008,7 @@ impl FastThreads {
                     .take()
                     .expect("spinning thread without a target lock");
                 if let Some(l) = self.locks.get_mut(&lock) {
-                    l.spinners.retain(|&(x, _)| x != t);
+                    l.remove_spinner(t);
                 }
                 self.clear_spin_micros(t);
                 self.tcbs[t.index()]
@@ -1236,7 +1292,7 @@ impl UserRuntime for FastThreads {
                         // re-run the acquire: the releaser made us holder.
                         self.clear_spin_micros(t);
                         let l = self.locks.entry(lock).or_default();
-                        l.spinners.retain(|&(x, _)| x != t);
+                        l.remove_spinner(t);
                         self.tcbs[t.index()].spinning_on = None;
                         self.tcbs[t.index()].state = UtState::Running;
                         self.tcbs[t.index()]

@@ -64,6 +64,19 @@ impl ULock {
             }
         }
     }
+
+    /// Removes `t` from the spinner list if present (spin expiry,
+    /// preemption, and kick paths). Unlike a `retain` over the whole list,
+    /// this stops at the match; spinner lists are bounded by the processor
+    /// count, and the common case is a hit at the front.
+    pub(crate) fn remove_spinner(&mut self, t: UtId) -> bool {
+        if let Some(pos) = self.spinners.iter().position(|&(x, _)| x == t) {
+            self.spinners.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Result of a lock release.

@@ -222,7 +222,7 @@ mod tests {
         c.access(b(2));
         c.access(b(3));
         c.access(b(4)); // evicts... 0 is most-touched but oldest-stamped? No: 0 was MRU long ago; LRU is 1.
-        assert!(c.access(b(0)) || true); // presence depends on stamps; assert structure instead
+        let _ = c.access(b(0)); // presence depends on stamps; assert structure instead
         assert_eq!(c.len(), 4);
     }
 }

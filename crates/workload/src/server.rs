@@ -103,7 +103,7 @@ pub fn server(cfg: ServerConfig) -> (Box<dyn ThreadBody>, ServerStats) {
     let mut arrivals = Vec::with_capacity(cfg.requests);
     let mut t = SimTime::ZERO;
     for _ in 0..cfg.requests {
-        t = t + SimDuration::from_nanos(rng.exp(cfg.mean_interarrival.as_nanos() as f64) as u64);
+        t += SimDuration::from_nanos(rng.exp(cfg.mean_interarrival.as_nanos() as f64) as u64);
         arrivals.push((t, rng.chance(cfg.io_probability)));
     }
     let mut next = 0usize;
@@ -112,21 +112,19 @@ pub fn server(cfg: ServerConfig) -> (Box<dyn ThreadBody>, ServerStats) {
         if let OpResult::Forked(_) = env.last {
             // Handler launched; fall through to schedule the next one.
         }
-        loop {
-            if next >= arrivals.len() {
-                return Op::Exit;
-            }
-            let (at, does_io) = arrivals[next];
-            if env.now < at && !sleeping {
-                // Sleep (kernel timer) until the next arrival.
-                sleeping = true;
-                return Op::Io(at.since(env.now));
-            }
-            sleeping = false;
-            next += 1;
-            let arrived = if env.now > at { env.now } else { at };
-            return Op::Fork(handler(sink.clone(), cfg.clone(), arrived, does_io));
+        if next >= arrivals.len() {
+            return Op::Exit;
         }
+        let (at, does_io) = arrivals[next];
+        if env.now < at && !sleeping {
+            // Sleep (kernel timer) until the next arrival.
+            sleeping = true;
+            return Op::Io(at.since(env.now));
+        }
+        sleeping = false;
+        next += 1;
+        let arrived = if env.now > at { env.now } else { at };
+        Op::Fork(handler(sink.clone(), cfg.clone(), arrived, does_io))
     });
     (Box::new(body), stats)
 }
