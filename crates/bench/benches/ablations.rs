@@ -12,24 +12,21 @@
 //!    I/O-heavy run.
 //! 4. **Lock spin policy**: spin-forever vs. spin-then-block vs.
 //!    block-immediately under multiprogramming.
+//!
+//! Every configuration is an independent simulation; the N-body runs and
+//! the lock-ladder runs each fan out across host cores (`SA_JOBS`
+//! workers, default = host parallelism) with identical results and
+//! output at any worker count.
 
+use sa_bench::reporting::jobs_or_exit;
 use sa_core::{AppSpec, SystemBuilder, ThreadApi};
+use sa_harness::{run_ordered, Job, PanickedJob};
 use sa_kernel::DaemonSpec;
 use sa_machine::CostModel;
 use sa_sim::{SimDuration, SimTime};
 use sa_uthread::{CriticalSectionMode, SpinPolicy};
 use sa_workload::nbody::{nbody_parallel, NBodyConfig};
 use sa_workload::synthetic::contended_ladder;
-
-fn run_nbody(
-    critical: CriticalSectionMode,
-    lock_policy: SpinPolicy,
-    cost: CostModel,
-    copies: usize,
-    frac: f64,
-) -> Option<SimDuration> {
-    run_nbody_on(6, critical, lock_policy, cost, copies, frac)
-}
 
 fn run_nbody_on(
     cpus: u16,
@@ -72,6 +69,41 @@ fn run_nbody_on(
     Some(SimDuration::from_nanos((total / copies as u128) as u64))
 }
 
+/// One contended-ladder run for ablation 4; `Err` carries the outcome
+/// line when the run did not finish.
+fn run_ladder(policy: SpinPolicy, cost: CostModel) -> Result<SimDuration, String> {
+    // More threads than processors with long critical sections: a
+    // spin-forever waiter burns a processor that a runnable thread
+    // needs, while block-immediately pays a context switch even when
+    // the holder would release in a few microseconds.
+    let mut builder = SystemBuilder::new(3)
+        .cost(cost)
+        .daemons(DaemonSpec::topaz_default_set())
+        .run_limit(SimTime::from_millis(600_000));
+    for i in 0..2 {
+        let mut app = AppSpec::new(
+            format!("ladder-{i}"),
+            ThreadApi::SchedulerActivations { max_processors: 3 },
+            contended_ladder(
+                8,
+                300,
+                SimDuration::from_micros(100),
+                SimDuration::from_micros(60),
+            ),
+        );
+        app.lock_policy = policy;
+        builder = builder.app(app);
+    }
+    let mut sys = builder.build();
+    let report = sys.run();
+    if report.all_done() {
+        let mean = (report.elapsed(0).as_nanos() + report.elapsed(1).as_nanos()) / 2;
+        Ok(SimDuration::from_nanos(mean))
+    } else {
+        Err(format!("{:?}", report.outcome))
+    }
+}
+
 fn fmt(d: Option<SimDuration>) -> String {
     match d {
         Some(d) => format!("{d}"),
@@ -79,8 +111,83 @@ fn fmt(d: Option<SimDuration>) -> String {
     }
 }
 
-fn main() {
+fn sweeps() -> Result<(), PanickedJob> {
+    let jobs = jobs_or_exit("ablations");
     let proto = CostModel::firefly_prototype();
+    let mut no_cache = proto.clone();
+    no_cache.act_create_cached = no_cache.act_create_fresh;
+
+    // All five N-body configurations as one fan-out, printed per section
+    // below: recovery on/off (5 CPUs, spin locks), caching on/off and
+    // tuned upcalls (I/O-heavy, 40% memory).
+    let nbody_specs: [(u16, CriticalSectionMode, SpinPolicy, CostModel, usize, f64); 5] = [
+        (
+            5,
+            CriticalSectionMode::ZeroOverhead,
+            SpinPolicy::SpinForever,
+            proto.clone(),
+            2,
+            1.0,
+        ),
+        (
+            5,
+            CriticalSectionMode::NoRecovery,
+            SpinPolicy::SpinForever,
+            proto.clone(),
+            2,
+            1.0,
+        ),
+        (
+            6,
+            CriticalSectionMode::ZeroOverhead,
+            SpinPolicy::default(),
+            proto.clone(),
+            1,
+            0.4,
+        ),
+        (
+            6,
+            CriticalSectionMode::ZeroOverhead,
+            SpinPolicy::default(),
+            no_cache,
+            1,
+            0.4,
+        ),
+        (
+            6,
+            CriticalSectionMode::ZeroOverhead,
+            SpinPolicy::default(),
+            CostModel::tuned(),
+            1,
+            0.4,
+        ),
+    ];
+    let nbody_tasks: Vec<Job<'_, Option<SimDuration>>> = nbody_specs
+        .into_iter()
+        .map(
+            |(cpus, critical, policy, cost, copies, frac)| -> Job<'_, Option<SimDuration>> {
+                Box::new(move || run_nbody_on(cpus, critical, policy, cost, copies, frac))
+            },
+        )
+        .collect();
+    let ladder_policies = [
+        ("spin-then-block", SpinPolicy::default()),
+        ("block-immediately", SpinPolicy::BlockImmediately),
+        ("spin-forever", SpinPolicy::SpinForever),
+    ];
+    let ladder_tasks: Vec<Job<'_, Result<SimDuration, String>>> = ladder_policies
+        .iter()
+        .map(|&(_name, policy)| -> Job<'_, Result<SimDuration, String>> {
+            let cost = proto.clone();
+            Box::new(move || run_ladder(policy, cost))
+        })
+        .collect();
+
+    let nbody = run_ordered(jobs, nbody_tasks)?;
+    let ladders = run_ordered(jobs, ladder_tasks)?;
+    let [with, without, cached, uncached, tuned] = nbody[..] else {
+        unreachable!("five n-body jobs submitted");
+    };
 
     // Two copies on a FIVE-processor machine: the odd processor rotates
     // between the spaces every quantum (§4.1), so activations are
@@ -90,22 +197,6 @@ fn main() {
     // preempted holder from stranding every spinner; competitive
     // spin-then-block masks the damage, so the ablation uses SpinForever.
     println!("Ablation 1: critical-section recovery (multiprogrammed N-body, level 2, 5 CPUs, spin locks)");
-    let with = run_nbody_on(
-        5,
-        CriticalSectionMode::ZeroOverhead,
-        SpinPolicy::SpinForever,
-        proto.clone(),
-        2,
-        1.0,
-    );
-    let without = run_nbody_on(
-        5,
-        CriticalSectionMode::NoRecovery,
-        SpinPolicy::SpinForever,
-        proto.clone(),
-        2,
-        1.0,
-    );
     println!("  recovery on (3.3):  {}", fmt(with));
     println!("  recovery off:       {}", fmt(without));
     if let (Some(w), Some(wo)) = (with, without) {
@@ -116,73 +207,28 @@ fn main() {
     }
 
     println!("\nAblation 2: activation caching (4.3), I/O-heavy run (40% memory)");
-    let mut no_cache = proto.clone();
-    no_cache.act_create_cached = no_cache.act_create_fresh;
-    let cached = run_nbody(
-        CriticalSectionMode::ZeroOverhead,
-        SpinPolicy::default(),
-        proto.clone(),
-        1,
-        0.4,
-    );
-    let uncached = run_nbody(
-        CriticalSectionMode::ZeroOverhead,
-        SpinPolicy::default(),
-        no_cache,
-        1,
-        0.4,
-    );
     println!("  caching on:   {}", fmt(cached));
     println!("  caching off:  {}", fmt(uncached));
     println!("  (the §4.3 saving is real but small here: upcall dispatch, not");
     println!("   activation creation, dominates the prototype's upcall cost)");
 
     println!("\nAblation 3: upcall path tuning (5.2), I/O-heavy run (40% memory)");
-    let tuned = run_nbody(
-        CriticalSectionMode::ZeroOverhead,
-        SpinPolicy::default(),
-        CostModel::tuned(),
-        1,
-        0.4,
-    );
     println!("  prototype upcalls: {}", fmt(cached));
     println!("  tuned upcalls:     {}", fmt(tuned));
 
     println!("\nAblation 4: lock spin policy (contended ladder, multiprogrammed)");
-    for (name, policy) in [
-        ("spin-then-block", SpinPolicy::default()),
-        ("block-immediately", SpinPolicy::BlockImmediately),
-        ("spin-forever", SpinPolicy::SpinForever),
-    ] {
-        // More threads than processors with long critical sections: a
-        // spin-forever waiter burns a processor that a runnable thread
-        // needs, while block-immediately pays a context switch even when
-        // the holder would release in a few microseconds.
-        let mut builder = SystemBuilder::new(3)
-            .cost(proto.clone())
-            .daemons(DaemonSpec::topaz_default_set())
-            .run_limit(SimTime::from_millis(600_000));
-        for i in 0..2 {
-            let mut app = AppSpec::new(
-                format!("ladder-{i}"),
-                ThreadApi::SchedulerActivations { max_processors: 3 },
-                contended_ladder(
-                    8,
-                    300,
-                    SimDuration::from_micros(100),
-                    SimDuration::from_micros(60),
-                ),
-            );
-            app.lock_policy = policy;
-            builder = builder.app(app);
+    for ((name, _policy), result) in ladder_policies.iter().zip(&ladders) {
+        match result {
+            Ok(mean) => println!("  {name:<18} {mean}"),
+            Err(outcome) => println!("  {name:<18} DID NOT FINISH ({outcome})"),
         }
-        let mut sys = builder.build();
-        let report = sys.run();
-        if report.all_done() {
-            let mean = (report.elapsed(0).as_nanos() + report.elapsed(1).as_nanos()) / 2;
-            println!("  {name:<18} {}", SimDuration::from_nanos(mean));
-        } else {
-            println!("  {name:<18} DID NOT FINISH ({:?})", report.outcome);
-        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(panicked) = sweeps() {
+        eprintln!("ablations: {panicked}");
+        std::process::exit(1);
     }
 }

@@ -7,31 +7,39 @@
 //! virtual processors but the explicit allocator gives scheduler
 //! activations the idle processors); Topaz kernel threads flatten out
 //! around 2-2.5 (thread-management cost and lock contention).
+//!
+//! The 19 runs (sequential baseline + 6 processor counts × 3 systems)
+//! are independent simulations; they fan out across host cores
+//! (`SA_JOBS` workers, default = host parallelism) with identical
+//! results and output at any worker count.
 
-use sa_core::experiments::{figure_apis, nbody_run, nbody_sequential_time};
+use sa_bench::reporting::jobs_or_exit;
+use sa_core::sweeps::fig1_grid;
 use sa_machine::CostModel;
 use sa_workload::nbody::NBodyConfig;
 
 fn main() {
+    let jobs = jobs_or_exit("fig1_speedup");
     let cost = CostModel::firefly_prototype();
     let cfg = NBodyConfig::default();
-    let seq = nbody_sequential_time(cfg.clone(), cost.clone(), 1);
+    let grid = match fig1_grid(&cfg, &cost, 6, 1..=6, 1, jobs) {
+        Ok(grid) => grid,
+        Err(panicked) => {
+            eprintln!("fig1_speedup: {panicked}");
+            std::process::exit(1);
+        }
+    };
     println!("Figure 1: Speedup of N-Body vs. number of processors (100% memory)");
-    println!("sequential baseline: {seq}");
+    println!("sequential baseline: {}", grid.seq);
     println!(
         "{:<6} {:>15} {:>15} {:>15}",
         "procs", "Topaz threads", "orig FastThrds", "new FastThrds"
     );
-    for cpus in 1..=6u16 {
-        let mut row = Vec::new();
-        for (name, api) in figure_apis(cpus as u32) {
-            // The Firefly always has six processors; the application is
-            // limited to `cpus`. Topaz parallelism cannot be capped from
-            // user level, so its runs size the machine itself.
-            let machine = if name == "Topaz threads" { cpus } else { 6 };
-            let r = nbody_run(api, machine, cfg.clone(), cost.clone(), 1, 1);
-            row.push(seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64);
-        }
+    for (i, (cpus, _)) in grid.rows.iter().enumerate() {
+        // The Firefly always has six processors; the application is
+        // limited to `cpus`. Topaz parallelism cannot be capped from
+        // user level, so its runs size the machine itself.
+        let row = grid.speedups(i);
         println!(
             "{:<6} {:>15.2} {:>15.2} {:>15.2}",
             cpus, row[0], row[1], row[2]

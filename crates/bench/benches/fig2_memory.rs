@@ -11,50 +11,38 @@
 //! A fourth column runs the scheduler-activation system on the paper's
 //! projected *tuned* upcall path (§5.2) — the prototype's ~2.4 ms upcall
 //! machinery taxes every cache miss, and the tuned model removes it.
+//!
+//! The 28 cells (7 fractions × 4 columns) are independent simulations;
+//! they fan out across host cores (`SA_JOBS` workers, default = host
+//! parallelism) with identical results and output at any worker count.
 
-use sa_core::experiments::{figure_apis, nbody_run};
-use sa_core::ThreadApi;
+use sa_bench::reporting::jobs_or_exit;
+use sa_core::sweeps::fig2_sweep;
 use sa_machine::CostModel;
 use sa_workload::nbody::NBodyConfig;
 
 fn main() {
+    let jobs = jobs_or_exit("fig2_memory");
     let cost = CostModel::firefly_prototype();
+    let cfg = NBodyConfig::default();
+    let fracs = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4];
+    let sweep = match fig2_sweep(&cfg, &cost, 6, &fracs, true, 1, jobs) {
+        Ok(sweep) => sweep,
+        Err(panicked) => {
+            eprintln!("fig2_memory: {panicked}");
+            std::process::exit(1);
+        }
+    };
     println!("Figure 2: N-Body execution time vs. % available memory (6 processors)");
     println!(
         "{:<7} {:>14} {:>14} {:>14} {:>14}   (seconds; misses in parens)",
         "memory", "Topaz threads", "orig FastThrds", "new FastThrds", "new FT(tuned)"
     );
-    for frac in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4] {
-        let mut cells = Vec::new();
-        for (_name, api) in figure_apis(6) {
-            let cfg = NBodyConfig {
-                memory_fraction: frac,
-                ..NBodyConfig::default()
-            };
-            let r = nbody_run(api, 6, cfg, cost.clone(), 1, 1);
-            cells.push(format!(
-                "{:.2} ({})",
-                r.elapsed.as_secs_f64(),
-                r.cache_misses
-            ));
-        }
-        let cfg = NBodyConfig {
-            memory_fraction: frac,
-            ..NBodyConfig::default()
-        };
-        let tuned = nbody_run(
-            ThreadApi::SchedulerActivations { max_processors: 6 },
-            6,
-            cfg,
-            CostModel::tuned(),
-            1,
-            1,
-        );
-        cells.push(format!(
-            "{:.2} ({})",
-            tuned.elapsed.as_secs_f64(),
-            tuned.cache_misses
-        ));
+    for (frac, runs) in &sweep.rows {
+        let cells: Vec<String> = runs
+            .iter()
+            .map(|r| format!("{:.2} ({})", r.elapsed.as_secs_f64(), r.cache_misses))
+            .collect();
         println!(
             "{:>5.0}%  {:>14} {:>14} {:>14} {:>14}",
             frac * 100.0,

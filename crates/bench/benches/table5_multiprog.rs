@@ -6,36 +6,42 @@
 //! 2.45 — the scheduler-activation system keeps its speedup "within 5% of
 //! that obtained when the application ran uniprogrammed on three
 //! processors", while the others collapse under oblivious time slicing.
+//!
+//! The five runs (sequential baseline, three multiprogrammed runs, the
+//! uniprogrammed cross-check) are independent simulations; they fan out
+//! across host cores (`SA_JOBS` workers, default = host parallelism)
+//! with identical results and output at any worker count.
 
-use sa_core::experiments::{figure_apis, nbody_run, nbody_sequential_time};
+use sa_bench::reporting::jobs_or_exit;
+use sa_core::sweeps::table5_runs;
 use sa_machine::CostModel;
 use sa_workload::nbody::NBodyConfig;
 
 fn main() {
+    let jobs = jobs_or_exit("table5_multiprog");
     let cost = CostModel::firefly_prototype();
     let cfg = NBodyConfig::default();
-    let seq = nbody_sequential_time(cfg.clone(), cost.clone(), 1);
+    let t5 = match table5_runs(&cfg, &cost, 1, true, jobs) {
+        Ok(t5) => t5,
+        Err(panicked) => {
+            eprintln!("table5_multiprog: {panicked}");
+            std::process::exit(1);
+        }
+    };
     println!("Table 5: Speedup, multiprogramming level 2, 6 processors, 100% memory");
-    println!("sequential baseline: {seq} (max possible speedup: 3)");
+    println!("sequential baseline: {} (max possible speedup: 3)", t5.seq);
     let paper = [1.29, 1.26, 2.45];
+    let names = ["Topaz threads", "orig FastThrds", "new FastThrds"];
     println!("{:<18} {:>10} {:>8}", "System", "speedup", "paper");
-    for (i, (name, api)) in figure_apis(6).into_iter().enumerate() {
-        let r = nbody_run(api, 6, cfg.clone(), cost.clone(), 2, 1);
-        let speedup = seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64;
-        println!("{:<18} {:>10.2} {:>8.2}", name, speedup, paper[i]);
+    for (i, r) in t5.multi.iter().enumerate() {
+        let speedup = t5.seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64;
+        println!("{:<18} {:>10.2} {:>8.2}", names[i], speedup, paper[i]);
     }
     // The paper's cross-check: uniprogrammed on three processors.
-    let three = nbody_run(
-        sa_core::ThreadApi::SchedulerActivations { max_processors: 3 },
-        6,
-        cfg,
-        cost,
-        1,
-        1,
-    );
+    let three = t5.uni3.expect("cross-check requested");
     println!(
         "\nnew FastThreads uniprogrammed on 3 of 6 processors: speedup {:.2}",
-        seq.as_nanos() as f64 / three.elapsed.as_nanos() as f64
+        t5.seq.as_nanos() as f64 / three.elapsed.as_nanos() as f64
     );
     println!("(the paper notes multiprogrammed speedup is within ~5% of this)");
 }

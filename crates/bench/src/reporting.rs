@@ -1,4 +1,23 @@
-//! Text-table helpers shared by the bench harnesses.
+//! Text-table and machine-readable reporting helpers shared by the bench
+//! harnesses.
+
+// JSON emission (with escaping) lives in `sa_core::reporting` so the
+// `sa-experiments` binary can use it too without a dependency cycle
+// (`sa-bench` depends on `sa-core`); re-exported here as the bench-side
+// surface.
+pub use sa_core::reporting::{bench_lines_json, json_escape, write_bench_json, BenchLine};
+
+use std::num::NonZeroUsize;
+
+/// The sweep worker count from `SA_JOBS` (default: host cores), exiting
+/// with a clear message on an invalid value. Bench targets take no
+/// command-line flags, so the environment variable is their only knob.
+pub fn jobs_or_exit(tool: &str) -> NonZeroUsize {
+    sa_harness::jobs_from_env().unwrap_or_else(|e| {
+        eprintln!("{tool}: {e}");
+        std::process::exit(2);
+    })
+}
 
 /// Prints a separator line sized to the given column widths.
 pub fn rule(widths: &[usize]) {
@@ -16,5 +35,10 @@ mod tests {
     #[test]
     fn times_formats() {
         assert_eq!(super::times(2.456), "2.46x");
+    }
+
+    #[test]
+    fn json_reexports_escape() {
+        assert_eq!(super::json_escape(r#"a"b"#), r#"a\"b"#);
     }
 }

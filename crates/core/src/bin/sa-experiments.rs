@@ -4,46 +4,75 @@
 //! ```sh
 //! cargo run --release -p sa-core --bin sa-experiments -- table1
 //! cargo run --release -p sa-core --bin sa-experiments -- fig2
-//! cargo run --release -p sa-core --bin sa-experiments -- all
+//! cargo run --release -p sa-core --bin sa-experiments -- all --jobs 4
 //! ```
+//!
+//! Sweeps fan their independent simulation cells across host cores
+//! (`--jobs N`, or the `SA_JOBS` environment variable; default = host
+//! parallelism). Results are collected in job-index order and printed
+//! only after the sweep completes, so stdout is byte-identical at any
+//! job count — `--jobs 1` restores fully serial execution. A panicking
+//! cell exits nonzero with a clean message instead of a half-printed
+//! table.
 
-use sa_core::experiments::{
-    engine_throughput, figure_apis, nbody_run, nbody_sequential_time, thread_op_latencies,
-    topaz_signal_wait, upcall_signal_wait,
+use sa_core::reporting::{write_bench_json, BenchLine};
+use sa_core::sweeps::{
+    fig1_grid, fig1_grid_throughput, fig2_sweep, latency_rows, table5_runs, upcall_measurements,
 };
 use sa_core::ThreadApi;
+use sa_harness::{host_jobs, parse_jobs, PanickedJob};
 use sa_machine::CostModel;
 use sa_sim::{event::lazy::LazyEventQueue, EventQueue, SimTime};
 use sa_uthread::CriticalSectionMode;
 use sa_workload::nbody::NBodyConfig;
-use std::fmt::Write as _;
+use std::num::NonZeroUsize;
 use std::time::Instant;
 
-fn table1() {
+/// The subcommands, with the one-line descriptions `--list` prints.
+const SUBCOMMANDS: &[(&str, &str)] = &[
+    ("table1", "Table 1: thread operation latencies"),
+    ("table4", "Table 4: latencies incl. scheduler activations"),
+    ("upcall", "5.2: upcall performance"),
+    ("fig1", "Figure 1: N-body speedup vs. processors"),
+    ("fig2", "Figure 2: N-body time vs. available memory"),
+    ("table5", "Table 5: multiprogramming level 2"),
+    (
+        "engine-bench",
+        "host-side engine throughput (writes BENCH_engine.json)",
+    ),
+    ("all", "every table and figure above"),
+];
+
+fn table1(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
     let cost = CostModel::firefly_prototype();
+    let rows = [
+        ("FastThreads", ThreadApi::OrigFastThreads { vps: 1 }, 34, 37),
+        ("Topaz threads", ThreadApi::TopazThreads, 948, 441),
+        ("Ultrix processes", ThreadApi::UltrixProcesses, 11300, 1840),
+    ];
+    let specs = rows
+        .iter()
+        .map(|(_, api, _, _)| (api.clone(), CriticalSectionMode::ZeroOverhead))
+        .collect();
+    let measured = latency_rows(specs, &cost, jobs)?;
     println!("Table 1: Thread Operation Latencies (usec.)");
     println!(
         "{:<20} {:>10} {:>8} {:>12} {:>8}",
         "Operation", "Null Fork", "paper", "Signal-Wait", "paper"
     );
-    for (name, api, nf, sw) in [
-        ("FastThreads", ThreadApi::OrigFastThreads { vps: 1 }, 34, 37),
-        ("Topaz threads", ThreadApi::TopazThreads, 948, 441),
-        ("Ultrix processes", ThreadApi::UltrixProcesses, 11300, 1840),
-    ] {
-        let r = thread_op_latencies(api, cost.clone(), CriticalSectionMode::ZeroOverhead);
+    for ((name, _api, nf, sw), r) in rows.iter().zip(&measured) {
         println!(
             "{name:<20} {:>10.1} {nf:>8} {:>12.1} {sw:>8}",
             r.null_fork.as_micros_f64(),
             r.signal_wait.as_micros_f64()
         );
     }
+    Ok(())
 }
 
-fn table4() {
+fn table4(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
     let cost = CostModel::firefly_prototype();
-    println!("Table 4: Thread Operation Latencies incl. scheduler activations (usec.)");
-    for (name, api, critical, nf, sw) in [
+    let rows = [
         (
             "FastThreads on Topaz threads",
             ThreadApi::OrigFastThreads { vps: 1 },
@@ -79,108 +108,101 @@ fn table4() {
             11300,
             1840,
         ),
-    ] {
-        let r = thread_op_latencies(api, cost.clone(), critical);
+    ];
+    let specs = rows
+        .iter()
+        .map(|(_, api, critical, _, _)| (api.clone(), *critical))
+        .collect();
+    let measured = latency_rows(specs, &cost, jobs)?;
+    println!("Table 4: Thread Operation Latencies incl. scheduler activations (usec.)");
+    for ((name, _api, _critical, nf, sw), r) in rows.iter().zip(&measured) {
         println!(
             "{name:<36} {:>8.1} (paper {nf:>5})   {:>8.1} (paper {sw:>4})",
             r.null_fork.as_micros_f64(),
             r.signal_wait.as_micros_f64()
         );
     }
+    Ok(())
 }
 
-fn upcall() {
-    let proto = upcall_signal_wait(CostModel::firefly_prototype());
-    let topaz = topaz_signal_wait(CostModel::firefly_prototype());
-    let tuned = upcall_signal_wait(CostModel::tuned());
+fn upcall(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
+    let m = upcall_measurements(jobs)?;
     println!("5.2 upcall performance:");
     println!(
         "  kernel-forced signal-wait (prototype): {:.0} usec (paper ~2400)",
-        proto.as_micros_f64()
+        m.proto.as_micros_f64()
     );
     println!(
         "  Topaz signal-wait:                     {:.0} usec (paper 441)",
-        topaz.as_micros_f64()
+        m.topaz.as_micros_f64()
     );
     println!(
         "  ratio: {:.1}x (paper ~5x)",
-        proto.as_micros_f64() / topaz.as_micros_f64()
+        m.proto.as_micros_f64() / m.topaz.as_micros_f64()
     );
     println!(
         "  kernel-forced signal-wait (tuned):     {:.0} usec",
-        tuned.as_micros_f64()
+        m.tuned.as_micros_f64()
     );
+    Ok(())
 }
 
-fn fig1() {
+fn fig1(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
     let cost = CostModel::firefly_prototype();
     let cfg = NBodyConfig::default();
-    let seq = nbody_sequential_time(cfg.clone(), cost.clone(), 1);
-    println!("Figure 1: speedup vs processors (100% memory; sequential {seq})");
+    let grid = fig1_grid(&cfg, &cost, 6, 1..=6, 1, jobs)?;
+    println!(
+        "Figure 1: speedup vs processors (100% memory; sequential {})",
+        grid.seq
+    );
     println!(
         "{:<6} {:>14} {:>15} {:>14}",
         "procs", "Topaz threads", "orig FastThrds", "new FastThrds"
     );
-    for cpus in 1..=6u16 {
-        let mut row = Vec::new();
-        for (name, api) in figure_apis(cpus as u32) {
-            let machine = if name == "Topaz threads" { cpus } else { 6 };
-            let r = nbody_run(api, machine, cfg.clone(), cost.clone(), 1, 1);
-            row.push(seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64);
-        }
+    for (i, (cpus, _)) in grid.rows.iter().enumerate() {
+        let row = grid.speedups(i);
         println!(
             "{cpus:<6} {:>14.2} {:>15.2} {:>14.2}",
             row[0], row[1], row[2]
         );
     }
+    Ok(())
 }
 
-fn fig2() {
+fn fig2(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
     let cost = CostModel::firefly_prototype();
+    let cfg = NBodyConfig::default();
+    let fracs = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4];
+    let sweep = fig2_sweep(&cfg, &cost, 6, &fracs, false, 1, jobs)?;
     println!("Figure 2: N-body execution time (s) vs % memory, 6 CPUs");
     println!(
         "{:<7} {:>14} {:>15} {:>14}",
         "memory", "Topaz threads", "orig FastThrds", "new FastThrds"
     );
-    for frac in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4] {
-        let mut row = Vec::new();
-        for (_name, api) in figure_apis(6) {
-            let cfg = NBodyConfig {
-                memory_fraction: frac,
-                ..NBodyConfig::default()
-            };
-            let r = nbody_run(api, 6, cfg, cost.clone(), 1, 1);
-            row.push(r.elapsed.as_secs_f64());
-        }
+    for (frac, cells) in &sweep.rows {
         println!(
             "{:>5.0}%  {:>14.2} {:>15.2} {:>14.2}",
             frac * 100.0,
-            row[0],
-            row[1],
-            row[2]
+            cells[0].elapsed.as_secs_f64(),
+            cells[1].elapsed.as_secs_f64(),
+            cells[2].elapsed.as_secs_f64()
         );
     }
+    Ok(())
 }
 
-fn table5() {
+fn table5(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
     let cost = CostModel::firefly_prototype();
     let cfg = NBodyConfig::default();
-    let seq = nbody_sequential_time(cfg.clone(), cost.clone(), 1);
+    let t5 = table5_runs(&cfg, &cost, 1, false, jobs)?;
     println!("Table 5: multiprogramming level 2, 6 CPUs (max speedup 3.0)");
     let paper = [1.29, 1.26, 2.45];
-    for (i, (name, api)) in figure_apis(6).into_iter().enumerate() {
-        let r = nbody_run(api, 6, cfg.clone(), cost.clone(), 2, 1);
-        let s = seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64;
-        println!("  {name:<18} {s:.2}  (paper {:.2})", paper[i]);
+    let names = ["Topaz threads", "orig FastThrds", "new FastThrds"];
+    for (i, r) in t5.multi.iter().enumerate() {
+        let s = t5.seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64;
+        println!("  {:<18} {s:.2}  (paper {:.2})", names[i], paper[i]);
     }
-}
-
-/// One engine-bench measurement: a name plus operations (or events) per
-/// host second.
-struct BenchLine {
-    name: &'static str,
-    ops_per_sec: f64,
-    detail: String,
+    Ok(())
 }
 
 /// Push/pop/cancel microloop against the indexed event queue.
@@ -239,9 +261,10 @@ fn queue_microloop_lazy(ops: u64) -> f64 {
 }
 
 /// Engine throughput harness: a Figure 1-sized N-body system run plus
-/// queue/dispatch microloops, reported in host events (or ops) per second
-/// and written to `BENCH_engine.json` for tracking across commits.
-fn engine_bench() {
+/// queue/dispatch microloops and the host-parallel grid sweep, reported
+/// in host events (or ops) per second and written to `BENCH_engine.json`
+/// for tracking across commits.
+fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
     let cost = CostModel::firefly_prototype();
     let cfg = NBodyConfig::default();
     println!("Engine throughput (host-side; virtual-time results unaffected)");
@@ -249,23 +272,25 @@ fn engine_bench() {
     let mut lines: Vec<BenchLine> = Vec::new();
 
     // Whole-system run: the paper's Figure 1 workload at 6 processors
-    // under scheduler activations — the end-to-end number.
-    let r = engine_throughput(
+    // under scheduler activations — the end-to-end number. These single
+    // measurements stay serial on an otherwise-idle host so the numbers
+    // track engine changes, not co-scheduled sweep noise.
+    let r = sa_core::experiments::engine_throughput(
         ThreadApi::SchedulerActivations { max_processors: 6 },
         6,
         cfg.clone(),
         cost.clone(),
         1,
     );
-    lines.push(BenchLine {
-        name: "system_nbody_fig1_sa",
-        ops_per_sec: r.events_per_sec(),
-        detail: format!("{} events in {:.3}s", r.sim_events, r.host_seconds),
-    });
+    lines.push(BenchLine::new(
+        "system_nbody_fig1_sa",
+        r.events_per_sec(),
+        format!("{} events in {:.3}s", r.sim_events, r.host_seconds),
+    ));
 
     // Dispatch-heavy run: one processor, forcing the upcall/ready-queue
     // machinery through many more scheduling decisions per unit work.
-    let r1 = engine_throughput(
+    let r1 = sa_core::experiments::engine_throughput(
         ThreadApi::SchedulerActivations { max_processors: 1 },
         1,
         NBodyConfig {
@@ -275,27 +300,46 @@ fn engine_bench() {
         cost.clone(),
         1,
     );
-    lines.push(BenchLine {
-        name: "system_nbody_dispatch_1cpu",
-        ops_per_sec: r1.events_per_sec(),
-        detail: format!("{} events in {:.3}s", r1.sim_events, r1.host_seconds),
-    });
+    lines.push(BenchLine::new(
+        "system_nbody_dispatch_1cpu",
+        r1.events_per_sec(),
+        format!("{} events in {:.3}s", r1.sim_events, r1.host_seconds),
+    ));
 
     // Queue microloops: indexed (current) vs lazy-cancellation (baseline
     // retained in `sa_sim::event::lazy`), same push/cancel/pop mix.
     const QOPS: u64 = 2_000_000;
     let indexed = queue_microloop_indexed(QOPS);
     let lazy = queue_microloop_lazy(QOPS);
-    lines.push(BenchLine {
-        name: "queue_mix_indexed",
-        ops_per_sec: indexed,
-        detail: format!("{QOPS} scheduled"),
-    });
-    lines.push(BenchLine {
-        name: "queue_mix_lazy_baseline",
-        ops_per_sec: lazy,
-        detail: format!("{QOPS} scheduled; indexed is {:.2}x", indexed / lazy),
-    });
+    lines.push(BenchLine::new(
+        "queue_mix_indexed",
+        indexed,
+        format!("{QOPS} scheduled"),
+    ));
+    lines.push(BenchLine::new(
+        "queue_mix_lazy_baseline",
+        lazy,
+        format!("{QOPS} scheduled; indexed is {:.2}x", indexed / lazy),
+    ));
+
+    // Host-parallel sweep: the whole Figure 1 grid (18 independent cells)
+    // at one worker vs. `jobs` workers — the scaling number this harness
+    // tracks over time. Virtual-time results are identical at any job
+    // count; only host wall-clock changes.
+    let serial = fig1_grid_throughput(&cfg, &cost, 1, NonZeroUsize::MIN)?;
+    let parallel = fig1_grid_throughput(&cfg, &cost, 1, jobs)?;
+    lines.push(BenchLine::new(
+        "sweep_fig1_grid",
+        parallel.events_per_sec(),
+        format!(
+            "{} cells; jobs=1 {:.3}s; jobs={} {:.3}s; speedup {:.2}x",
+            parallel.cells,
+            serial.host_seconds,
+            parallel.jobs,
+            parallel.host_seconds,
+            serial.host_seconds / parallel.host_seconds
+        ),
+    ));
 
     for l in &lines {
         println!(
@@ -304,53 +348,117 @@ fn engine_bench() {
         );
     }
 
-    // Hand-rolled JSON (no serde in the tree); schema is flat on purpose.
-    let mut json = String::from("{\n  \"benchmarks\": [\n");
-    for (i, l) in lines.iter().enumerate() {
-        let comma = if i + 1 < lines.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"{}\", \"ops_per_sec\": {:.1}, \"detail\": \"{}\"}}{comma}",
-            l.name, l.ops_per_sec, l.detail
-        );
-    }
-    json.push_str("  ]\n}\n");
     let path = "BENCH_engine.json";
-    match std::fs::write(path, &json) {
+    match write_bench_json(path, &lines) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    Ok(())
+}
+
+fn usage() -> String {
+    let names: Vec<&str> = SUBCOMMANDS.iter().map(|(n, _)| *n).collect();
+    format!(
+        "usage: sa-experiments [--jobs N] [--list] [{}]\n\
+         \n\
+         --jobs N   run sweep cells on N host threads (default: host cores,\n\
+         \u{20}           or the SA_JOBS environment variable); --jobs 1 is fully serial\n\
+         --list     list subcommands and exit",
+        names.join("|")
+    )
+}
+
+/// Parsed command line: worker count plus one subcommand.
+struct Options {
+    jobs: NonZeroUsize,
+    cmd: String,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, String> {
+    let mut jobs: Option<NonZeroUsize> = None;
+    let mut cmd: Option<String> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--list" {
+            for (name, blurb) in SUBCOMMANDS {
+                println!("{name:<14} {blurb}");
+            }
+            return Ok(None);
+        } else if arg == "--jobs" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--jobs requires a value (e.g. --jobs 4)".to_string())?;
+            jobs = Some(parse_jobs(&value).map_err(|e| format!("--jobs: {e}"))?);
+        } else if let Some(value) = arg.strip_prefix("--jobs=") {
+            jobs = Some(parse_jobs(value).map_err(|e| format!("--jobs: {e}"))?);
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag '{arg}'"));
+        } else if cmd.is_some() {
+            return Err(format!("unexpected extra argument '{arg}'"));
+        } else {
+            cmd = Some(arg);
+        }
+    }
+    let jobs = match jobs {
+        Some(j) => j,
+        // The flag wins over the environment; the environment over the host.
+        None => match std::env::var("SA_JOBS") {
+            Ok(v) => parse_jobs(&v).map_err(|e| format!("SA_JOBS: {e}"))?,
+            Err(std::env::VarError::NotPresent) => host_jobs(),
+            Err(std::env::VarError::NotUnicode(_)) => {
+                return Err("SA_JOBS: value is not valid UTF-8".to_string())
+            }
+        },
+    };
+    Ok(Some(Options {
+        jobs,
+        cmd: cmd.unwrap_or_else(|| "all".to_string()),
+    }))
+}
+
+fn run(opts: &Options) -> Result<(), PanickedJob> {
+    let jobs = opts.jobs;
+    match opts.cmd.as_str() {
+        "table1" => table1(jobs),
+        "table4" => table4(jobs),
+        "upcall" => upcall(jobs),
+        "fig1" => fig1(jobs),
+        "fig2" => fig2(jobs),
+        "table5" => table5(jobs),
+        "engine-bench" => engine_bench(jobs),
+        "all" => {
+            table1(jobs)?;
+            println!();
+            table4(jobs)?;
+            println!();
+            upcall(jobs)?;
+            println!();
+            fig1(jobs)?;
+            println!();
+            fig2(jobs)?;
+            println!();
+            table5(jobs)
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
     }
 }
 
 fn main() {
-    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    match what.as_str() {
-        "table1" => table1(),
-        "table4" => table4(),
-        "upcall" => upcall(),
-        "fig1" => fig1(),
-        "fig2" => fig2(),
-        "table5" => table5(),
-        "engine-bench" => engine_bench(),
-        "all" => {
-            table1();
-            println!();
-            table4();
-            println!();
-            upcall();
-            println!();
-            fig1();
-            println!();
-            fig2();
-            println!();
-            table5();
-        }
-        other => {
-            eprintln!("unknown experiment '{other}'");
-            eprintln!(
-                "usage: sa-experiments [table1|table4|upcall|fig1|fig2|table5|engine-bench|all]"
-            );
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return, // --list
+        Err(msg) => {
+            eprintln!("sa-experiments: {msg}");
+            eprintln!("{}", usage());
             std::process::exit(2);
         }
+    };
+    if let Err(panicked) = run(&opts) {
+        eprintln!("sa-experiments: {panicked}");
+        std::process::exit(1);
     }
 }

@@ -14,7 +14,7 @@ use sa_workload::micro::{null_fork, signal_wait, SigWaitPath};
 use sa_workload::nbody::{nbody_parallel, nbody_sequential, NBodyConfig};
 
 /// Latencies of the two Table 1/4 thread operations for one system.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadOpLatencies {
     /// Null Fork mean latency.
     pub null_fork: SimDuration,
@@ -89,7 +89,7 @@ pub fn topaz_signal_wait(cost: CostModel) -> SimDuration {
 }
 
 /// Result of one N-body run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NBodyRun {
     /// Wall (virtual) time of the application.
     pub elapsed: SimDuration,

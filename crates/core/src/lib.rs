@@ -22,11 +22,14 @@
 //! ```
 
 pub mod experiments;
+pub mod reporting;
+pub mod sweeps;
 pub mod system;
 
 pub use system::{AppId, AppSpec, RunReport, System, SystemBuilder, ThreadApi};
 
 // Re-export the composing crates so downstream users need one dependency.
+pub use sa_harness;
 pub use sa_kernel;
 pub use sa_machine;
 pub use sa_sim;

@@ -1,0 +1,104 @@
+//! Machine-readable benchmark reporting (no serde in the tree — see
+//! `DESIGN.md` §6 — so emission is hand-rolled here, *with* escaping).
+//!
+//! `sa-experiments engine-bench` and the bench harnesses both emit flat
+//! `{name, ops_per_sec, detail}` records; this module owns the JSON
+//! encoding so free-form `detail`/`name` strings can never produce
+//! invalid JSON (the previous writer interpolated them raw, so a quote
+//! or backslash in a detail line would have corrupted
+//! `BENCH_engine.json`).
+
+use std::fmt::Write as _;
+
+/// One benchmark measurement: a name plus operations (or events) per
+/// host second, with a free-form detail line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchLine {
+    /// Stable benchmark identifier (tracked across commits).
+    pub name: String,
+    /// Operations (or simulator events) per host second.
+    pub ops_per_sec: f64,
+    /// Human-readable context for the number.
+    pub detail: String,
+}
+
+impl BenchLine {
+    /// Builds a line.
+    pub fn new(name: impl Into<String>, ops_per_sec: f64, detail: impl Into<String>) -> Self {
+        BenchLine {
+            name: name.into(),
+            ops_per_sec,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal: quotes,
+/// backslashes, and control characters per RFC 8259 §7.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders bench lines as the flat `BENCH_engine.json` document.
+pub fn bench_lines_json(lines: &[BenchLine]) -> String {
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, l) in lines.iter().enumerate() {
+        let comma = if i + 1 < lines.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ops_per_sec\": {:.1}, \"detail\": \"{}\"}}{comma}",
+            json_escape(&l.name),
+            l.ops_per_sec,
+            json_escape(&l.detail)
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Writes bench lines to `path` as JSON.
+pub fn write_bench_json(path: &str, lines: &[BenchLine]) -> std::io::Result<()> {
+    std::fs::write(path, bench_lines_json(lines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("line1\nline2\ttab"), "line1\\nline2\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn bench_json_is_well_formed_with_hostile_details() {
+        let lines = [
+            BenchLine::new("a", 1.0, r#"said "hi" \ done"#),
+            BenchLine::new("b", 2.5, "18 cells; 2.00x"),
+        ];
+        let json = bench_lines_json(&lines);
+        assert!(json.contains(r#"\"hi\" \\ done"#));
+        // Flat schema: every emitted line object must parse by eye —
+        // check balanced braces/brackets and no raw quote runs.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.ends_with("  ]\n}\n"));
+    }
+}

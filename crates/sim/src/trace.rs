@@ -20,12 +20,19 @@ pub struct TraceRecord {
     pub detail: String,
 }
 
-/// A bounded in-memory trace buffer.
+/// An in-memory trace buffer, optionally ring-bounded.
+///
+/// The capacity is optional: [`Trace::bounded`] keeps only the most
+/// recent records (a ring buffer — long multi-copy sweeps like Table 5
+/// under tracing cannot grow without bound), while [`Trace::unbounded`]
+/// retains everything (byte-identical record streams for determinism
+/// comparisons, at the cost of memory proportional to run length).
 #[derive(Debug)]
 pub struct Trace {
     enabled: bool,
     echo: bool,
-    capacity: usize,
+    /// Ring capacity; `None` retains every record.
+    capacity: Option<usize>,
     records: VecDeque<TraceRecord>,
     dropped: u64,
 }
@@ -42,19 +49,33 @@ impl Trace {
         Trace {
             enabled: false,
             echo: false,
-            capacity: 0,
+            capacity: Some(0),
             records: VecDeque::new(),
             dropped: 0,
         }
     }
 
-    /// A trace that keeps the most recent `capacity` records.
+    /// A trace that keeps the most recent `capacity` records, evicting
+    /// the oldest (and counting it in [`Trace::dropped`]) once full.
     pub fn bounded(capacity: usize) -> Self {
         Trace {
             enabled: true,
             echo: false,
-            capacity,
+            capacity: Some(capacity),
             records: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// A trace that retains every record for the lifetime of the run.
+    /// Memory grows with run length — prefer [`Trace::bounded`] for long
+    /// or multi-copy sweeps.
+    pub fn unbounded() -> Self {
+        Trace {
+            enabled: true,
+            echo: false,
+            capacity: None,
+            records: VecDeque::new(),
             dropped: 0,
         }
     }
@@ -85,9 +106,15 @@ impl Trace {
         if self.echo {
             println!("[{at}] {}: {}", rec.tag, rec.detail);
         }
-        if self.records.len() == self.capacity {
-            self.records.pop_front();
-            self.dropped += 1;
+        if let Some(capacity) = self.capacity {
+            if capacity == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.records.len() == capacity {
+                self.records.pop_front();
+                self.dropped += 1;
+            }
         }
         self.records.push_back(rec);
     }
@@ -139,6 +166,25 @@ mod tests {
         let tags: Vec<_> = tr.records().map(|r| r.tag).collect();
         assert_eq!(tags, vec!["b", "c"]);
         assert_eq!(tr.dropped(), 1);
+    }
+
+    #[test]
+    fn unbounded_trace_retains_everything() {
+        let mut tr = Trace::unbounded();
+        for i in 0..10_000u64 {
+            tr.emit(t(i), "x", String::new);
+        }
+        assert_eq!(tr.records().count(), 10_000);
+        assert_eq!(tr.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_zero_drops_every_record() {
+        let mut tr = Trace::bounded(0);
+        tr.emit(t(1), "a", || "1".into());
+        tr.emit(t(2), "b", || "2".into());
+        assert_eq!(tr.records().count(), 0);
+        assert_eq!(tr.dropped(), 2);
     }
 
     #[test]
