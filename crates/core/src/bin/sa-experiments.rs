@@ -19,12 +19,15 @@ use sa_core::reporting::{write_bench_json, BenchLine};
 use sa_core::sweeps::{
     fig1_grid, fig1_grid_throughput, fig2_sweep, latency_rows, table5_runs, upcall_measurements,
 };
-use sa_core::ThreadApi;
+use sa_core::trace_export::{perfetto_json, text_log};
+use sa_core::{AppSpec, SystemBuilder, ThreadApi};
 use sa_harness::{host_jobs, parse_jobs, PanickedJob};
+use sa_kernel::DaemonSpec;
 use sa_machine::CostModel;
-use sa_sim::{event::lazy::LazyEventQueue, EventQueue, SimTime};
+use sa_sim::{event::lazy::LazyEventQueue, EventQueue, SimTime, Trace, UpcallKind};
 use sa_uthread::CriticalSectionMode;
-use sa_workload::nbody::NBodyConfig;
+use sa_workload::nbody::{nbody_parallel, NBodyConfig};
+use std::fmt::Write as _;
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
@@ -39,6 +42,10 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     (
         "engine-bench",
         "host-side engine throughput (writes BENCH_engine.json)",
+    ),
+    (
+        "trace",
+        "trace <scenario> [--out F] [--format perfetto|log|histograms]",
     ),
     ("all", "every table and figure above"),
 ];
@@ -306,6 +313,41 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
         format!("{} events in {:.3}s", r1.sim_events, r1.host_seconds),
     ));
 
+    // Tracing overhead: the same dispatch-heavy run with the disabled
+    // tracer (the default everywhere) vs an unbounded recording one. The
+    // disabled number is the regression guard — `Tracer::event` takes a
+    // closure precisely so a disabled sink never formats anything.
+    let small = NBodyConfig {
+        bodies: cfg.bodies / 2,
+        ..cfg.clone()
+    };
+    let td = sa_core::experiments::engine_throughput_traced(
+        ThreadApi::SchedulerActivations { max_processors: 6 },
+        6,
+        small.clone(),
+        cost.clone(),
+        1,
+        Trace::disabled(),
+    );
+    let tu = sa_core::experiments::engine_throughput_traced(
+        ThreadApi::SchedulerActivations { max_processors: 6 },
+        6,
+        small,
+        cost.clone(),
+        1,
+        Trace::unbounded(),
+    );
+    lines.push(BenchLine::new(
+        "tracing_overhead",
+        td.events_per_sec(),
+        format!(
+            "disabled {:.0}/s vs unbounded {:.0}/s ({:.2}x slower recording)",
+            td.events_per_sec(),
+            tu.events_per_sec(),
+            td.events_per_sec() / tu.events_per_sec()
+        ),
+    ));
+
     // Queue microloops: indexed (current) vs lazy-cancellation (baseline
     // retained in `sa_sim::event::lazy`), same push/cancel/pop mix.
     const QOPS: u64 = 2_000_000;
@@ -356,10 +398,92 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
     Ok(())
 }
 
+/// Runs a traced scenario and exports the result.
+///
+/// Scenarios are fig1-shaped N-body runs on the six-processor Firefly
+/// under scheduler activations, scaled down (150 bodies, one step) so an
+/// *unbounded* trace of every segment stays a reasonable size:
+/// `fig1` runs one application, `table5` two (multiprogramming).
+fn trace_cmd(scenario: &str, format: &str, out: Option<&str>) -> Result<(), PanickedJob> {
+    let cost = CostModel::firefly_prototype();
+    let cfg = NBodyConfig {
+        bodies: 150,
+        steps: 1,
+        ..NBodyConfig::default()
+    };
+    let copies = match scenario {
+        "fig1" => 1,
+        "table5" => 2,
+        other => {
+            eprintln!("sa-experiments: unknown trace scenario '{other}' (expected fig1|table5)");
+            std::process::exit(2);
+        }
+    };
+    const CPUS: u16 = 6;
+    let mut builder = SystemBuilder::new(CPUS)
+        .cost(cost)
+        .seed(0x5eed)
+        .daemons(DaemonSpec::topaz_default_set())
+        .trace(Trace::unbounded());
+    for i in 0..copies {
+        let mut ncfg = cfg.clone();
+        ncfg.seed = cfg.seed + i as u64;
+        let (body, _handle) = nbody_parallel(ncfg);
+        builder = builder.app(AppSpec::new(
+            format!("nbody-{i}"),
+            ThreadApi::SchedulerActivations {
+                max_processors: CPUS as u32,
+            },
+            body,
+        ));
+    }
+    let mut sys = builder.build();
+    let report = sys.run();
+    assert!(report.all_done(), "trace scenario: {:?}", report.outcome);
+    let output = match format {
+        "perfetto" => perfetto_json(sys.kernel().trace(), CPUS),
+        "log" => text_log(sys.kernel().trace()),
+        "histograms" => {
+            let mut s = String::new();
+            for (i, &app) in sys.apps().to_vec().iter().enumerate() {
+                let m = sys.metrics(app);
+                let _ = writeln!(s, "nbody-{i}:");
+                for kind in UpcallKind::ALL {
+                    let _ = writeln!(s, "  upcalls[{kind}]: {}", m.upcalls(kind));
+                }
+                let _ = writeln!(s, "  upcall_delivery: {}", m.upcall_delivery.summary());
+                let _ = writeln!(s, "  block_unblock:   {}", m.block_unblock.summary());
+                let _ = writeln!(s, "  runtime: {}", sys.runtime_stats(app));
+            }
+            s
+        }
+        other => {
+            eprintln!(
+                "sa-experiments: unknown trace format '{other}' (expected perfetto|log|histograms)"
+            );
+            std::process::exit(2);
+        }
+    };
+    let records = sys.kernel().trace().records().count();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &output) {
+                eprintln!("sa-experiments: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path} ({format}, {records} trace records)");
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
 fn usage() -> String {
     let names: Vec<&str> = SUBCOMMANDS.iter().map(|(n, _)| *n).collect();
     format!(
         "usage: sa-experiments [--jobs N] [--list] [{}]\n\
+         \u{20}      sa-experiments trace <fig1|table5> [--out FILE] \
+         [--format perfetto|log|histograms]\n\
          \n\
          --jobs N   run sweep cells on N host threads (default: host cores,\n\
          \u{20}           or the SA_JOBS environment variable); --jobs 1 is fully serial\n\
@@ -368,15 +492,23 @@ fn usage() -> String {
     )
 }
 
-/// Parsed command line: worker count plus one subcommand.
+/// Parsed command line: worker count, one subcommand, and the `trace`
+/// subcommand's scenario/output options.
 struct Options {
     jobs: NonZeroUsize,
     cmd: String,
+    /// Second positional argument (the `trace` scenario).
+    arg: Option<String>,
+    out: Option<String>,
+    format: Option<String>,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, String> {
     let mut jobs: Option<NonZeroUsize> = None;
     let mut cmd: Option<String> = None;
+    let mut arg2: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut format: Option<String> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         if arg == "--list" {
@@ -391,13 +523,31 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
             jobs = Some(parse_jobs(&value).map_err(|e| format!("--jobs: {e}"))?);
         } else if let Some(value) = arg.strip_prefix("--jobs=") {
             jobs = Some(parse_jobs(value).map_err(|e| format!("--jobs: {e}"))?);
+        } else if arg == "--out" {
+            out = Some(
+                args.next()
+                    .ok_or_else(|| "--out requires a path (e.g. --out trace.json)".to_string())?,
+            );
+        } else if let Some(value) = arg.strip_prefix("--out=") {
+            out = Some(value.to_string());
+        } else if arg == "--format" {
+            format = Some(args.next().ok_or_else(|| {
+                "--format requires a value (perfetto|log|histograms)".to_string()
+            })?);
+        } else if let Some(value) = arg.strip_prefix("--format=") {
+            format = Some(value.to_string());
         } else if arg.starts_with('-') {
             return Err(format!("unknown flag '{arg}'"));
-        } else if cmd.is_some() {
-            return Err(format!("unexpected extra argument '{arg}'"));
-        } else {
+        } else if cmd.is_none() {
             cmd = Some(arg);
+        } else if arg2.is_none() && cmd.as_deref() == Some("trace") {
+            arg2 = Some(arg);
+        } else {
+            return Err(format!("unexpected extra argument '{arg}'"));
         }
+    }
+    if (out.is_some() || format.is_some()) && cmd.as_deref() != Some("trace") {
+        return Err("--out/--format only apply to the 'trace' subcommand".to_string());
     }
     let jobs = match jobs {
         Some(j) => j,
@@ -413,6 +563,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
     Ok(Some(Options {
         jobs,
         cmd: cmd.unwrap_or_else(|| "all".to_string()),
+        arg: arg2,
+        out,
+        format,
     }))
 }
 
@@ -426,6 +579,11 @@ fn run(opts: &Options) -> Result<(), PanickedJob> {
         "fig2" => fig2(jobs),
         "table5" => table5(jobs),
         "engine-bench" => engine_bench(jobs),
+        "trace" => trace_cmd(
+            opts.arg.as_deref().unwrap_or("fig1"),
+            opts.format.as_deref().unwrap_or("perfetto"),
+            opts.out.as_deref(),
+        ),
         "all" => {
             table1(jobs)?;
             println!();

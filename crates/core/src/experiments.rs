@@ -8,7 +8,7 @@
 use crate::{AppSpec, SystemBuilder, ThreadApi};
 use sa_kernel::DaemonSpec;
 use sa_machine::CostModel;
-use sa_sim::{SimDuration, SimTime};
+use sa_sim::{SimDuration, SimTime, Trace};
 use sa_uthread::CriticalSectionMode;
 use sa_workload::micro::{null_fork, signal_wait, SigWaitPath};
 use sa_workload::nbody::{nbody_parallel, nbody_sequential, NBodyConfig};
@@ -192,12 +192,27 @@ pub fn engine_throughput(
     cost: CostModel,
     seed: u64,
 ) -> EngineThroughput {
+    engine_throughput_traced(api, cpus, nbody, cost, seed, Trace::disabled())
+}
+
+/// As [`engine_throughput`], with an explicit trace sink installed — the
+/// `tracing_overhead` benchmark compares a disabled sink (the default)
+/// against an unbounded recording one on the same workload.
+pub fn engine_throughput_traced(
+    api: ThreadApi,
+    cpus: u16,
+    nbody: NBodyConfig,
+    cost: CostModel,
+    seed: u64,
+    trace: Trace,
+) -> EngineThroughput {
     let (body, _handle) = nbody_parallel(nbody);
     let mut sys = SystemBuilder::new(cpus)
         .cost(cost)
         .seed(seed)
         .daemons(DaemonSpec::topaz_default_set())
         .run_limit(SimTime::from_millis(3_600_000))
+        .trace(trace)
         .app(AppSpec::new("nbody-bench", api, body))
         .build();
     let start = std::time::Instant::now();

@@ -25,6 +25,7 @@ pub mod experiments;
 pub mod reporting;
 pub mod sweeps;
 pub mod system;
+pub mod trace_export;
 
 pub use system::{AppId, AppSpec, RunReport, System, SystemBuilder, ThreadApi};
 

@@ -143,6 +143,68 @@ fn trace_record_streams_are_identical_across_job_counts() {
     }
 }
 
+/// A histogram cell's result: raw log2 buckets plus the rendered
+/// summary strings.
+type HistCell = (Vec<[u64; 64]>, Vec<String>);
+
+/// One histogram-bearing cell: the same run as [`traced_cell`], but its
+/// result is the latency histograms (raw log2 buckets *and* the rendered
+/// summary strings) rather than the trace stream.
+fn histogram_cell(seed: u64) -> HistCell {
+    let cfg = NBodyConfig {
+        bodies: 40,
+        steps: 1,
+        ..NBodyConfig::default()
+    };
+    let (body, _handle) = sa_workload::nbody::nbody_parallel(cfg);
+    let mut sys = SystemBuilder::new(4)
+        .cost(CostModel::firefly_prototype())
+        .seed(seed)
+        .daemons(sa_kernel::DaemonSpec::topaz_default_set())
+        .app(AppSpec::new(
+            "hist-cell",
+            ThreadApi::SchedulerActivations { max_processors: 4 },
+            body,
+        ))
+        .build();
+    let report = sys.run();
+    assert!(report.all_done(), "{:?}", report.outcome);
+    let app = sys.apps()[0];
+    let m = sys.metrics(app);
+    let buckets = vec![*m.upcall_delivery.buckets(), *m.block_unblock.buckets()];
+    let rendered = vec![
+        m.upcall_delivery.summary(),
+        m.block_unblock.summary(),
+        sys.runtime_stats(app),
+    ];
+    (buckets, rendered)
+}
+
+/// The latency histograms are deterministic functions of the seed: a
+/// cell run under `jobs = 1` and `jobs = 4` must produce byte-identical
+/// bucket arrays and rendered `p50/p90/p99` summaries.
+#[test]
+fn latency_histograms_are_identical_across_job_counts() {
+    let seeds = [3u64, 5, 7, 11];
+    let make = || -> Vec<Job<'_, HistCell>> {
+        seeds
+            .iter()
+            .map(|&seed| -> Job<'_, HistCell> { Box::new(move || histogram_cell(seed)) })
+            .collect()
+    };
+    let serial = run_ordered(jobs(1), make()).unwrap();
+    let parallel = run_ordered(jobs(4), make()).unwrap();
+    for (i, ((s_buckets, s_text), (p_buckets, p_text))) in serial.iter().zip(&parallel).enumerate()
+    {
+        assert_eq!(s_buckets, p_buckets, "cell {i} histogram buckets differ");
+        assert_eq!(s_text, p_text, "cell {i} rendered summaries differ");
+        assert!(
+            s_buckets[0].iter().sum::<u64>() > 0,
+            "cell {i} recorded no upcall-delivery samples"
+        );
+    }
+}
+
 #[test]
 fn panicking_cell_reports_its_index_not_a_torn_sweep() {
     let tasks: Vec<Job<'_, u32>> = vec![

@@ -169,7 +169,7 @@ fn sa_priority_wake_preempts_own_processor() {
     // The kernel really did preempt one of the space's processors.
     let m = sys.metrics(sys.apps()[0]);
     assert!(
-        m.upcalls_preempted.get() >= 1,
+        m.upcalls(sa_sim::UpcallKind::Preempted) >= 1,
         "no preemption upcall was generated"
     );
 }

@@ -365,14 +365,14 @@ fn kernel_forced_signal_wait_exercises_upcalls() {
     assert!(report.all_done(), "{:?}", report.outcome);
     let m = sys.metrics(sys.apps()[0]);
     assert!(
-        m.upcalls_blocked.get() >= ROUNDS as u64,
+        m.upcalls(sa_sim::UpcallKind::Blocked) >= ROUNDS as u64,
         "expected Blocked upcalls, got {}",
-        m.upcalls_blocked.get()
+        m.upcalls(sa_sim::UpcallKind::Blocked)
     );
     assert!(
-        m.upcalls_unblocked.get() >= ROUNDS as u64,
+        m.upcalls(sa_sim::UpcallKind::Unblocked) >= ROUNDS as u64,
         "expected Unblocked upcalls, got {}",
-        m.upcalls_unblocked.get()
+        m.upcalls(sa_sim::UpcallKind::Unblocked)
     );
     // The §5.2 point: this path is orders of magnitude more expensive
     // than user-level signal-wait (~ms per round on the prototype model).

@@ -51,6 +51,9 @@ pub(crate) struct Activation {
     /// Outcome of the kernel operation this activation blocked in; carried
     /// into the `Unblocked` notification.
     pub blocked_outcome: Option<SyscallOutcome>,
+    /// When the activation blocked in the kernel (feeds the per-space
+    /// block→unblock histogram).
+    pub blocked_at: Option<sa_sim::SimTime>,
     /// The activation has told the kernel its processor is idle
     /// (Table 3 hint); preferred as a preemption victim.
     pub idle_hint: bool,
@@ -69,6 +72,7 @@ impl Activation {
             resume: None,
             upcall: None,
             blocked_outcome: None,
+            blocked_at: None,
             idle_hint: false,
             in_upcall: false,
         }
@@ -80,6 +84,7 @@ impl Activation {
         self.resume = None;
         self.upcall = None;
         self.blocked_outcome = None;
+        self.blocked_at = None;
         self.idle_hint = false;
         self.in_upcall = false;
     }

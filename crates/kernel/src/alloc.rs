@@ -17,6 +17,7 @@ use crate::ids::AsId;
 use crate::kernel::{Event, Kernel};
 use crate::space::SpaceKind;
 use crate::upcall::UpcallEvent;
+use sa_sim::TraceEvent;
 
 impl Kernel {
     /// A space's current processor demand.
@@ -265,7 +266,9 @@ impl Kernel {
         }
         // When the last processor is preempted, the notification is
         // delayed until the space is next given a processor.
+        let now = self.q.now();
         self.spaces[space.index()].sa.pending_events.push(ev);
+        self.spaces[space.index()].sa.pending_since.push(now);
         if self.spaces[space.index()].assigned_cpus > 0 {
             self.try_deliver_pending(space);
         }
@@ -286,8 +289,9 @@ impl Kernel {
         debug_assert!(self.cpus[cpu].inflight.is_none());
         self.cpus[cpu].assigned = Some(space);
         self.spaces[space.index()].assigned_cpus += 1;
-        self.trace.emit(self.q.now(), "kernel.grant", || {
-            format!("cpu{cpu} -> {space}")
+        self.trace.event(self.q.now(), || TraceEvent::Grant {
+            cpu: cpu as u32,
+            space: space.0,
         });
         match &self.spaces[space.index()].kind {
             SpaceKind::UserOnSa => {

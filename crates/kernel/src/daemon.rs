@@ -20,7 +20,7 @@ use crate::metrics::SpaceMetrics;
 use crate::sched::ReadyQueue;
 use crate::space::{Residency, SaState, Space, SpaceKind};
 use crate::upcall::WorkKind;
-use sa_sim::SimDuration;
+use sa_sim::{SimDuration, TraceEvent};
 
 /// Kernel-side daemon bookkeeping.
 pub(crate) struct DaemonState {
@@ -89,8 +89,8 @@ impl Kernel {
             self.schedule_next_daemon_wake(idx);
             return;
         }
-        self.trace.emit(self.q.now(), "kernel.daemon_wake", || {
-            format!("daemon{idx}")
+        self.trace.event(self.q.now(), || TraceEvent::DaemonWake {
+            daemon: idx as u32,
         });
         self.wake_kt(kt);
     }

@@ -12,6 +12,7 @@ use crate::activation::ActState;
 use crate::exec::Running;
 use crate::ids::ActId;
 use crate::kernel::Kernel;
+use sa_sim::TraceEvent;
 
 impl Kernel {
     /// Stops an activation under debugger control. The activation moves to
@@ -35,8 +36,10 @@ impl Kernel {
         let sa = &mut self.spaces[space.index()].sa;
         sa.running.retain(|&x| x != act);
         self.set_idle(cpu);
-        self.trace.emit(self.q.now(), "kernel.debug_stop", || {
-            format!("{act} off cpu{cpu} (logical processor)")
+        self.trace.event(self.q.now(), || TraceEvent::DebugStop {
+            space: space.0,
+            cpu: cpu as u32,
+            act: act.0,
         });
         // No upcall: the space simply has one fewer processor for now.
         self.release_cpu(cpu);
@@ -67,8 +70,10 @@ impl Kernel {
         self.spaces[space.index()].sa.running.push(act);
         self.end_idle(cpu);
         self.cpus[cpu].running = Running::Act(act);
-        self.trace.emit(self.q.now(), "kernel.debug_resume", || {
-            format!("{act} on cpu{cpu}")
+        self.trace.event(self.q.now(), || TraceEvent::DebugResume {
+            space: space.0,
+            cpu: cpu as u32,
+            act: act.0,
         });
         self.schedule_dispatch(cpu);
         true

@@ -7,7 +7,7 @@ use crate::kernel::{Event, Inflight, Kernel};
 use crate::kthread::KtState;
 use crate::space::SpaceKind;
 use crate::upcall::{SavedContext, WorkKind};
-use sa_sim::SimDuration;
+use sa_sim::{SimDuration, TraceEvent};
 
 /// Safety valve: this many zero-time dispatch-loop iterations on one CPU at
 /// one instant means a runtime or body is livelocked.
@@ -20,6 +20,27 @@ impl Kernel {
             .inflight
             .take()
             .expect("SegDone with no in-flight segment");
+        // Timeline slice for the exporters; emitted at completion so a
+        // preempted remainder never appears (the `is_enabled` guard keeps
+        // the unit lookup off the disabled hot path).
+        if self.trace.is_enabled() {
+            let space = match self.cpus[cpu].running {
+                Running::Kt(kt) => Some(self.kts[kt.index()].space.0),
+                Running::Act(a) => Some(self.acts[a.index()].space.0),
+                Running::Idle => None,
+            };
+            let kind = if inf.seg.preemptible {
+                inf.seg.kind.name()
+            } else {
+                "kernel"
+            };
+            self.trace.event(self.q.now(), || TraceEvent::SegRun {
+                cpu: cpu as u32,
+                space,
+                kind,
+                dur: inf.seg.dur,
+            });
+        }
         self.charge_seg(cpu, inf.seg, inf.seg.dur);
         self.advance_cpu(cpu);
     }
@@ -182,6 +203,11 @@ impl Kernel {
         self.cpus[cpu].running = Running::Kt(kt);
         let space = self.kts[kt.index()].space;
         self.spaces[space.index()].metrics.kt_switches.inc();
+        self.trace.event(self.q.now(), || TraceEvent::Dispatch {
+            cpu: cpu as u32,
+            space: Some(space.0),
+            unit: "kt",
+        });
         self.arm_quantum(cpu, kt);
     }
 
@@ -257,8 +283,9 @@ impl Kernel {
         self.set_idle(cpu);
         let space = self.kts[kt.index()].space;
         self.spaces[space.index()].metrics.preemptions.inc();
-        self.trace.emit(self.q.now(), "kernel.kt_preempt", || {
-            format!("{kt} off cpu{cpu}")
+        self.trace.event(self.q.now(), || TraceEvent::KtPreempt {
+            cpu: cpu as u32,
+            kt: kt.0,
         });
         self.enqueue_ready(kt);
     }

@@ -153,6 +153,9 @@ pub(crate) enum UnitRef {
 #[derive(Debug, Default)]
 pub(crate) struct UpcallBatch {
     pub events: Vec<UpcallEvent>,
+    /// When each event was raised, parallel to `events` — the delivery
+    /// latency histogram measures `delivery - queued_at[i]`.
+    pub queued_at: Vec<sa_sim::SimTime>,
 }
 
 /// Identifies which VP a kernel thread serves, if any.

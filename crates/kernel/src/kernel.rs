@@ -10,7 +10,7 @@ use crate::metrics::{KernelMetrics, RunOutcome, SpaceMetrics};
 use crate::sched::ReadyQueue;
 use crate::space::{Residency, SaState, Space, SpaceKind};
 use sa_machine::{CostModel, Disk};
-use sa_sim::{EventQueue, EventToken, SimRng, SimTime, Trace};
+use sa_sim::{EventQueue, EventToken, SimRng, SimTime, Trace, TraceEvent};
 
 /// Priority of kernel daemon threads: above every application space.
 pub(crate) const DAEMON_PRIO: u8 = 255;
@@ -287,7 +287,7 @@ impl Kernel {
         }
         let name = self.spaces[id.index()].name.clone();
         self.trace
-            .emit(now, "kernel.space_start", || format!("{id} ({name})"));
+            .event(now, || TraceEvent::SpaceStart { space: id.0, name });
         match self.spaces[id.index()].kind {
             SpaceKind::KernelDirect { .. } => {
                 // Ready the main thread created in `add_space`.
@@ -474,7 +474,7 @@ impl Kernel {
     pub(crate) fn finish_space(&mut self, id: AsId) {
         let now = self.q.now();
         self.trace
-            .emit(now, "kernel.space_done", || format!("{id}"));
+            .event(now, || TraceEvent::SpaceDone { space: id.0 });
         self.spaces[id.index()].done = true;
         self.spaces[id.index()].completed_at = Some(now);
         // Tear down whatever is still dispatched for this space.

@@ -1,8 +1,8 @@
 //! Kernel and per-space measurement.
 
 use crate::upcall::WorkKind;
-use sa_sim::stats::Counter;
-use sa_sim::{SimDuration, SimTime};
+use sa_sim::stats::{Counter, Histogram};
+use sa_sim::{SimDuration, SimTime, UpcallKind};
 
 /// Per-space accounting.
 #[derive(Debug, Default, Clone)]
@@ -15,16 +15,17 @@ pub struct SpaceMetrics {
     upcall_ns: u64,
     /// Kernel-mode nanoseconds charged to this space's units.
     kernel_ns: u64,
-    /// `AddProcessor` upcall events delivered.
-    pub upcalls_add_processor: Counter,
-    /// `Preempted` upcall events delivered.
-    pub upcalls_preempted: Counter,
-    /// `Blocked` upcall events delivered.
-    pub upcalls_blocked: Counter,
-    /// `Unblocked` upcall events delivered.
-    pub upcalls_unblocked: Counter,
+    /// Upcall events delivered, indexed by [`UpcallKind`] — one slot per
+    /// kind, so a new kind cannot silently go uncounted.
+    pub upcalls_by_kind: [Counter; UpcallKind::COUNT],
     /// Upcall deliveries total (batches, not events).
     pub upcall_batches: Counter,
+    /// Latency from an upcall event being raised (queued for the space)
+    /// to its delivery at user level — the Table 3 cost, as a
+    /// distribution rather than a single mean.
+    pub upcall_delivery: Histogram,
+    /// Time activations spend blocked in the kernel (block → unblock).
+    pub block_unblock: Histogram,
     /// Processor preemptions suffered.
     pub preemptions: Counter,
     /// Kernel traps made by this space's units.
@@ -42,6 +43,16 @@ pub struct SpaceMetrics {
 }
 
 impl SpaceMetrics {
+    /// Delivered upcall events of the given kind.
+    pub fn upcalls(&self, kind: UpcallKind) -> u64 {
+        self.upcalls_by_kind[kind.index()].get()
+    }
+
+    /// Counts one delivered upcall event of the given kind.
+    pub(crate) fn count_upcall(&mut self, kind: UpcallKind) {
+        self.upcalls_by_kind[kind.index()].inc();
+    }
+
     /// Charges `d` of CPU time classified as `kind`.
     pub(crate) fn charge(&mut self, kind: WorkKind, d: SimDuration) {
         let ns = d.as_nanos();
@@ -140,6 +151,18 @@ mod tests {
         assert_eq!(m.user_time().as_micros(), 5);
         assert_eq!(m.spin_time().as_micros(), 5);
         assert_eq!(m.overhead_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn upcall_counters_index_by_kind() {
+        let mut m = SpaceMetrics::default();
+        m.count_upcall(UpcallKind::Blocked);
+        m.count_upcall(UpcallKind::Blocked);
+        m.count_upcall(UpcallKind::Unblocked);
+        assert_eq!(m.upcalls(UpcallKind::Blocked), 2);
+        assert_eq!(m.upcalls(UpcallKind::Unblocked), 1);
+        assert_eq!(m.upcalls(UpcallKind::AddProcessor), 0);
+        assert_eq!(m.upcalls(UpcallKind::Preempted), 0);
     }
 
     #[test]

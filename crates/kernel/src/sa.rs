@@ -7,7 +7,7 @@ use crate::ids::{ActId, AsId, VpId};
 use crate::kernel::{Event, Kernel};
 use crate::upcall::{RtEnv, SavedContext, Syscall, SyscallOutcome, UpcallEvent, WorkKind};
 use sa_machine::ids::PageId;
-use sa_sim::SimDuration;
+use sa_sim::{SimDuration, TraceEvent};
 
 /// The page holding the user-level thread manager itself; touched on every
 /// upcall delivery when paging is enabled (workload pages must start at 1).
@@ -22,7 +22,17 @@ impl Kernel {
         match eff {
             Effect::DeliverUpcall => self.eff_deliver_upcall(cpu, a),
             Effect::SaCall(call) => self.sa_syscall(cpu, a, call),
-            Effect::Resume(r) => self.acts[a.index()].resume = Some(r),
+            Effect::Resume(r) => {
+                if matches!(r, ResumeWith::Syscall(_)) {
+                    let space = self.acts[a.index()].space;
+                    self.trace.event(self.q.now(), || TraceEvent::TrapExit {
+                        space: space.0,
+                        cpu: cpu as u32,
+                        act: a.0,
+                    });
+                }
+                self.acts[a.index()].resume = Some(r);
+            }
             other => unreachable!("kernel-thread effect {other:?} on an activation"),
         }
     }
@@ -34,27 +44,31 @@ impl Kernel {
             .upcall
             .take()
             .expect("DeliverUpcall without a queued batch");
-        // Metrics per event type.
+        let now = self.q.now();
+        // Metrics per event kind, plus queue→delivery latency.
         {
+            debug_assert_eq!(batch.events.len(), batch.queued_at.len());
             let m = &mut self.spaces[space.index()].metrics;
             m.upcall_batches.inc();
-            for ev in &batch.events {
-                match ev {
-                    UpcallEvent::AddProcessor => m.upcalls_add_processor.inc(),
-                    UpcallEvent::Preempted { .. } => m.upcalls_preempted.inc(),
-                    UpcallEvent::Blocked { .. } => m.upcalls_blocked.inc(),
-                    UpcallEvent::Unblocked { .. } => m.upcalls_unblocked.inc(),
-                }
+            for (ev, &queued) in batch.events.iter().zip(&batch.queued_at) {
+                m.count_upcall(ev.kind());
+                m.upcall_delivery.record(now.since(queued));
             }
         }
-        self.trace.emit(self.q.now(), "kernel.upcall", || {
-            format!("{a} on cpu{cpu} for {space}: {:?}", batch.events)
-        });
+        for ev in &batch.events {
+            self.trace.event(now, || TraceEvent::Upcall {
+                kind: ev.kind(),
+                space: space.0,
+                cpu: cpu as u32,
+                act: a.0,
+                vp: ev.vp().map(|v| v.0),
+            });
+        }
         let mut rt = self.spaces[space.index()]
             .runtime
             .take()
             .expect("upcall while runtime is checked out");
-        let mut env = RtEnv::new(self.q.now(), &self.cost, &mut self.trace);
+        let mut env = RtEnv::new(now, &self.cost, space.0, &mut self.trace);
         rt.deliver_upcall(&mut env, VpId(a.0), &batch.events);
         let kicks = std::mem::take(&mut env.kicks);
         self.spaces[space.index()].runtime = Some(rt);
@@ -76,6 +90,15 @@ impl Kernel {
     /// Semantics of a kernel call made from an activation.
     pub(crate) fn sa_syscall(&mut self, cpu: usize, a: ActId, call: Syscall) {
         let space = self.acts[a.index()].space;
+        // A resident MemRead resolves in hardware: no trap to trace.
+        if !matches!(call, Syscall::MemRead { .. }) {
+            self.trace.event(self.q.now(), || TraceEvent::TrapEnter {
+                space: space.0,
+                cpu: cpu as u32,
+                act: a.0,
+                call: call.name(),
+            });
+        }
         let c = &self.cost;
         let ret = Seg::kernel(c.kernel_return);
         match call {
@@ -96,6 +119,12 @@ impl Kernel {
                 }
                 self.spaces[space.index()].metrics.page_faults.inc();
                 self.spaces[space.index()].metrics.traps.inc();
+                self.trace.event(self.q.now(), || TraceEvent::TrapEnter {
+                    space: space.0,
+                    cpu: cpu as u32,
+                    act: a.0,
+                    call: "page_fault",
+                });
                 let trap = Seg::kernel(c.kernel_trap);
                 let svc = Seg::kernel(c.page_fault_service);
                 let latency = self.disk.default_latency();
@@ -157,9 +186,11 @@ impl Kernel {
                 p.push_back(Micro::Eff(Effect::Resume(ResumeWith::Syscall(
                     SyscallOutcome::Ok,
                 ))));
-                self.trace.emit(self.q.now(), "kernel.hint", || {
-                    format!("{space} desires {total}")
-                });
+                self.trace
+                    .event(self.q.now(), || TraceEvent::DesiredProcessors {
+                        space: space.0,
+                        total,
+                    });
                 self.rebalance();
             }
             Syscall::ProcessorIdle => {
@@ -172,7 +203,10 @@ impl Kernel {
                     SyscallOutcome::Ok,
                 ))));
                 self.trace
-                    .emit(self.q.now(), "kernel.hint", || format!("{a} idle"));
+                    .event(self.q.now(), || TraceEvent::ProcessorIdle {
+                        space: space.0,
+                        act: a.0,
+                    });
                 self.rebalance();
             }
             Syscall::RecycleActivations { count } => {
@@ -218,7 +252,13 @@ impl Kernel {
     fn block_activation(&mut self, cpu: usize, a: ActId) {
         let space = self.acts[a.index()].space;
         debug_assert!(matches!(self.cpus[cpu].running, Running::Act(x) if x == a));
+        self.trace.event(self.q.now(), || TraceEvent::Block {
+            space: space.0,
+            cpu: cpu as u32,
+            act: a.0,
+        });
         self.acts[a.index()].state = ActState::Blocked;
+        self.acts[a.index()].blocked_at = Some(self.q.now());
         self.acts[a.index()].pipeline.clear();
         let sa = &mut self.spaces[space.index()].sa;
         sa.running.retain(|&x| x != a);
@@ -254,6 +294,16 @@ impl Kernel {
             return;
         }
         debug_assert_eq!(self.acts[a.index()].state, ActState::Blocked);
+        self.trace.event(self.q.now(), || TraceEvent::Unblock {
+            space: space.0,
+            act: a.0,
+        });
+        if let Some(blocked_at) = self.acts[a.index()].blocked_at.take() {
+            self.spaces[space.index()]
+                .metrics
+                .block_unblock
+                .record(self.q.now().since(blocked_at));
+        }
         let sa = &mut self.spaces[space.index()].sa;
         sa.blocked.retain(|&x| x != a);
         sa.discarded.push(a);
@@ -271,7 +321,11 @@ impl Kernel {
         if self.spaces[space.index()].done {
             return;
         }
-        self.spaces[space.index()].sa.pending_events.extend(events);
+        let now = self.q.now();
+        let sa = &mut self.spaces[space.index()].sa;
+        sa.pending_since
+            .resize(sa.pending_events.len() + events.len(), now);
+        sa.pending_events.extend(events);
         self.try_deliver_pending(space);
     }
 
@@ -300,12 +354,11 @@ impl Kernel {
             }
         }
         // 2. Preempt one of the space's own processors; the upcall carries
-        //    the pending events plus the victim's preemption (§3.1).
+        //    the pending events plus the victim's preemption (§3.1 —
+        //    `deliver_upcall_on_cpu` prepends the pending batch itself).
         if let Some(victim_cpu) = self.pick_own_victim(space) {
             let ev = self.stop_activation_on(victim_cpu);
-            let mut events = std::mem::take(&mut self.spaces[space.index()].sa.pending_events);
-            events.push(ev);
-            self.deliver_upcall_on_cpu(victim_cpu, space, events);
+            self.deliver_upcall_on_cpu(victim_cpu, space, vec![ev]);
             return;
         }
         // 3. The space has no processors: the kernel must take one from
@@ -461,8 +514,11 @@ impl Kernel {
         sa.running.retain(|&x| x != a);
         sa.discarded.push(a);
         self.set_idle(cpu);
-        self.trace.emit(self.q.now(), "kernel.act_stop", || {
-            format!("{a} on cpu{cpu} saved={saved:?}")
+        self.trace.event(self.q.now(), || TraceEvent::ActStop {
+            space: space.0,
+            cpu: cpu as u32,
+            act: a.0,
+            saved: !saved.remaining.is_zero(),
         });
         UpcallEvent::Preempted {
             vp: VpId(a.0),
@@ -491,10 +547,14 @@ impl Kernel {
             let resident = self.spaces[space.index()].residency.touch(RUNTIME_PAGE)
                 && self.spaces[space.index()].runtime_pages_resident;
             if !resident {
+                let now = self.q.now();
                 let sa = &mut self.spaces[space.index()].sa;
                 let mut all = std::mem::take(&mut sa.pending_events);
                 all.extend(events);
                 sa.pending_events = all;
+                // Incoming events were raised now; pended ones keep their
+                // original stamps (the deferral *is* delivery latency).
+                sa.pending_since.resize(sa.pending_events.len(), now);
                 sa.deferred_upcalls += 1;
                 if self.spaces[space.index()].runtime_pages_resident {
                     // First detection: start the fault.
@@ -509,8 +569,11 @@ impl Kernel {
             }
         }
         let mut all = std::mem::take(&mut self.spaces[space.index()].sa.pending_events);
+        let mut queued_at = std::mem::take(&mut self.spaces[space.index()].sa.pending_since);
+        queued_at.resize(all.len() + events.len(), self.q.now());
         all.extend(events);
         debug_assert!(!all.is_empty(), "empty upcall batch");
+        debug_assert_eq!(all.len(), queued_at.len());
         // Allocate the vessel: cached husks are cheap (§4.3).
         let (a, create_cost) = match self.spaces[space.index()].sa.cached.pop() {
             Some(husk) => {
@@ -525,7 +588,10 @@ impl Kernel {
         self.acts[a.index()].reset_for_dispatch();
         self.acts[a.index()].state = ActState::Running(cpu as u16);
         self.acts[a.index()].in_upcall = true;
-        self.acts[a.index()].upcall = Some(UpcallBatch { events: all });
+        self.acts[a.index()].upcall = Some(UpcallBatch {
+            events: all,
+            queued_at,
+        });
         self.spaces[space.index()].sa.running.push(a);
         self.end_idle(cpu);
         self.cpus[cpu].running = Running::Act(a);

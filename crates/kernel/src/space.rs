@@ -92,6 +92,9 @@ pub(crate) struct SaState {
     /// (§3.1: "we delay the notification until the kernel eventually
     /// re-allocates it a processor").
     pub pending_events: Vec<UpcallEvent>,
+    /// When each pending event was raised, parallel to `pending_events`
+    /// (feeds the upcall-delivery-latency histogram).
+    pub pending_since: Vec<SimTime>,
     /// Upcalls whose delivery is waiting for the thread manager's page to
     /// be faulted back in (§3.1's upcall-page-fault rule).
     pub deferred_upcalls: u32,
@@ -99,6 +102,9 @@ pub(crate) struct SaState {
 
 /// One address space.
 pub(crate) struct Space {
+    /// Only read by the debug-build invariant checker; elsewhere identity
+    /// is carried by position in `Kernel::spaces`.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     pub id: AsId,
     pub name: String,
     /// Allocation priority; higher wins.

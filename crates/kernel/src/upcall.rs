@@ -22,7 +22,7 @@
 use crate::ids::VpId;
 use sa_machine::ids::{ChanId, PageId};
 use sa_machine::program::ThreadBody;
-use sa_sim::{SimDuration, SimTime, Trace};
+use sa_sim::{SimDuration, SimTime, Trace, UpcallKind};
 
 /// The machine state of a user-level computation stopped by the kernel,
 /// returned to the user level in a preemption or unblock notification.
@@ -91,6 +91,30 @@ pub enum UpcallEvent {
     },
 }
 
+impl UpcallEvent {
+    /// The event's [`UpcallKind`] — the key for per-kind counters and the
+    /// typed trace stream. `match` is exhaustive: adding an event variant
+    /// forces a kind (and thereby a counter slot) to exist for it.
+    pub fn kind(&self) -> UpcallKind {
+        match self {
+            UpcallEvent::AddProcessor => UpcallKind::AddProcessor,
+            UpcallEvent::Preempted { .. } => UpcallKind::Preempted,
+            UpcallEvent::Blocked { .. } => UpcallKind::Blocked,
+            UpcallEvent::Unblocked { .. } => UpcallKind::Unblocked,
+        }
+    }
+
+    /// The virtual processor the event concerns, when it has one.
+    pub fn vp(&self) -> Option<VpId> {
+        match self {
+            UpcallEvent::AddProcessor => None,
+            UpcallEvent::Preempted { vp, .. }
+            | UpcallEvent::Blocked { vp }
+            | UpcallEvent::Unblocked { vp, .. } => Some(*vp),
+        }
+    }
+}
+
 /// Accounting classification of a work segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkKind {
@@ -104,6 +128,19 @@ pub enum WorkKind {
     IdleSpin,
     /// Processing an upcall at user level.
     UpcallWork,
+}
+
+impl WorkKind {
+    /// Short label for traces and timeline exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkKind::UserWork => "user",
+            WorkKind::RuntimeOverhead => "overhead",
+            WorkKind::SpinWait => "spin",
+            WorkKind::IdleSpin => "idle_spin",
+            WorkKind::UpcallWork => "upcall",
+        }
+    }
 }
 
 /// One timed segment of virtual-processor execution, emitted by the runtime.
@@ -220,6 +257,22 @@ pub enum Syscall {
     },
 }
 
+impl Syscall {
+    /// Short label for traces (`TrapEnter` events).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Syscall::Io { .. } => "io",
+            Syscall::MemRead { .. } => "mem_read",
+            Syscall::KernelSignal { .. } => "kernel_signal",
+            Syscall::KernelWait { .. } => "kernel_wait",
+            Syscall::SetDesiredProcessors { .. } => "set_desired_processors",
+            Syscall::ProcessorIdle => "processor_idle",
+            Syscall::RecycleActivations { .. } => "recycle_activations",
+            Syscall::PreemptVp { .. } => "preempt_vp",
+        }
+    }
+}
+
 /// Result of a completed kernel call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyscallOutcome {
@@ -243,6 +296,8 @@ pub struct RtEnv<'a> {
     pub now: SimTime,
     /// The calibrated cost model (runtimes charge themselves with it).
     pub cost: &'a sa_machine::CostModel,
+    /// The address space the callback runs for (raw id, for trace events).
+    pub space: u32,
     /// Execution trace sink.
     pub trace: &'a mut Trace,
     pub(crate) kicks: Vec<VpId>,
@@ -252,10 +307,16 @@ impl<'a> RtEnv<'a> {
     /// Creates a callback environment. The kernel builds these around
     /// every runtime callback; custom drivers and runtime unit tests may
     /// construct them directly.
-    pub fn new(now: SimTime, cost: &'a sa_machine::CostModel, trace: &'a mut Trace) -> Self {
+    pub fn new(
+        now: SimTime,
+        cost: &'a sa_machine::CostModel,
+        space: u32,
+        trace: &'a mut Trace,
+    ) -> Self {
         RtEnv {
             now,
             cost,
+            space,
             trace,
             kicks: Vec::new(),
         }
@@ -335,10 +396,19 @@ mod tests {
     }
 
     #[test]
+    fn upcall_events_map_to_kinds() {
+        assert_eq!(UpcallEvent::AddProcessor.kind(), UpcallKind::AddProcessor);
+        assert_eq!(UpcallEvent::AddProcessor.vp(), None);
+        let ev = UpcallEvent::Blocked { vp: VpId(4) };
+        assert_eq!(ev.kind(), UpcallKind::Blocked);
+        assert_eq!(ev.vp(), Some(VpId(4)));
+    }
+
+    #[test]
     fn rtenv_collects_kicks() {
         let cost = sa_machine::CostModel::firefly_prototype();
         let mut trace = Trace::disabled();
-        let mut env = RtEnv::new(SimTime::ZERO, &cost, &mut trace);
+        let mut env = RtEnv::new(SimTime::ZERO, &cost, 0, &mut trace);
         env.kick(VpId(3));
         env.kick(VpId(1));
         assert_eq!(env.kicks, vec![VpId(3), VpId(1)]);

@@ -43,7 +43,7 @@ impl Kernel {
             .runtime
             .take()
             .expect("poll while runtime is checked out");
-        let mut env = RtEnv::new(self.q.now(), &self.cost, &mut self.trace);
+        let mut env = RtEnv::new(self.q.now(), &self.cost, space.0, &mut self.trace);
         let action = rt.poll(&mut env, vp, reason);
         let kicks = std::mem::take(&mut env.kicks);
         self.spaces[space.index()].runtime = Some(rt);

@@ -19,4 +19,4 @@ pub mod trace;
 pub use event::{EventQueue, EventToken};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceRecord};
+pub use trace::{Trace, TraceEvent, TraceRecord, Tracer, UpcallKind};

@@ -108,7 +108,10 @@ impl TimeWeighted {
 }
 
 /// A latency histogram with power-of-two buckets plus exact extrema and sum.
-#[derive(Debug, Clone)]
+///
+/// Comparable (`PartialEq`) so determinism tests can assert byte-identical
+/// buckets across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     /// `buckets[i]` counts samples with `2^i <= ns < 2^(i+1)` (bucket 0 also
     /// holds zero-valued samples).
@@ -157,6 +160,12 @@ impl Histogram {
         self.count
     }
 
+    /// The raw power-of-two buckets (`buckets[i]` counts samples with
+    /// `2^i <= ns < 2^(i+1)`; bucket 0 also holds zeros).
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
     /// Mean sample, or zero if empty.
     pub fn mean(&self) -> SimDuration {
         if self.count == 0 {
@@ -178,6 +187,24 @@ impl Histogram {
     /// Largest sample.
     pub fn max(&self) -> SimDuration {
         SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// One-line `n`/`mean`/`p50`/`p90`/`p99`/`max` summary. Fully
+    /// determined by the recorded samples, so determinism tests can
+    /// compare the rendered strings across runs.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} mean={} p50={} p90={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.9),
+            self.quantile(0.99),
+            self.max()
+        )
     }
 
     /// Approximate quantile (bucket upper bound), `q` in `[0, 1]`.

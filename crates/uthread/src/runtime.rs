@@ -34,7 +34,7 @@ use sa_kernel::NO_LOCK;
 use sa_machine::ids::{CvId, LockId};
 use sa_machine::program::{Op, OpResult, StepEnv, ThreadBody};
 use sa_machine::CostModel;
-use sa_sim::SimDuration;
+use sa_sim::{SimDuration, TraceEvent};
 use std::collections::HashMap;
 
 /// The user-level thread package.
@@ -166,6 +166,7 @@ impl FastThreads {
     fn ready_thread(&mut self, slot: usize, t: UtId, env: &mut RtEnv<'_>) {
         debug_assert_ne!(self.tcbs[t.index()].state, UtState::Free);
         self.tcbs[t.index()].state = UtState::Ready;
+        self.tcbs[t.index()].ready_since = Some(env.now);
         self.slots[slot].ready.push_back(t);
         self.kick_an_idler(env);
         if self.cfg.priority_scheduling && self.is_sa() {
@@ -297,6 +298,7 @@ impl FastThreads {
             s.spin = None;
             s.awaiting = None;
             s.recovering = None;
+            s.recovering_since = None;
             s.hysteresis_done = false;
             s.idle_hinted = false;
             s.current.take()
@@ -573,6 +575,9 @@ impl FastThreads {
                     // the incumbent and requeue the newcomer.
                     self.ready_thread(slot, t, env);
                 } else {
+                    if let Some(since) = self.tcbs[t.index()].ready_since.take() {
+                        self.stats.ready_wait.record(env.now.since(since));
+                    }
                     self.slots[slot].current = Some(t);
                     self.tcbs[t.index()].state = UtState::Running;
                 }
@@ -603,6 +608,7 @@ impl FastThreads {
                 // A yielding thread goes to the *cold* end of the LIFO
                 // ready list so every other runnable thread goes first.
                 self.tcbs[t.index()].state = UtState::Ready;
+                self.tcbs[t.index()].ready_since = Some(env.now);
                 self.slots[slot].ready.push_front(t);
                 self.kick_an_idler(env);
             }
@@ -618,6 +624,7 @@ impl FastThreads {
                     self.ready_thread(slot, cur, env);
                 }
                 self.slots[slot].recovering = Some(t);
+                self.slots[slot].recovering_since = Some(env.now);
                 self.slots[slot].current = Some(t);
                 self.tcbs[t.index()].state = UtState::Running;
             }
@@ -625,6 +632,9 @@ impl FastThreads {
                 let Some(t) = self.slots[slot].recovering.take() else {
                     return; // recovery superseded by a second preemption
                 };
+                if let Some(since) = self.slots[slot].recovering_since.take() {
+                    self.stats.recovery_time.record(env.now.since(since));
+                }
                 debug_assert_eq!(self.slots[slot].current, Some(t));
                 self.slots[slot].current = None;
                 self.ready_thread(slot, t, env);
@@ -1070,6 +1080,9 @@ impl FastThreads {
                 // while being continued; switch straight back to the
                 // interrupted upcall processing.
                 self.slots[slot].recovering = None;
+                if let Some(since) = self.slots[slot].recovering_since.take() {
+                    self.stats.recovery_time.record(env.now.since(since));
+                }
                 let s = seg(
                     c.ut_ctx_switch,
                     WorkKind::UpcallWork,
@@ -1241,6 +1254,10 @@ impl FastThreads {
         // takes it (on kernel threads this burning is invisible to the
         // kernel — the §2.2 problem).
         self.slots[slot].spin = Some(SpinCtx::Idle);
+        let space = env.space;
+        let vp = self.slots[slot].active_vp.map_or(0, |v| v.0);
+        env.trace
+            .event(env.now, || TraceEvent::SpinStart { space, vp });
         Some(VpAction::Spin {
             cookie: cookie::pack(cookie::Tag::Idle, None, false),
             kind: WorkKind::IdleSpin,
@@ -1286,7 +1303,13 @@ impl UserRuntime for FastThreads {
                 Some(Awaiting::Hint) | None => {}
             },
             PollReason::Kicked => {
-                match self.slots[slot].spin.take() {
+                let ctx = self.slots[slot].spin.take();
+                if ctx.is_some() {
+                    let space = env.space;
+                    env.trace
+                        .event(env.now, || TraceEvent::SpinStop { space, vp: vp.0 });
+                }
+                match ctx {
                     Some(SpinCtx::Lock { t, lock }) => {
                         // Drop the pending spin remainder, if any, and
                         // re-run the acquire: the releaser made us holder.
@@ -1338,6 +1361,9 @@ impl UserRuntime for FastThreads {
                         SpinCtx::Lock { t, .. } => Some(t),
                         SpinCtx::Idle => None,
                     };
+                    let space = env.space;
+                    env.trace
+                        .event(env.now, || TraceEvent::SpinStart { space, vp: vp.0 });
                     return VpAction::Spin {
                         cookie: cookie::pack(cookie::Tag::SpinLock, t, false),
                         kind,
@@ -1428,7 +1454,8 @@ impl UserRuntime for FastThreads {
         let s = &self.stats;
         format!(
             "forks={} dispatches={} steals={} lock_fast={} lock_contended={} \
-spin_blocks={} upcalls={} recoveries={} hints={} recycles={} unblocks={} preempts_seen={}",
+spin_blocks={} upcalls={} recoveries={} hints={} recycles={} unblocks={} preempts_seen={} \
+ready_wait[{}] recovery_time[{}]",
             s.forks.get(),
             s.dispatches.get(),
             s.steals.get(),
@@ -1440,7 +1467,9 @@ spin_blocks={} upcalls={} recoveries={} hints={} recycles={} unblocks={} preempt
             s.hints.get(),
             s.recycles.get(),
             s.unblocks.get(),
-            s.preemptions_seen.get()
+            s.preemptions_seen.get(),
+            s.ready_wait.summary(),
+            s.recovery_time.summary()
         )
     }
 }

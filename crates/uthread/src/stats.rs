@@ -1,6 +1,6 @@
 //! Runtime-level statistics.
 
-use sa_sim::stats::Counter;
+use sa_sim::stats::{Counter, Histogram};
 
 /// Operation counts maintained by the thread package.
 #[derive(Debug, Default, Clone)]
@@ -31,4 +31,10 @@ pub struct FtStats {
     pub unblocks: Counter,
     /// Preemption notifications processed.
     pub preemptions_seen: Counter,
+    /// Time threads spend on a ready list before being dispatched
+    /// (ready → running scheduling delay).
+    pub ready_wait: Histogram,
+    /// Time from the start of a critical-section recovery (§3.3) until the
+    /// recovered thread relinquishes control back to the upcall.
+    pub recovery_time: Histogram,
 }

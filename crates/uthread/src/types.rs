@@ -4,7 +4,7 @@ use sa_kernel::upcall::{VpSeg, WorkKind};
 use sa_kernel::Syscall;
 use sa_machine::ids::{LockId, ThreadRef};
 use sa_machine::program::{OpResult, ThreadBody};
-use sa_sim::SimDuration;
+use sa_sim::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
 /// A user-level thread id (index into the TCB table).
@@ -166,6 +166,8 @@ pub(crate) struct Utcb {
     /// Threads joined on this one.
     pub joiners: Vec<UtId>,
     pub exited: bool,
+    /// When the thread last became ready (for the ready-wait histogram).
+    pub ready_since: Option<SimTime>,
 }
 
 impl Utcb {
@@ -182,6 +184,7 @@ impl Utcb {
             needs_resume_check: false,
             joiners: Vec::new(),
             exited: false,
+            ready_since: None,
         }
     }
 
@@ -198,6 +201,7 @@ impl Utcb {
         self.needs_resume_check = false;
         self.joiners.clear();
         self.exited = false;
+        self.ready_since = None;
     }
 }
 
@@ -275,6 +279,8 @@ pub(crate) struct Slot {
     pub awaiting: Option<Awaiting>,
     /// Thread being continued through its critical section (§3.3).
     pub recovering: Option<UtId>,
+    /// When the current recovery started (for the recovery-time histogram).
+    pub recovering_since: Option<SimTime>,
     /// The idle hysteresis burn has been done since the VP last idled.
     pub hysteresis_done: bool,
     /// The kernel has been told this processor is idle.
@@ -293,6 +299,7 @@ impl Slot {
             spin: None,
             awaiting: None,
             recovering: None,
+            recovering_since: None,
             hysteresis_done: false,
             idle_hinted: false,
         }

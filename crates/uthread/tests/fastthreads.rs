@@ -37,12 +37,12 @@ impl Driver {
     }
 
     fn poll(&mut self, vp: u32, reason: PollReason) -> VpAction {
-        let mut env = RtEnv::new(self.now, &self.cost, &mut self.trace);
+        let mut env = RtEnv::new(self.now, &self.cost, 0, &mut self.trace);
         self.rt.poll(&mut env, VpId(vp), reason)
     }
 
     fn deliver(&mut self, vp: u32, events: &[UpcallEvent]) {
-        let mut env = RtEnv::new(self.now, &self.cost, &mut self.trace);
+        let mut env = RtEnv::new(self.now, &self.cost, 0, &mut self.trace);
         self.rt.deliver_upcall(&mut env, VpId(vp), events);
     }
 

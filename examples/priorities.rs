@@ -14,7 +14,7 @@
 
 use scheduler_activations::machine::program::{FnBody, Op, OpResult, ThreadBody};
 use scheduler_activations::machine::ThreadRef;
-use scheduler_activations::sim::{SimDuration, Trace};
+use scheduler_activations::sim::{SimDuration, Trace, TraceEvent};
 use scheduler_activations::{AppSpec, SystemBuilder, ThreadApi};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -82,8 +82,16 @@ fn main() {
     }
     println!("\nkernel events behind it:");
     for r in sys.kernel().trace().records() {
-        if r.tag == "kernel.act_stop" || r.tag == "kernel.upcall" {
-            println!("  [{:>10}] {:<16} {}", format!("{}", r.at), r.tag, r.detail);
+        if matches!(
+            r.event,
+            TraceEvent::ActStop { .. } | TraceEvent::Upcall { .. }
+        ) {
+            println!(
+                "  [{:>10}] {:<16} {}",
+                format!("{}", r.at),
+                r.tag(),
+                r.event
+            );
         }
     }
     println!(

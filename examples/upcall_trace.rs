@@ -7,7 +7,7 @@
 
 use scheduler_activations::machine::program::{FnBody, Op, OpResult};
 use scheduler_activations::machine::ComputeBody;
-use scheduler_activations::sim::{SimDuration, Trace};
+use scheduler_activations::sim::{SimDuration, Trace, TraceEvent};
 use scheduler_activations::{AppSpec, SystemBuilder, ThreadApi};
 
 fn main() {
@@ -51,12 +51,15 @@ fn main() {
     assert!(report.all_done());
     println!("kernel events on a 1-CPU machine (Table 2 in action):\n");
     for r in sys.kernel().trace().records() {
-        if r.tag.starts_with("kernel.upcall")
-            || r.tag.starts_with("kernel.act_stop")
-            || r.tag.starts_with("kernel.grant")
-            || r.tag.starts_with("kernel.hint")
-        {
-            println!("[{:>12}] {:<18} {}", format!("{}", r.at), r.tag, r.detail);
+        if matches!(
+            r.event,
+            TraceEvent::Upcall { .. }
+                | TraceEvent::ActStop { .. }
+                | TraceEvent::Grant { .. }
+                | TraceEvent::DesiredProcessors { .. }
+                | TraceEvent::ProcessorIdle { .. }
+        ) {
+            println!("[{:>12}] {:<18} {}", format!("{}", r.at), r.tag(), r.event);
         }
     }
     println!("\ntotal: {}", report.elapsed(0));
