@@ -1,0 +1,140 @@
+//! Bench regression gate: diff two `BENCH_engine.json` files.
+//!
+//! ```sh
+//! sa-bench-check BASELINE.json CURRENT.json [--threshold 0.3]
+//! ```
+//!
+//! Prints one row per baseline benchmark with the throughput ratio and a
+//! verdict, then exits nonzero if any benchmark regressed past the noise
+//! threshold or disappeared. Benchmarks new in the current file are
+//! ignored (a new benchmark cannot regress).
+//!
+//! The default threshold (0.3: a benchmark may lose up to 30% before the
+//! gate trips) is sized for host-side throughput numbers measured on
+//! shared CI runners, where co-tenancy jitter is large; same-machine
+//! reruns of this event-loop workload stay well inside it. Tighten with
+//! `--threshold` when comparing runs from one quiet machine; see
+//! `EXPERIMENTS.md` ("Bench regression gate") for the rationale.
+
+use sa_core::reporting::{compare_benches, parse_bench_json, BenchVerdict, Table};
+
+/// Default relative noise threshold (see module docs).
+const DEFAULT_THRESHOLD: f64 = 0.3;
+
+fn usage() -> String {
+    "usage: sa-bench-check <baseline.json> <current.json> [--threshold F]\n\
+     \n\
+     Exits 0 when every baseline benchmark is within F of its baseline\n\
+     throughput (default 0.3 = may lose up to 30%), 1 on a regression or\n\
+     a missing benchmark, 2 on bad arguments or unreadable input."
+        .to_string()
+}
+
+struct Options {
+    baseline: String,
+    current: String,
+    threshold: f64,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--threshold" {
+            let v = args
+                .next()
+                .ok_or_else(|| "--threshold requires a value (e.g. 0.3)".to_string())?;
+            threshold = parse_threshold(&v)?;
+        } else if let Some(v) = arg.strip_prefix("--threshold=") {
+            threshold = parse_threshold(v)?;
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag '{arg}'"));
+        } else {
+            positional.push(arg);
+        }
+    }
+    if positional.len() != 2 {
+        return Err(format!(
+            "expected exactly two files (baseline, current), got {}",
+            positional.len()
+        ));
+    }
+    let current = positional.pop().expect("two positionals");
+    let baseline = positional.pop().expect("two positionals");
+    Ok(Options {
+        baseline,
+        current,
+        threshold,
+    })
+}
+
+fn parse_threshold(v: &str) -> Result<f64, String> {
+    let t: f64 = v
+        .parse()
+        .map_err(|_| format!("--threshold: '{v}' is not a number"))?;
+    if !(0.0..1.0).contains(&t) {
+        return Err(format!("--threshold: {t} must be in [0, 1)"));
+    }
+    Ok(t)
+}
+
+fn load(path: &str) -> Result<Vec<sa_core::reporting::BenchLine>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    parse_bench_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("sa-bench-check: {msg}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let (baseline, current) = match (load(&opts.baseline), load(&opts.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("sa-bench-check: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let deltas = compare_benches(&baseline, &current, opts.threshold);
+    let mut t = Table::new(&["benchmark", "baseline/s", "current/s", "ratio", "verdict"]);
+    let mut failed = false;
+    for d in &deltas {
+        let verdict = match d.verdict {
+            BenchVerdict::Ok => "ok",
+            BenchVerdict::Regressed => {
+                failed = true;
+                "REGRESSED"
+            }
+            BenchVerdict::Missing => {
+                failed = true;
+                "MISSING"
+            }
+        };
+        t.row(vec![
+            d.name.clone(),
+            format!("{:.0}", d.baseline),
+            format!("{:.0}", d.current),
+            format!("{:.2}", d.ratio),
+            verdict.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "threshold: a benchmark may lose up to {:.0}% before the gate trips",
+        opts.threshold * 100.0
+    );
+    if failed {
+        eprintln!(
+            "sa-bench-check: regression detected ({} vs {})",
+            opts.current, opts.baseline
+        );
+        std::process::exit(1);
+    }
+    println!("sa-bench-check: ok ({} benchmarks)", deltas.len());
+}

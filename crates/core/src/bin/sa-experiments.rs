@@ -15,7 +15,8 @@
 //! cell exits nonzero with a clean message instead of a half-printed
 //! table.
 
-use sa_core::reporting::{write_bench_json, BenchLine};
+use sa_core::profile::{render_folded, render_json, render_table, run_profile};
+use sa_core::reporting::{write_bench_json, BenchLine, Table};
 use sa_core::sweeps::{
     fig1_grid, fig1_grid_throughput, fig2_sweep, latency_rows, table5_runs, upcall_measurements,
 };
@@ -27,7 +28,6 @@ use sa_machine::CostModel;
 use sa_sim::{event::lazy::LazyEventQueue, EventQueue, SimTime, Trace, UpcallKind};
 use sa_uthread::CriticalSectionMode;
 use sa_workload::nbody::{nbody_parallel, NBodyConfig};
-use std::fmt::Write as _;
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
@@ -46,6 +46,10 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     (
         "trace",
         "trace <scenario> [--out F] [--format perfetto|log|histograms]",
+    ),
+    (
+        "profile",
+        "profile <fig1|fig2|table5> [--out F] [--format table|folded|json]",
     ),
     ("all", "every table and figure above"),
 ];
@@ -444,18 +448,32 @@ fn trace_cmd(scenario: &str, format: &str, out: Option<&str>) -> Result<(), Pani
         "perfetto" => perfetto_json(sys.kernel().trace(), CPUS),
         "log" => text_log(sys.kernel().trace()),
         "histograms" => {
-            let mut s = String::new();
+            let mut t = Table::new(&["app", "metric", "value"])
+                .align_left(1)
+                .align_left(2);
             for (i, &app) in sys.apps().to_vec().iter().enumerate() {
                 let m = sys.metrics(app);
-                let _ = writeln!(s, "nbody-{i}:");
+                let name = format!("nbody-{i}");
                 for kind in UpcallKind::ALL {
-                    let _ = writeln!(s, "  upcalls[{kind}]: {}", m.upcalls(kind));
+                    t.row(vec![
+                        name.clone(),
+                        format!("upcalls[{kind}]"),
+                        m.upcalls(kind).to_string(),
+                    ]);
                 }
-                let _ = writeln!(s, "  upcall_delivery: {}", m.upcall_delivery.summary());
-                let _ = writeln!(s, "  block_unblock:   {}", m.block_unblock.summary());
-                let _ = writeln!(s, "  runtime: {}", sys.runtime_stats(app));
+                t.row(vec![
+                    name.clone(),
+                    "upcall_delivery".to_string(),
+                    m.upcall_delivery.summary(),
+                ]);
+                t.row(vec![
+                    name.clone(),
+                    "block_unblock".to_string(),
+                    m.block_unblock.summary(),
+                ]);
+                t.row(vec![name, "runtime".to_string(), sys.runtime_stats(app)]);
             }
-            s
+            t.render()
         }
         other => {
             eprintln!(
@@ -478,12 +496,52 @@ fn trace_cmd(scenario: &str, format: &str, out: Option<&str>) -> Result<(), Pani
     Ok(())
 }
 
+/// Runs the where-the-time-goes profiler and exports the result.
+fn profile_cmd(
+    scenario: &str,
+    format: &str,
+    out: Option<&str>,
+    jobs: NonZeroUsize,
+) -> Result<(), PanickedJob> {
+    let profile = match run_profile(scenario, jobs) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("sa-experiments: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let output = match format {
+        "table" => render_table(&profile),
+        "folded" => render_folded(&profile),
+        "json" => render_json(&profile),
+        other => {
+            eprintln!(
+                "sa-experiments: unknown profile format '{other}' (expected table|folded|json)"
+            );
+            std::process::exit(2);
+        }
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &output) {
+                eprintln!("sa-experiments: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path} ({format}, {} cells)", profile.cells.len());
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
 fn usage() -> String {
     let names: Vec<&str> = SUBCOMMANDS.iter().map(|(n, _)| *n).collect();
     format!(
         "usage: sa-experiments [--jobs N] [--list] [{}]\n\
          \u{20}      sa-experiments trace <fig1|table5> [--out FILE] \
          [--format perfetto|log|histograms]\n\
+         \u{20}      sa-experiments profile <fig1|fig2|table5> [--out FILE] \
+         [--format table|folded|json]\n\
          \n\
          --jobs N   run sweep cells on N host threads (default: host cores,\n\
          \u{20}           or the SA_JOBS environment variable); --jobs 1 is fully serial\n\
@@ -540,14 +598,18 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
             return Err(format!("unknown flag '{arg}'"));
         } else if cmd.is_none() {
             cmd = Some(arg);
-        } else if arg2.is_none() && cmd.as_deref() == Some("trace") {
+        } else if arg2.is_none() && matches!(cmd.as_deref(), Some("trace") | Some("profile")) {
             arg2 = Some(arg);
         } else {
             return Err(format!("unexpected extra argument '{arg}'"));
         }
     }
-    if (out.is_some() || format.is_some()) && cmd.as_deref() != Some("trace") {
-        return Err("--out/--format only apply to the 'trace' subcommand".to_string());
+    if (out.is_some() || format.is_some())
+        && !matches!(cmd.as_deref(), Some("trace") | Some("profile"))
+    {
+        return Err(
+            "--out/--format only apply to the 'trace' and 'profile' subcommands".to_string(),
+        );
     }
     let jobs = match jobs {
         Some(j) => j,
@@ -583,6 +645,12 @@ fn run(opts: &Options) -> Result<(), PanickedJob> {
             opts.arg.as_deref().unwrap_or("fig1"),
             opts.format.as_deref().unwrap_or("perfetto"),
             opts.out.as_deref(),
+        ),
+        "profile" => profile_cmd(
+            opts.arg.as_deref().unwrap_or("fig1"),
+            opts.format.as_deref().unwrap_or("table"),
+            opts.out.as_deref(),
+            jobs,
         ),
         "all" => {
             table1(jobs)?;

@@ -1,0 +1,439 @@
+//! Post-run critical-path analysis over a completed trace.
+//!
+//! [`critical_path`] walks the event graph of a finished run *backwards*
+//! from the makespan, asking at every step "what was the last thing that
+//! had to finish before this could start?". The answer is a single chain
+//! of segments and waits whose lengths sum exactly to the makespan; the
+//! analyzer reports how much of that chain falls into each category
+//! (user work, kernel paths, blocking I/O, ready-queue waits, ...).
+//!
+//! Unlike the [`TimeLedger`](sa_sim::TimeLedger) — which accounts for
+//! *all* `cpus × makespan` of capacity — the critical path explains only
+//! the *elapsed* time: the one dependency chain that, if shortened, would
+//! shorten the run. A cell can show 80% idle capacity in the ledger while
+//! its critical path is 90% blocked-I/O; together the two views say "the
+//! machine was starved because the path was stuck in the disk".
+//!
+//! # How the chain is reconstructed
+//!
+//! The trace gives us three kinds of evidence:
+//!
+//! - [`TraceEvent::SegRun`] — a segment of `kind` work that *completed*
+//!   at `at`, so it occupied `[at - dur, at]` on its CPU.
+//! - [`TraceEvent::KtBlock`]/[`TraceEvent::KtWake`] and
+//!   [`TraceEvent::Block`]/[`TraceEvent::Unblock`] — blocking episodes
+//!   of kernel threads and activations, paired into
+//!   `blocked_at .. woke_at` intervals per address space.
+//! - Gaps — stretches with no segment ending on the chosen CPU.
+//!
+//! Starting at the makespan the walk repeatedly consumes the segment
+//! ending at the current frontier. When a segment's start does not abut
+//! an earlier segment, the gap is explained either by a blocking episode
+//! of the segment's space that woke inside the gap (split into a blocked
+//! portion and a wake-to-dispatch ready portion, with the walk jumping
+//! to the CPU where the block happened) or, failing that, as ready/queue
+//! wait ending at the previous segment on any CPU. Time before the first
+//! segment is "startup". Every step attributes exactly the amount the
+//! frontier moves, so the per-category totals sum to the makespan.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use sa_sim::{SimTime, TraceEvent, TraceRecord};
+
+/// Chain category for time spent *blocked on I/O* (disk, page faults).
+pub const CAT_BLOCKED_IO: &str = "blocked_io";
+/// Chain category for time spent blocked on synchronization (channels,
+/// app locks and condition variables, joins).
+pub const CAT_BLOCKED_SYNC: &str = "blocked_sync";
+/// Chain category for runnable-but-not-running time (queue delays and
+/// wake-to-dispatch latency).
+pub const CAT_READY_WAIT: &str = "ready_wait";
+/// Chain category for time before the first traced segment.
+pub const CAT_STARTUP: &str = "startup";
+
+/// Result of a [`critical_path`] walk.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// The instant being explained (end of the run), in nanoseconds.
+    pub makespan_ns: u64,
+    /// Nanoseconds of the chain attributed to each category. Segment
+    /// categories use the ledger state names (`running_user`, `kernel`,
+    /// ...); wait categories are the `CAT_*` constants in this module.
+    pub ns_by_category: BTreeMap<&'static str, u64>,
+    /// Number of chain links (segments and waits) walked.
+    pub hops: u64,
+    /// True if the walk hit its safety cap before reaching time zero;
+    /// the per-category totals then under-count the makespan.
+    pub truncated: bool,
+}
+
+impl CriticalPath {
+    /// Total nanoseconds attributed across all categories. Equals
+    /// `makespan_ns` whenever `truncated` is false.
+    pub fn attributed_ns(&self) -> u64 {
+        self.ns_by_category.values().sum()
+    }
+
+    /// Categories sorted by attributed time, largest first (ties broken
+    /// by name so the order is deterministic).
+    pub fn ranked(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.ns_by_category.iter().map(|(k, n)| (*k, *n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+}
+
+/// One executed interval reconstructed from a `SegRun` record.
+#[derive(Debug, Clone, Copy)]
+struct Slice {
+    start: u64,
+    end: u64,
+    space: Option<u32>,
+    category: &'static str,
+}
+
+/// A completed blocking episode of one schedulable unit.
+#[derive(Debug, Clone, Copy)]
+struct Episode {
+    blocked_at: u64,
+    /// CPU the unit was running on when it blocked; the walk resumes there.
+    block_cpu: usize,
+    woke_at: u64,
+    io: bool,
+}
+
+/// Maps a `SegRun` kind name onto the ledger's state vocabulary so the
+/// profiler's two views (ledger table, critical path) share one language.
+fn seg_category(kind: &'static str) -> &'static str {
+    match kind {
+        "user" => "running_user",
+        "overhead" => "runtime_overhead",
+        _ => kind, // "kernel", "upcall", "spin", "idle_spin" already match
+    }
+}
+
+/// Walks the completed trace backwards from `makespan` and attributes the
+/// elapsed time to its longest dependency chain. Requires an unbounded
+/// (non-ring) trace; with a partial trace the early part of the chain
+/// degrades to `startup`.
+pub fn critical_path<'a>(
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+    makespan: SimTime,
+) -> CriticalPath {
+    // --- Forward scan: build per-CPU slice timelines and blocking episodes.
+    let mut slices: Vec<Vec<Slice>> = Vec::new();
+    // Per-space episodes, in ascending woke_at order (forward scan order).
+    let mut episodes: HashMap<u32, Vec<Episode>> = HashMap::new();
+    // Open blocks: activations keyed by (space, act), kernel threads by kt.
+    let mut open_act: HashMap<(u32, u32), (u64, usize, bool)> = HashMap::new();
+    let mut open_kt: HashMap<u32, (u64, usize, u32, bool)> = HashMap::new();
+    // Last syscall trap per activation, to classify its next block.
+    let mut last_trap: HashMap<(u32, u32), &'static str> = HashMap::new();
+
+    for r in records {
+        let at = r.at.as_nanos();
+        match r.event {
+            TraceEvent::SegRun {
+                cpu,
+                space,
+                kind,
+                dur,
+            } => {
+                let cpu = cpu as usize;
+                if slices.len() <= cpu {
+                    slices.resize_with(cpu + 1, Vec::new);
+                }
+                slices[cpu].push(Slice {
+                    start: at.saturating_sub(dur.as_nanos()),
+                    end: at,
+                    space,
+                    category: seg_category(kind),
+                });
+            }
+            TraceEvent::TrapEnter {
+                space, act, call, ..
+            } => {
+                last_trap.insert((space, act), call);
+            }
+            TraceEvent::Block { space, cpu, act } => {
+                let io = matches!(
+                    last_trap.get(&(space, act)).copied(),
+                    Some("io") | Some("page_fault")
+                );
+                open_act.insert((space, act), (at, cpu as usize, io));
+            }
+            TraceEvent::Unblock { space, act } => {
+                if let Some((blocked_at, block_cpu, io)) = open_act.remove(&(space, act)) {
+                    episodes.entry(space).or_default().push(Episode {
+                        blocked_at,
+                        block_cpu,
+                        woke_at: at,
+                        io,
+                    });
+                }
+            }
+            // Daemon sleeps and parked VPs are dormancy, not
+            // dependency edges; leave their gaps to ready/startup.
+            TraceEvent::KtBlock {
+                space,
+                cpu,
+                kt,
+                why,
+            } if why != "daemon_sleep" && why != "parked" => {
+                open_kt.insert(kt, (at, cpu as usize, space, why == "io"));
+            }
+            TraceEvent::KtWake { space, kt } => {
+                if let Some((blocked_at, block_cpu, sp, io)) = open_kt.remove(&kt) {
+                    debug_assert_eq!(sp, space);
+                    episodes.entry(space).or_default().push(Episode {
+                        blocked_at,
+                        block_cpu,
+                        woke_at: at,
+                        io,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // --- Backward walk.
+    let mut ns_by_category: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let add = |m: &mut BTreeMap<&'static str, u64>, cat: &'static str, ns: u64| {
+        if ns > 0 {
+            *m.entry(cat).or_insert(0) += ns;
+        }
+    };
+
+    // Per-CPU cursor: slices[c][..cursor[c]] are still unconsumed. Ensures
+    // the walk makes progress even across zero-width segments.
+    let mut cursor: Vec<usize> = slices.iter().map(Vec::len).collect();
+    let mut t = makespan.as_nanos();
+    let mut pref: Option<usize> = None;
+    // Space whose start-of-segment wait the next gap explains.
+    let mut cur_space: Option<u32> = None;
+    let mut hops = 0u64;
+    let mut truncated = false;
+    // Each iteration either consumes a slice (decrements a cursor) or
+    // strictly decreases `t`, so this cap is never hit in practice.
+    let cap = 1_000_000u64
+        + slices.iter().map(|v| v.len() as u64).sum::<u64>()
+        + episodes.values().map(|v| v.len() as u64).sum::<u64>();
+
+    while t > 0 {
+        hops += 1;
+        if hops > cap {
+            truncated = true;
+            break;
+        }
+
+        // Latest unconsumed slice ending at or before `t`. An exact-end
+        // match on the preferred CPU wins; otherwise the latest end across
+        // all CPUs (ties: preferred CPU, then lowest CPU index).
+        let mut best: Option<(usize, usize)> = None; // (cpu, idx)
+        if let Some(pc) = pref {
+            if pc < slices.len() {
+                if let Some(i) = latest_at_or_before(&slices[pc][..cursor[pc]], t) {
+                    if slices[pc][i].end == t {
+                        best = Some((pc, i));
+                    }
+                }
+            }
+        }
+        if best.is_none() {
+            for c in 0..slices.len() {
+                if let Some(i) = latest_at_or_before(&slices[c][..cursor[c]], t) {
+                    let better = match best {
+                        None => true,
+                        Some((bc, bi)) => {
+                            let (be, e) = (slices[bc][bi].end, slices[c][i].end);
+                            e > be || (e == be && pref == Some(c) && pref != Some(bc))
+                        }
+                    };
+                    if better {
+                        best = Some((c, i));
+                    }
+                }
+            }
+        }
+
+        let Some((c, i)) = best else {
+            add(&mut ns_by_category, CAT_STARTUP, t);
+            break;
+        };
+        let s = slices[c][i];
+
+        if s.end == t {
+            // Segment on the chain: consume it and move to its start.
+            add(&mut ns_by_category, s.category, s.end - s.start);
+            cursor[c] = i;
+            t = s.start;
+            pref = Some(c);
+            cur_space = s.space;
+            continue;
+        }
+
+        // Gap before the last consumed segment's start. Prefer a blocking
+        // episode of that segment's space that woke inside the gap.
+        let prev_end = s.end;
+        let ep = cur_space
+            .and_then(|sp| episodes.get(&sp))
+            .and_then(|eps| latest_wake_at_or_before(eps, t))
+            .filter(|ep| ep.woke_at >= prev_end && ep.blocked_at < t);
+        if let Some(ep) = ep {
+            add(&mut ns_by_category, CAT_READY_WAIT, t - ep.woke_at);
+            let cat = if ep.io {
+                CAT_BLOCKED_IO
+            } else {
+                CAT_BLOCKED_SYNC
+            };
+            add(&mut ns_by_category, cat, ep.woke_at.min(t) - ep.blocked_at);
+            t = ep.blocked_at;
+            pref = Some(ep.block_cpu);
+        } else {
+            add(&mut ns_by_category, CAT_READY_WAIT, t - prev_end);
+            t = prev_end;
+            pref = Some(c);
+        }
+    }
+
+    CriticalPath {
+        makespan_ns: makespan.as_nanos(),
+        ns_by_category,
+        hops,
+        truncated,
+    }
+}
+
+/// Index of the last slice (chronological order) with `end <= t`.
+fn latest_at_or_before(slices: &[Slice], t: u64) -> Option<usize> {
+    let n = slices.partition_point(|s| s.end <= t);
+    n.checked_sub(1)
+}
+
+/// The episode with the largest `woke_at <= t` (ascending `woke_at` order).
+fn latest_wake_at_or_before(eps: &[Episode], t: u64) -> Option<Episode> {
+    let n = eps.partition_point(|e| e.woke_at <= t);
+    n.checked_sub(1).map(|i| eps[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sim::SimDuration;
+
+    fn rec(at: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_nanos(at),
+            event,
+        }
+    }
+
+    fn seg(at: u64, cpu: u32, space: Option<u32>, kind: &'static str, dur: u64) -> TraceRecord {
+        rec(
+            at,
+            TraceEvent::SegRun {
+                cpu,
+                space,
+                kind,
+                dur: SimDuration::from_nanos(dur),
+            },
+        )
+    }
+
+    #[test]
+    fn single_cpu_chain_with_io_block() {
+        // cpu0: [0,10] user, kt blocks on I/O at 10, wakes at 60,
+        // then [65,70] kernel. Path: 5 kernel + 5 ready + 50 io + 10 user.
+        let records = [
+            seg(10, 0, Some(0), "user", 10),
+            rec(
+                10,
+                TraceEvent::KtBlock {
+                    space: 0,
+                    cpu: 0,
+                    kt: 1,
+                    why: "io",
+                },
+            ),
+            rec(60, TraceEvent::KtWake { space: 0, kt: 1 }),
+            seg(70, 0, Some(0), "kernel", 5),
+        ];
+        let cp = critical_path(records.iter(), SimTime::from_nanos(70));
+        assert!(!cp.truncated);
+        assert_eq!(cp.ns_by_category["kernel"], 5);
+        assert_eq!(cp.ns_by_category[CAT_READY_WAIT], 5);
+        assert_eq!(cp.ns_by_category[CAT_BLOCKED_IO], 50);
+        assert_eq!(cp.ns_by_category["running_user"], 10);
+        assert_eq!(cp.attributed_ns(), 70);
+    }
+
+    #[test]
+    fn abutting_segments_cross_cpu_via_block() {
+        // cpu1 runs user [0,40]; an act of space 2 blocked at 40 on cpu1
+        // (after an "io" trap) and woke at 90; cpu0 then runs it [95,100].
+        let records = [
+            rec(
+                5,
+                TraceEvent::TrapEnter {
+                    space: 2,
+                    cpu: 1,
+                    act: 7,
+                    call: "io",
+                },
+            ),
+            seg(40, 1, Some(2), "user", 40),
+            rec(
+                40,
+                TraceEvent::Block {
+                    space: 2,
+                    cpu: 1,
+                    act: 7,
+                },
+            ),
+            rec(90, TraceEvent::Unblock { space: 2, act: 7 }),
+            seg(100, 0, Some(2), "user", 5),
+        ];
+        let cp = critical_path(records.iter(), SimTime::from_nanos(100));
+        assert!(!cp.truncated);
+        assert_eq!(cp.ns_by_category["running_user"], 45);
+        assert_eq!(cp.ns_by_category[CAT_BLOCKED_IO], 50);
+        assert_eq!(cp.ns_by_category[CAT_READY_WAIT], 5);
+        assert_eq!(cp.attributed_ns(), 100);
+    }
+
+    #[test]
+    fn gap_without_block_is_ready_wait() {
+        let records = [
+            seg(10, 0, Some(0), "user", 10),
+            seg(30, 0, Some(0), "user", 10), // starts at 20, gap [10,20]
+        ];
+        let cp = critical_path(records.iter(), SimTime::from_nanos(30));
+        assert_eq!(cp.ns_by_category["running_user"], 20);
+        assert_eq!(cp.ns_by_category[CAT_READY_WAIT], 10);
+        assert_eq!(cp.attributed_ns(), 30);
+    }
+
+    #[test]
+    fn empty_trace_is_all_startup() {
+        let records: Vec<TraceRecord> = Vec::new();
+        let cp = critical_path(records.iter(), SimTime::from_nanos(42));
+        assert_eq!(cp.ns_by_category[CAT_STARTUP], 42);
+        assert_eq!(cp.attributed_ns(), 42);
+    }
+
+    #[test]
+    fn attribution_is_conserved_with_zero_width_segments() {
+        let records = [
+            seg(10, 0, Some(0), "user", 10),
+            seg(10, 0, Some(0), "overhead", 0),
+            seg(10, 0, Some(0), "overhead", 0),
+            seg(25, 0, Some(0), "user", 15),
+        ];
+        let cp = critical_path(records.iter(), SimTime::from_nanos(25));
+        assert!(!cp.truncated);
+        assert_eq!(cp.attributed_ns(), 25);
+        assert_eq!(cp.ns_by_category["running_user"], 25);
+    }
+}

@@ -21,7 +21,9 @@
 //! assert!(report.all_done());
 //! ```
 
+pub mod critical_path;
 pub mod experiments;
+pub mod profile;
 pub mod reporting;
 pub mod sweeps;
 pub mod system;

@@ -75,6 +75,227 @@ pub fn write_bench_json(path: &str, lines: &[BenchLine]) -> std::io::Result<()> 
     std::fs::write(path, bench_lines_json(lines))
 }
 
+/// A deterministic fixed-width text table: first column left-aligned,
+/// the rest right-aligned, widths fitted to content.
+///
+/// The one table renderer for every subcommand (`trace --format
+/// histograms`, `profile`) so their outputs stay visually consistent and
+/// byte-stable for determinism diffs.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    left: Vec<usize>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            left: Vec::new(),
+        }
+    }
+
+    /// Left-aligns column `i` as well (the first column always is).
+    /// Useful for trailing free-text columns, whose width would otherwise
+    /// pad every other row far to the right.
+    pub fn align_left(mut self, i: usize) -> Self {
+        self.left.push(i);
+        self
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with a dashed rule under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = width[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, &w) in width.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 || self.left.contains(&i) {
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let _ = write!(out, "{cell:>w$}");
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let rule: usize = width.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Parses the flat document written by [`bench_lines_json`] (one
+/// `{"name": ..., "ops_per_sec": ..., "detail": ...}` object per line).
+/// Not a general JSON parser — it reads exactly what this module writes,
+/// which is the only producer of `BENCH_engine.json`.
+pub fn parse_bench_json(text: &str) -> Result<Vec<BenchLine>, String> {
+    let mut lines = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if !line.starts_with('{') || !line.contains("\"name\"") {
+            continue;
+        }
+        let name = extract_string_field(line, "name")
+            .ok_or_else(|| format!("line {}: missing \"name\" string", no + 1))?;
+        let ops = extract_number_field(line, "ops_per_sec")
+            .ok_or_else(|| format!("line {}: missing \"ops_per_sec\" number", no + 1))?;
+        let detail = extract_string_field(line, "detail").unwrap_or_default();
+        lines.push(BenchLine::new(name, ops, detail));
+    }
+    if lines.is_empty() {
+        return Err("no benchmark entries found".into());
+    }
+    Ok(lines)
+}
+
+/// Finds `"key": "<value>"` in `line` and unescapes the value.
+fn extract_string_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Finds `"key": <number>` in `line`.
+fn extract_number_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Verdict for one benchmark when comparing a candidate run against a
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchVerdict {
+    /// Within the noise threshold (or faster).
+    Ok,
+    /// Slower than `baseline × (1 − threshold)`.
+    Regressed,
+    /// Present in the baseline but missing from the candidate.
+    Missing,
+}
+
+/// One row of a baseline/candidate comparison.
+#[derive(Debug, Clone)]
+pub struct BenchDelta {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline ops/s.
+    pub baseline: f64,
+    /// Candidate ops/s (0.0 when missing).
+    pub current: f64,
+    /// `current / baseline` (0.0 when missing).
+    pub ratio: f64,
+    /// The verdict under the threshold used.
+    pub verdict: BenchVerdict,
+}
+
+/// Compares `current` against `baseline` with a relative noise
+/// `threshold` (e.g. 0.3 = a benchmark may lose up to 30% before it
+/// counts as a regression — same-machine reruns of this event-loop
+/// workload jitter well under that; see `EXPERIMENTS.md`).
+/// Benchmarks only in `current` are ignored: new benchmarks cannot
+/// regress. Returns one delta per baseline entry, in baseline order.
+pub fn compare_benches(
+    baseline: &[BenchLine],
+    current: &[BenchLine],
+    threshold: f64,
+) -> Vec<BenchDelta> {
+    baseline
+        .iter()
+        .map(|b| {
+            let cur = current.iter().find(|c| c.name == b.name);
+            match cur {
+                None => BenchDelta {
+                    name: b.name.clone(),
+                    baseline: b.ops_per_sec,
+                    current: 0.0,
+                    ratio: 0.0,
+                    verdict: BenchVerdict::Missing,
+                },
+                Some(c) => {
+                    let ratio = if b.ops_per_sec > 0.0 {
+                        c.ops_per_sec / b.ops_per_sec
+                    } else {
+                        1.0
+                    };
+                    let verdict = if ratio < 1.0 - threshold {
+                        BenchVerdict::Regressed
+                    } else {
+                        BenchVerdict::Ok
+                    };
+                    BenchDelta {
+                        name: b.name.clone(),
+                        baseline: b.ops_per_sec,
+                        current: c.ops_per_sec,
+                        ratio,
+                        verdict,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +306,74 @@ mod tests {
         assert_eq!(json_escape("line1\nline2\ttab"), "line1\\nline2\\ttab");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
         assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_parser() {
+        let lines = vec![
+            BenchLine::new("queue_mix", 123456.7, r#"detail "quoted" \ slash"#),
+            BenchLine::new("dispatch", 0.5, "tab\there"),
+        ];
+        let parsed = parse_bench_json(&bench_lines_json(&lines)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "queue_mix");
+        assert!((parsed[0].ops_per_sec - 123456.7).abs() < 0.1);
+        assert_eq!(parsed[0].detail, r#"detail "quoted" \ slash"#);
+        assert_eq!(parsed[1].detail, "tab\there");
+    }
+
+    #[test]
+    fn parse_rejects_empty_documents() {
+        assert!(parse_bench_json("{}").is_err());
+        assert!(parse_bench_json("").is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_missing_and_ok() {
+        let base = vec![
+            BenchLine::new("fast", 100.0, ""),
+            BenchLine::new("gone", 50.0, ""),
+            BenchLine::new("slow", 100.0, ""),
+        ];
+        let cur = vec![
+            BenchLine::new("fast", 95.0, ""),
+            BenchLine::new("slow", 60.0, ""),
+            BenchLine::new("brand_new", 1.0, ""),
+        ];
+        let deltas = compare_benches(&base, &cur, 0.3);
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas[0].verdict, BenchVerdict::Ok);
+        assert_eq!(deltas[1].verdict, BenchVerdict::Missing);
+        assert_eq!(deltas[2].verdict, BenchVerdict::Regressed);
+        assert!((deltas[2].ratio - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_boundary_is_strict() {
+        // Exactly at baseline × (1 − threshold) is still OK; below it is not.
+        let base = vec![BenchLine::new("b", 100.0, "")];
+        let at = compare_benches(&base, &[BenchLine::new("b", 70.0, "")], 0.3);
+        assert_eq!(at[0].verdict, BenchVerdict::Ok);
+        let below = compare_benches(&base, &[BenchLine::new("b", 69.9, "")], 0.3);
+        assert_eq!(below[0].verdict, BenchVerdict::Regressed);
+    }
+
+    #[test]
+    fn table_renders_aligned_and_stable() {
+        let mut t = Table::new(&["state", "ns", "share"]);
+        t.row(vec!["running_user".into(), "123".into(), "40.0%".into()]);
+        t.row(vec!["idle".into(), "7".into(), "2.2%".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("state"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numeric columns right-aligned: "123" and "7" end at same offset.
+        let c1 = lines[2].rfind("123").unwrap() + 3;
+        let c2 = lines[3].rfind('7').unwrap() + 1;
+        assert_eq!(c1, c2);
+        // No trailing whitespace anywhere (byte-stable diffs).
+        assert!(r.lines().all(|l| l.trim_end() == l));
     }
 
     #[test]

@@ -293,6 +293,20 @@ impl System {
         self.kernel.runtime_dump(app.0)
     }
 
+    /// The time-attribution ledger, with open intervals closed at the
+    /// current virtual time (see [`sa_sim::TimeLedger`]).
+    pub fn time_ledger(&self) -> sa_sim::TimeLedger {
+        self.kernel.time_ledger()
+    }
+
+    /// Total user-runtime ready-wait for an application (ready → running
+    /// delay inside the user-level thread package), in nanoseconds. Zero
+    /// for kernel-direct applications, whose ready waits the kernel's
+    /// ledger gauges see directly.
+    pub fn runtime_ready_wait_ns(&self, app: AppId) -> u64 {
+        self.kernel.runtime_ready_wait_ns(app.0)
+    }
+
     /// Access to the underlying kernel (trace, global metrics, time).
     pub fn kernel(&self) -> &Kernel {
         &self.kernel

@@ -78,6 +78,8 @@ pub fn perfetto_json(trace: &Tracer, cpus: u16) -> String {
             | TraceEvent::TrapEnter { space, .. }
             | TraceEvent::TrapExit { space, .. }
             | TraceEvent::Block { space, .. }
+            | TraceEvent::KtBlock { space, .. }
+            | TraceEvent::KtWake { space, .. }
             | TraceEvent::ActStop { space, .. }
             | TraceEvent::Grant { space, .. }
             | TraceEvent::DebugStop { space, .. }
@@ -150,6 +152,14 @@ pub fn perfetto_json(trace: &Tracer, cpus: u16) -> String {
             TraceEvent::Block { cpu, act, .. } => {
                 let args = format!(r#", "args": {{"act": {act}}}"#);
                 push_instant(&mut out, PID_CPUS, *cpu, ts, "block", &args);
+            }
+            TraceEvent::KtBlock { cpu, kt, why, .. } => {
+                let args = format!(r#", "args": {{"kt": {kt}, "why": "{why}"}}"#);
+                push_instant(&mut out, PID_CPUS, *cpu, ts, "kt_block", &args);
+            }
+            TraceEvent::KtWake { space, kt } => {
+                let args = format!(r#", "args": {{"kt": {kt}}}"#);
+                push_instant(&mut out, PID_SPACES, *space, ts, "kt_wake", &args);
             }
             TraceEvent::ActStop { cpu, act, .. } => {
                 let args = format!(r#", "args": {{"act": {act}}}"#);

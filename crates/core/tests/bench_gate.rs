@@ -1,0 +1,99 @@
+//! The bench regression gate end-to-end: `sa-bench-check` must pass an
+//! unchanged rerun, fail an injected regression, and fail a vanished
+//! benchmark — with the right exit codes for CI.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bench_json(queue_ops: f64) -> String {
+    format!(
+        r#"{{
+  "benchmarks": [
+    {{"name": "system_nbody_fig1_sa", "ops_per_sec": 2500000.0, "detail": "events"}},
+    {{"name": "queue_mix_indexed", "ops_per_sec": {queue_ops}, "detail": "2000000 scheduled"}}
+  ]
+}}
+"#
+    )
+}
+
+fn write_fixture(name: &str, content: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("sa-bench-gate-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).expect("write fixture");
+    path
+}
+
+fn run_check(baseline: &PathBuf, current: &PathBuf, extra: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sa-bench-check"))
+        .arg(baseline)
+        .arg(current)
+        .args(extra)
+        .output()
+        .expect("run sa-bench-check");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().expect("exit code"), text)
+}
+
+#[test]
+fn passes_identical_runs_and_fails_injected_regression() {
+    let baseline = write_fixture("baseline.json", &bench_json(16_000_000.0));
+    // Identical rerun: ok.
+    let (code, text) = run_check(&baseline, &baseline, &[]);
+    assert_eq!(code, 0, "identical runs must pass:\n{text}");
+    assert!(text.contains("ok (2 benchmarks)"), "{text}");
+
+    // Small same-machine jitter (-10%): still ok at the default threshold.
+    let jitter = write_fixture("jitter.json", &bench_json(14_400_000.0));
+    let (code, text) = run_check(&baseline, &jitter, &[]);
+    assert_eq!(code, 0, "10% jitter must pass:\n{text}");
+
+    // Injected regression (-60%): the gate trips.
+    let regressed = write_fixture("regressed.json", &bench_json(6_400_000.0));
+    let (code, text) = run_check(&baseline, &regressed, &[]);
+    assert_eq!(code, 1, "injected regression must fail:\n{text}");
+    assert!(text.contains("REGRESSED"), "{text}");
+
+    // The same regression passes a deliberately loose threshold.
+    let (code, text) = run_check(&baseline, &regressed, &["--threshold", "0.9"]);
+    assert_eq!(code, 0, "loose threshold must pass:\n{text}");
+
+    for p in [baseline, jitter, regressed] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn fails_when_a_benchmark_vanishes() {
+    let baseline = write_fixture("full-baseline.json", &bench_json(16_000_000.0));
+    let partial = write_fixture(
+        "partial.json",
+        r#"{"benchmarks": [
+            {"name": "system_nbody_fig1_sa", "ops_per_sec": 2500000.0, "detail": "events"}
+        ]}"#,
+    );
+    let (code, text) = run_check(&baseline, &partial, &[]);
+    assert_eq!(code, 1, "vanished benchmark must fail:\n{text}");
+    assert!(text.contains("MISSING"), "{text}");
+    for p in [baseline, partial] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn rejects_bad_arguments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sa-bench-check"))
+        .arg("only-one.json")
+        .output()
+        .expect("run sa-bench-check");
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(env!("CARGO_BIN_EXE_sa-bench-check"))
+        .args(["a.json", "b.json", "--threshold", "1.5"])
+        .output()
+        .expect("run sa-bench-check");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -299,6 +299,7 @@ impl Kernel {
             }
             SpaceKind::KernelDirect { .. } | SpaceKind::UserOnKt { .. } => {
                 if let Some(kt) = self.spaces[space.index()].ready.pop() {
+                    self.note_ready_wait(kt, -1);
                     self.dispatch_kt(cpu, kt);
                     self.schedule_dispatch(cpu);
                 } else {

@@ -45,13 +45,18 @@ impl Kernel {
         self.advance_cpu(cpu);
     }
 
-    /// Charges `dur` of `seg`'s work to the unit's space.
+    /// Charges `dur` of `seg`'s work to the unit's space and to the
+    /// time-attribution ledger (full completions and split remainders
+    /// both come through here, so the ledger sees every occupied
+    /// nanosecond exactly once).
     pub(crate) fn charge_seg(&mut self, cpu: usize, seg: Seg, dur: SimDuration) {
         let space = match self.cpus[cpu].running {
             Running::Kt(kt) => Some(self.kts[kt.index()].space),
             Running::Act(a) => Some(self.acts[a.index()].space),
             Running::Idle => None,
         };
+        self.ledger
+            .charge(cpu, space.map(|s| s.index()), seg.ledger_state(), dur);
         if let Some(s) = space {
             if seg.preemptible {
                 self.spaces[s.index()].metrics.charge(seg.kind, dur);
@@ -159,6 +164,7 @@ impl Kernel {
         match self.cfg.sched {
             SchedMode::TopazNative => {
                 if let Some(kt) = self.global_rq.pop() {
+                    self.note_ready_wait(kt, -1);
                     self.dispatch_kt(cpu, kt);
                 }
             }
@@ -174,6 +180,7 @@ impl Kernel {
                 match &self.spaces[space.index()].kind {
                     SpaceKind::KernelDirect { .. } | SpaceKind::UserOnKt { .. } => {
                         if let Some(kt) = self.spaces[space.index()].ready.pop() {
+                            self.note_ready_wait(kt, -1);
                             self.dispatch_kt(cpu, kt);
                         } else {
                             // Nothing runnable in this space: hand the CPU
@@ -350,6 +357,7 @@ impl Kernel {
     /// Enqueues without placement (used when the CPU decision is deferred).
     pub(crate) fn enqueue_ready(&mut self, kt: KtId) {
         let prio = self.kts[kt.index()].prio;
+        self.note_ready_wait(kt, 1);
         match self.cfg.sched {
             SchedMode::TopazNative => self.global_rq.push(kt, prio),
             SchedMode::SaAllocator => {
@@ -369,6 +377,7 @@ impl Kernel {
         }
         let prio = self.kts[kt.index()].prio;
         if let Some(victim_cpu) = self.find_lower_prio_victim(prio) {
+            self.note_ready_wait(kt, 1);
             self.global_rq.push(kt, prio);
             let Running::Kt(victim) = self.cpus[victim_cpu].running else {
                 unreachable!("victim CPU not running a kernel thread");
@@ -385,6 +394,7 @@ impl Kernel {
             }
             return;
         }
+        self.note_ready_wait(kt, 1);
         self.global_rq.push(kt, prio);
     }
 
@@ -403,6 +413,7 @@ impl Kernel {
                 return;
             }
         }
+        self.note_ready_wait(kt, 1);
         self.spaces[space.index()].ready.push(kt, prio);
         // Demand changed; the allocator may want to assign more CPUs.
         self.rebalance();
@@ -437,7 +448,19 @@ impl Kernel {
             "waking non-blocked {kt}: {:?}",
             self.kts[kt.index()].state
         );
+        if let KtState::Blocked(bk) = self.kts[kt.index()].state {
+            if let Some(wk) = bk.wait_kind() {
+                let space = self.kts[kt.index()].space;
+                self.note_blocked_wait(space, wk, -1);
+            }
+        }
         self.kts[kt.index()].state = KtState::Ready;
+        let space = self.kts[kt.index()].space;
+        let now = self.q.now();
+        self.trace.event(now, || sa_sim::TraceEvent::KtWake {
+            space: space.0,
+            kt: kt.0,
+        });
         self.make_runnable(kt);
     }
 

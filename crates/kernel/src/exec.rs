@@ -13,7 +13,7 @@ use crate::ids::{KtId, VpId};
 use crate::upcall::{SyscallOutcome, UpcallEvent, WorkKind};
 use sa_machine::ids::{ChanId, CvId, LockId, PageId, ThreadRef};
 use sa_machine::program::OpResult;
-use sa_sim::SimDuration;
+use sa_sim::{CpuState, SimDuration};
 use std::collections::VecDeque;
 
 /// A timed stretch of execution on a CPU.
@@ -34,6 +34,22 @@ pub(crate) struct Seg {
 }
 
 impl Seg {
+    /// The [`CpuState`] ledger bucket this segment's time belongs to.
+    /// Non-preemptible segments are kernel paths regardless of their
+    /// nominal [`WorkKind`]; preemptible ones map by kind.
+    pub(crate) fn ledger_state(&self) -> CpuState {
+        if !self.preemptible {
+            return CpuState::Kernel;
+        }
+        match self.kind {
+            WorkKind::UserWork => CpuState::User,
+            WorkKind::RuntimeOverhead => CpuState::Overhead,
+            WorkKind::SpinWait => CpuState::Spin,
+            WorkKind::IdleSpin => CpuState::IdleSpin,
+            WorkKind::UpcallWork => CpuState::Upcall,
+        }
+    }
+
     /// A non-preemptible kernel-mode segment.
     pub(crate) fn kernel(dur: SimDuration) -> Self {
         Seg {

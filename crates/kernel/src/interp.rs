@@ -245,6 +245,17 @@ impl Kernel {
     pub(crate) fn block_kt(&mut self, cpu: usize, kt: KtId, kind: BlockKind) {
         debug_assert!(matches!(self.cpus[cpu].running, Running::Kt(k) if k == kt));
         self.kts[kt.index()].state = KtState::Blocked(kind);
+        let space = self.kts[kt.index()].space;
+        if let Some(wk) = kind.wait_kind() {
+            self.note_blocked_wait(space, wk, 1);
+        }
+        let now = self.q.now();
+        self.trace.event(now, || sa_sim::TraceEvent::KtBlock {
+            space: space.0,
+            cpu: cpu as u32,
+            kt: kt.0,
+            why: kind.name(),
+        });
         self.set_idle(cpu);
         self.bump_gen(cpu);
     }

@@ -10,7 +10,9 @@ use crate::metrics::{KernelMetrics, RunOutcome, SpaceMetrics};
 use crate::sched::ReadyQueue;
 use crate::space::{Residency, SaState, Space, SpaceKind};
 use sa_machine::{CostModel, Disk};
-use sa_sim::{EventQueue, EventToken, SimRng, SimTime, Trace, TraceEvent};
+use sa_sim::{
+    CpuState, EventQueue, EventToken, SimRng, SimTime, TimeLedger, Trace, TraceEvent, WaitKind,
+};
 
 /// Priority of kernel daemon threads: above every application space.
 pub(crate) const DAEMON_PRIO: u8 = 255;
@@ -85,6 +87,8 @@ pub struct Kernel {
     /// Global ready queue (native mode).
     pub(crate) global_rq: ReadyQueue,
     pub(crate) metrics: KernelMetrics,
+    /// Where every CPU nanosecond went (always on; a `u64` add per charge).
+    pub(crate) ledger: TimeLedger,
     /// Rotation counter for remainder processors (§4.1 time-slicing).
     pub(crate) share_rotation: u32,
     /// A `RotateShares` event is outstanding.
@@ -106,6 +110,7 @@ impl Kernel {
                 idle_since: Some(SimTime::ZERO),
             })
             .collect();
+        let n_cpus = cfg.cpus as usize;
         let disk = Disk::new(cfg.disk);
         let rng = SimRng::new(cfg.seed);
         let mut kernel = Kernel {
@@ -123,6 +128,7 @@ impl Kernel {
             daemons: Vec::new(),
             global_rq: ReadyQueue::new(),
             metrics: KernelMetrics::default(),
+            ledger: TimeLedger::new(n_cpus),
             share_rotation: 0,
             rotation_armed: false,
             started: false,
@@ -168,6 +174,15 @@ impl Kernel {
             .as_ref()
             .map(|rt| rt.debug_dump())
             .unwrap_or_default()
+    }
+
+    /// Total ready-list wait inside the space's user runtime, in
+    /// nanoseconds (0 for kernel-direct spaces).
+    pub fn runtime_ready_wait_ns(&self, space: AsId) -> u64 {
+        self.spaces[space.index()]
+            .runtime
+            .as_ref()
+            .map_or(0, |rt| rt.ready_wait_ns())
     }
 
     /// The user runtime's own statistics line, if the space has one.
@@ -477,6 +492,9 @@ impl Kernel {
             .event(now, || TraceEvent::SpaceDone { space: id.0 });
         self.spaces[id.index()].done = true;
         self.spaces[id.index()].completed_at = Some(now);
+        // Any threads still on the gauges are being destroyed, not served:
+        // stop the wait clocks.
+        self.ledger.clear_waits(id.index(), now);
         // Tear down whatever is still dispatched for this space.
         for cpu in 0..self.cpus.len() {
             let belongs = match self.cpus[cpu].running {
@@ -544,12 +562,60 @@ impl Kernel {
     }
 
     /// Cancels the in-flight segment on `cpu` without charging the partial
-    /// time to anyone (teardown only).
+    /// time to the space's metrics (teardown only). The ledger still
+    /// records the elapsed portion — the CPU really did spend that time —
+    /// or its conservation invariant would leak a gap.
     pub(crate) fn cancel_inflight(&mut self, cpu: usize) {
         if let Some(inf) = self.cpus[cpu].inflight.take() {
             self.q.cancel(inf.token);
+            let elapsed = self.q.now().since(inf.started);
+            let space = self.running_space_index(cpu);
+            self.ledger
+                .charge(cpu, space, inf.seg.ledger_state(), elapsed);
         }
         self.bump_gen(cpu);
+    }
+
+    /// The raw index of the space dispatched on `cpu`, if any.
+    pub(crate) fn running_space_index(&self, cpu: usize) -> Option<usize> {
+        match self.cpus[cpu].running {
+            Running::Kt(kt) => Some(self.kts[kt.index()].space.index()),
+            Running::Act(a) => Some(self.acts[a.index()].space.index()),
+            Running::Idle => None,
+        }
+    }
+
+    /// Adjusts the ready-wait gauge of `kt`'s space by `delta` threads.
+    /// Call on every ready-queue push (+1) and pop (−1).
+    pub(crate) fn note_ready_wait(&mut self, kt: KtId, delta: i64) {
+        let space = self.kts[kt.index()].space;
+        self.ledger
+            .note_wait(space.index(), WaitKind::Ready, self.q.now(), delta);
+    }
+
+    /// Adjusts a blocked-wait gauge of `space` by `delta` threads.
+    pub(crate) fn note_blocked_wait(&mut self, space: AsId, kind: WaitKind, delta: i64) {
+        self.ledger
+            .note_wait(space.index(), kind, self.q.now(), delta);
+    }
+
+    /// A snapshot of the time-attribution ledger with every open interval
+    /// (an in-flight segment, an idle stretch) closed at the current
+    /// virtual time, so per-CPU sums equal the makespan exactly. Does not
+    /// mutate kernel state; callable mid-run or after [`Kernel::run`].
+    pub fn time_ledger(&self) -> TimeLedger {
+        let now = self.q.now();
+        let mut ledger = self.ledger.clone();
+        for cpu in 0..self.cpus.len() {
+            if let Some(inf) = &self.cpus[cpu].inflight {
+                let elapsed = now.since(inf.started);
+                let space = self.running_space_index(cpu);
+                ledger.charge(cpu, space, inf.seg.ledger_state(), elapsed);
+            } else if let Some(since) = self.cpus[cpu].idle_since {
+                ledger.charge(cpu, None, CpuState::Idle, now.since(since));
+            }
+        }
+        ledger
     }
 
     /// Invalidates all outstanding per-CPU events.
@@ -573,6 +639,7 @@ impl Kernel {
         if let Some(since) = self.cpus[cpu].idle_since.take() {
             let d = self.q.now().since(since);
             self.metrics.charge_idle(d);
+            self.ledger.charge(cpu, None, CpuState::Idle, d);
         }
     }
 

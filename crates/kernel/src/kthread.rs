@@ -32,6 +32,35 @@ pub(crate) enum BlockKind {
     Parked,
 }
 
+impl BlockKind {
+    /// The ledger wait gauge this block state feeds, if any. Daemon sleeps
+    /// and parked VPs are intentional dormancy, not waiting-for-service,
+    /// so they are not counted.
+    pub(crate) fn wait_kind(self) -> Option<sa_sim::WaitKind> {
+        match self {
+            BlockKind::Io => Some(sa_sim::WaitKind::BlockedIo),
+            BlockKind::Chan(_)
+            | BlockKind::AppLock(_)
+            | BlockKind::AppCv(_)
+            | BlockKind::Join(_) => Some(sa_sim::WaitKind::BlockedSync),
+            BlockKind::DaemonSleep | BlockKind::Parked => None,
+        }
+    }
+
+    /// Short static name used in trace events.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            BlockKind::Io => "io",
+            BlockKind::Chan(_) => "chan",
+            BlockKind::AppLock(_) => "app_lock",
+            BlockKind::AppCv(_) => "app_cv",
+            BlockKind::Join(_) => "join",
+            BlockKind::DaemonSleep => "daemon_sleep",
+            BlockKind::Parked => "parked",
+        }
+    }
+}
+
 /// Scheduling state of a kernel thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum KtState {

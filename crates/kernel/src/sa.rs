@@ -7,7 +7,7 @@ use crate::ids::{ActId, AsId, VpId};
 use crate::kernel::{Event, Kernel};
 use crate::upcall::{RtEnv, SavedContext, Syscall, SyscallOutcome, UpcallEvent, WorkKind};
 use sa_machine::ids::PageId;
-use sa_sim::{SimDuration, TraceEvent};
+use sa_sim::{SimDuration, TraceEvent, WaitKind};
 
 /// The page holding the user-level thread manager itself; touched on every
 /// upcall delivery when paging is enabled (workload pages must start at 1).
@@ -109,7 +109,7 @@ impl Kernel {
                 // since the activation blocks right after.)
                 self.spaces[space.index()].metrics.charge_kernel(copy.dur);
                 self.start_disk_op(UnitRef::Act(a), space, dur, SyscallOutcome::IoDone, None);
-                self.block_activation(cpu, a);
+                self.block_activation(cpu, a, WaitKind::BlockedIo);
             }
             Syscall::MemRead { page } => {
                 debug_assert_ne!(page, RUNTIME_PAGE, "workload touched the runtime page");
@@ -139,7 +139,7 @@ impl Kernel {
                 self.spaces[space.index()]
                     .metrics
                     .charge_kernel(trap.dur + svc.dur);
-                self.block_activation(cpu, a);
+                self.block_activation(cpu, a, WaitKind::BlockedIo);
             }
             Syscall::KernelSignal { chan } => {
                 let dc = self.direct_costs(space);
@@ -174,7 +174,7 @@ impl Kernel {
                     ))));
                 } else {
                     self.spaces[space.index()].metrics.charge_kernel(dc.wait);
-                    self.block_activation(cpu, a);
+                    self.block_activation(cpu, a, WaitKind::BlockedSync);
                 }
             }
             Syscall::SetDesiredProcessors { total } => {
@@ -249,9 +249,11 @@ impl Kernel {
     }
 
     /// Blocks `a` in the kernel and notifies the space on the freed CPU.
-    fn block_activation(&mut self, cpu: usize, a: ActId) {
+    /// `wait` says which ledger gauge the blocked time accrues to.
+    fn block_activation(&mut self, cpu: usize, a: ActId, wait: WaitKind) {
         let space = self.acts[a.index()].space;
         debug_assert!(matches!(self.cpus[cpu].running, Running::Act(x) if x == a));
+        self.note_blocked_wait(space, wait, 1);
         self.trace.event(self.q.now(), || TraceEvent::Block {
             space: space.0,
             cpu: cpu as u32,
@@ -304,6 +306,11 @@ impl Kernel {
                 .block_unblock
                 .record(self.q.now().since(blocked_at));
         }
+        let wait = match outcome {
+            SyscallOutcome::IoDone => WaitKind::BlockedIo,
+            _ => WaitKind::BlockedSync,
+        };
+        self.note_blocked_wait(space, wait, -1);
         let sa = &mut self.spaces[space.index()].sa;
         sa.blocked.retain(|&x| x != a);
         sa.discarded.push(a);

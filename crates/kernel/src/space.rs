@@ -102,8 +102,9 @@ pub(crate) struct SaState {
 
 /// One address space.
 pub(crate) struct Space {
-    /// Only read by the debug-build invariant checker; elsewhere identity
-    /// is carried by position in `Kernel::spaces`.
+    /// Only read by the debug-build invariant checker
+    /// (`Kernel::check_invariants`); elsewhere identity is carried by
+    /// position in `Kernel::spaces`, so release builds see a dead field.
     #[cfg_attr(not(debug_assertions), allow(dead_code))]
     pub id: AsId,
     pub name: String,

@@ -371,6 +371,13 @@ pub trait UserRuntime {
         String::new()
     }
 
+    /// Total time user-level threads spent on ready lists before being
+    /// dispatched, in nanoseconds (the ledger's ready-wait feed for
+    /// spaces whose scheduling the kernel cannot see).
+    fn ready_wait_ns(&self) -> u64 {
+        0
+    }
+
     /// Multi-line internal state dump for debugging stuck runs.
     fn debug_dump(&self) -> String {
         String::new()

@@ -11,12 +11,14 @@
 //! an entire multiprocessor run is reproducible bit-for-bit from its seed.
 
 pub mod event;
+pub mod ledger;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, EventToken};
+pub use ledger::{CpuState, TimeLedger, WaitKind};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceRecord, Tracer, UpcallKind};

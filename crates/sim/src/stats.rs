@@ -155,9 +155,30 @@ impl Histogram {
         self.max_ns = self.max_ns.max(ns);
     }
 
+    /// Folds `other`'s samples into `self` (profiler rollups across
+    /// spaces/CPUs). Exact: buckets, count, and sum add; extrema take the
+    /// min/max of the two sides.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all samples in nanoseconds.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
     }
 
     /// The raw power-of-two buckets (`buckets[i]` counts samples with
@@ -311,5 +332,74 @@ mod tests {
         assert_eq!(h.mean(), SimDuration::ZERO);
         assert_eq!(h.min(), SimDuration::ZERO);
         assert_eq!(h.quantile(0.9), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.0), SimDuration::ZERO);
+        assert_eq!(h.quantile(1.0), SimDuration::ZERO);
+        assert_eq!(h.sum_ns(), 0);
+        assert_eq!(h.summary(), "n=0");
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let mut h = Histogram::new();
+        for us in [1u64, 2, 4, 1000] {
+            h.record(SimDuration::from_micros(us));
+        }
+        // q=0.0 still targets the first sample (quantile of nothing is
+        // meaningless; the floor is one sample).
+        assert!(h.quantile(0.0) >= h.min());
+        assert!(h.quantile(0.0) <= h.quantile(0.5));
+        // q=1.0 is clamped to the exact max, not the bucket upper bound.
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(7));
+        assert_eq!(h.quantile(0.0), h.max());
+        assert_eq!(h.quantile(0.5), h.max());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for us in [3u64, 10, 40] {
+            a.record(SimDuration::from_micros(us));
+            whole.record(SimDuration::from_micros(us));
+        }
+        for us in [1u64, 500] {
+            b.record(SimDuration::from_micros(us));
+            whole.record(SimDuration::from_micros(us));
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), SimDuration::from_micros(1));
+        assert_eq!(a.max(), SimDuration::from_micros(500));
+        assert_eq!(a.sum_ns(), whole.sum_ns());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(SimDuration::from_micros(5));
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn time_weighted_mean_at_start_instant() {
+        let mut g = TimeWeighted::new();
+        g.set(SimTime::ZERO, 5);
+        // now == start: zero elapsed time, mean must be 0, not NaN/inf.
+        assert_eq!(g.mean(SimTime::ZERO), 0.0);
+        assert_eq!(g.area(SimTime::ZERO), 0);
     }
 }

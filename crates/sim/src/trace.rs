@@ -100,6 +100,16 @@ pub enum TraceEvent {
     Block { space: u32, cpu: u32, act: u32 },
     /// A blocked activation's kernel operation completed.
     Unblock { space: u32, act: u32 },
+    /// A kernel thread blocked in the kernel; `why` names the
+    /// [`BlockKind`](../sa_kernel) ("io", "chan", "app_lock", ...).
+    KtBlock {
+        space: u32,
+        cpu: u32,
+        kt: u32,
+        why: &'static str,
+    },
+    /// A blocked kernel thread was woken (made runnable again).
+    KtWake { space: u32, kt: u32 },
     /// An activation was stopped so its processor could be reallocated.
     ActStop {
         space: u32,
@@ -159,6 +169,8 @@ impl TraceEvent {
             TraceEvent::TrapExit { .. } => "kernel.trap_exit",
             TraceEvent::Block { .. } => "kernel.block",
             TraceEvent::Unblock { .. } => "kernel.unblock",
+            TraceEvent::KtBlock { .. } => "kernel.kt_block",
+            TraceEvent::KtWake { .. } => "kernel.kt_wake",
             TraceEvent::ActStop { .. } => "kernel.act_stop",
             TraceEvent::KtPreempt { .. } => "kernel.kt_preempt",
             TraceEvent::Grant { .. } => "kernel.grant",
@@ -208,6 +220,13 @@ impl fmt::Display for TraceEvent {
                 write!(f, "act{act} on cpu{cpu} for as{space}")
             }
             TraceEvent::Unblock { space, act } => write!(f, "act{act} for as{space}"),
+            TraceEvent::KtBlock {
+                space,
+                cpu,
+                kt,
+                why,
+            } => write!(f, "kt{kt} on cpu{cpu} for as{space}: {why}"),
+            TraceEvent::KtWake { space, kt } => write!(f, "kt{kt} for as{space}"),
             TraceEvent::ActStop {
                 space,
                 cpu,

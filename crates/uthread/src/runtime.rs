@@ -1386,6 +1386,10 @@ impl UserRuntime for FastThreads {
         self.busy.min(self.cfg.max_processors)
     }
 
+    fn ready_wait_ns(&self) -> u64 {
+        self.stats.ready_wait.sum_ns() as u64
+    }
+
     fn debug_dump(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
