@@ -14,6 +14,7 @@
 //! results and output at any worker count.
 
 use sa_bench::reporting::jobs_or_exit;
+use sa_core::scenario::PolicyConfig;
 use sa_core::sweeps::fig1_grid;
 use sa_machine::CostModel;
 use sa_workload::nbody::NBodyConfig;
@@ -22,7 +23,7 @@ fn main() {
     let jobs = jobs_or_exit("fig1_speedup");
     let cost = CostModel::firefly_prototype();
     let cfg = NBodyConfig::default();
-    let grid = match fig1_grid(&cfg, &cost, 6, 1..=6, 1, jobs) {
+    let grid = match fig1_grid(&cfg, &cost, 6, 1..=6, PolicyConfig::default(), 1, jobs) {
         Ok(grid) => grid,
         Err(panicked) => {
             eprintln!("fig1_speedup: {panicked}");

@@ -17,6 +17,7 @@
 //! parallelism) with identical results and output at any worker count.
 
 use sa_bench::reporting::jobs_or_exit;
+use sa_core::scenario::PolicyConfig;
 use sa_core::sweeps::fig2_sweep;
 use sa_machine::CostModel;
 use sa_workload::nbody::NBodyConfig;
@@ -26,7 +27,16 @@ fn main() {
     let cost = CostModel::firefly_prototype();
     let cfg = NBodyConfig::default();
     let fracs = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4];
-    let sweep = match fig2_sweep(&cfg, &cost, 6, &fracs, true, 1, jobs) {
+    let sweep = match fig2_sweep(
+        &cfg,
+        &cost,
+        6,
+        &fracs,
+        true,
+        PolicyConfig::default(),
+        1,
+        jobs,
+    ) {
         Ok(sweep) => sweep,
         Err(panicked) => {
             eprintln!("fig2_memory: {panicked}");

@@ -13,6 +13,7 @@
 //! with identical results and output at any worker count.
 
 use sa_bench::reporting::jobs_or_exit;
+use sa_core::scenario::PolicyConfig;
 use sa_core::sweeps::table5_runs;
 use sa_machine::CostModel;
 use sa_workload::nbody::NBodyConfig;
@@ -21,7 +22,7 @@ fn main() {
     let jobs = jobs_or_exit("table5_multiprog");
     let cost = CostModel::firefly_prototype();
     let cfg = NBodyConfig::default();
-    let t5 = match table5_runs(&cfg, &cost, 1, true, jobs) {
+    let t5 = match table5_runs(&cfg, &cost, 6, PolicyConfig::default(), 1, true, jobs) {
         Ok(t5) => t5,
         Err(panicked) => {
             eprintln!("table5_multiprog: {panicked}");

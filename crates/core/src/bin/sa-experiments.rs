@@ -17,16 +17,15 @@
 
 use sa_core::profile::{render_folded, render_json, render_table, run_profile};
 use sa_core::reporting::{write_bench_json, BenchLine, Table};
-use sa_core::sweeps::{
-    fig1_grid, fig1_grid_throughput, fig2_sweep, latency_rows, table5_runs, upcall_measurements,
-};
+use sa_core::scenario::{self, PolicyConfig};
+use sa_core::sweeps::{fig1_grid_throughput, latency_rows, upcall_measurements};
 use sa_core::trace_export::{perfetto_json, text_log};
 use sa_core::{AppSpec, SystemBuilder, ThreadApi};
 use sa_harness::{host_jobs, parse_jobs, PanickedJob};
-use sa_kernel::DaemonSpec;
+use sa_kernel::{AllocPolicy, AllocPolicyKind, AllocView, DaemonSpec, SpaceDemand, SpaceShareEven};
 use sa_machine::CostModel;
 use sa_sim::{event::lazy::LazyEventQueue, EventQueue, SimTime, Trace, UpcallKind};
-use sa_uthread::CriticalSectionMode;
+use sa_uthread::{CriticalSectionMode, ReadyPolicyKind};
 use sa_workload::nbody::{nbody_parallel, NBodyConfig};
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -39,6 +38,10 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     ("fig1", "Figure 1: N-body speedup vs. processors"),
     ("fig2", "Figure 2: N-body time vs. available memory"),
     ("table5", "Table 5: multiprogramming level 2"),
+    (
+        "run",
+        "run <scenario> [--alloc=P] [--ready=P]; 'run --list' lists scenarios",
+    ),
     (
         "engine-bench",
         "host-side engine throughput (writes BENCH_engine.json)",
@@ -158,62 +161,49 @@ fn upcall(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
     Ok(())
 }
 
-fn fig1(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
-    let cost = CostModel::firefly_prototype();
-    let cfg = NBodyConfig::default();
-    let grid = fig1_grid(&cfg, &cost, 6, 1..=6, 1, jobs)?;
-    println!(
-        "Figure 1: speedup vs processors (100% memory; sequential {})",
-        grid.seq
-    );
-    println!(
-        "{:<6} {:>14} {:>15} {:>14}",
-        "procs", "Topaz threads", "orig FastThrds", "new FastThrds"
-    );
-    for (i, (cpus, _)) in grid.rows.iter().enumerate() {
-        let row = grid.speedups(i);
-        println!(
-            "{cpus:<6} {:>14.2} {:>15.2} {:>14.2}",
-            row[0], row[1], row[2]
+/// Runs a registry scenario under a policy pair and prints the report.
+/// Non-default policies are announced on a header line so default output
+/// stays byte-identical to the pre-registry subcommands.
+fn run_scenario(name: &str, policies: PolicyConfig, jobs: NonZeroUsize) -> Result<(), PanickedJob> {
+    let Some(sc) = scenario::find(name) else {
+        let names: Vec<&str> = scenario::SCENARIOS.iter().map(|s| s.name).collect();
+        eprintln!(
+            "sa-experiments: unknown scenario '{name}' (expected {})",
+            names.join("|")
         );
+        std::process::exit(2);
+    };
+    if !policies.is_default() {
+        println!("policies: {policies}");
     }
+    print!("{}", sc.run(policies, jobs)?);
     Ok(())
+}
+
+fn list_scenarios() {
+    for sc in scenario::SCENARIOS {
+        println!("{:<10} {:>2} cpus  {}", sc.name, sc.cpus, sc.about);
+    }
+    println!(
+        "\n--alloc: {}",
+        AllocPolicyKind::ALL.map(|k| k.name()).join(", ")
+    );
+    println!(
+        "--ready: {}",
+        ReadyPolicyKind::ALL.map(|k| k.name()).join(", ")
+    );
+}
+
+fn fig1(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
+    run_scenario("fig1", PolicyConfig::default(), jobs)
 }
 
 fn fig2(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
-    let cost = CostModel::firefly_prototype();
-    let cfg = NBodyConfig::default();
-    let fracs = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4];
-    let sweep = fig2_sweep(&cfg, &cost, 6, &fracs, false, 1, jobs)?;
-    println!("Figure 2: N-body execution time (s) vs % memory, 6 CPUs");
-    println!(
-        "{:<7} {:>14} {:>15} {:>14}",
-        "memory", "Topaz threads", "orig FastThrds", "new FastThrds"
-    );
-    for (frac, cells) in &sweep.rows {
-        println!(
-            "{:>5.0}%  {:>14.2} {:>15.2} {:>14.2}",
-            frac * 100.0,
-            cells[0].elapsed.as_secs_f64(),
-            cells[1].elapsed.as_secs_f64(),
-            cells[2].elapsed.as_secs_f64()
-        );
-    }
-    Ok(())
+    run_scenario("fig2", PolicyConfig::default(), jobs)
 }
 
 fn table5(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
-    let cost = CostModel::firefly_prototype();
-    let cfg = NBodyConfig::default();
-    let t5 = table5_runs(&cfg, &cost, 1, false, jobs)?;
-    println!("Table 5: multiprogramming level 2, 6 CPUs (max speedup 3.0)");
-    let paper = [1.29, 1.26, 2.45];
-    let names = ["Topaz threads", "orig FastThrds", "new FastThrds"];
-    for (i, r) in t5.multi.iter().enumerate() {
-        let s = t5.seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64;
-        println!("  {:<18} {s:.2}  (paper {:.2})", names[i], paper[i]);
-    }
-    Ok(())
+    run_scenario("table5", PolicyConfig::default(), jobs)
 }
 
 /// Push/pop/cancel microloop against the indexed event queue.
@@ -269,6 +259,44 @@ fn queue_microloop_lazy(ops: u64) -> f64 {
     }
     std::hint::black_box(sum);
     ops as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The §4.1 allocation decision on a synthetic eight-space view, called
+/// `iters` times. `boxed` routes each call through `Box<dyn AllocPolicy>`
+/// exactly as the kernel's rebalance does since the policy split;
+/// otherwise the concrete `SpaceShareEven` is called directly, which the
+/// compiler can inline — the pre-split shape. The delta between the two
+/// is the trait-object dispatch overhead the `policy_dispatch` bench line
+/// tracks.
+fn alloc_policy_microloop(iters: u64, boxed: bool) -> f64 {
+    let spaces: Vec<SpaceDemand> = (0..8)
+        .map(|i| SpaceDemand {
+            demand: (i % 5) as u32,
+            priority: 1 + (i % 3) as u8,
+            assigned: 0,
+        })
+        .collect();
+    let last_space: Vec<Option<u32>> = (0..6).map(|c| Some(c % 8)).collect();
+    let dynamic: Box<dyn AllocPolicy> = AllocPolicyKind::SpaceShareEven.build();
+    let concrete = SpaceShareEven;
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for r in 0..iters {
+        let view = AllocView {
+            spaces: &spaces,
+            total_cpus: 6,
+            rotation: r as u32,
+            last_space: &last_space,
+        };
+        let (targets, _) = if boxed {
+            dynamic.targets(&view)
+        } else {
+            concrete.targets(&view)
+        };
+        acc += u64::from(targets.iter().sum::<u32>());
+    }
+    std::hint::black_box(acc);
+    iters as f64 / start.elapsed().as_secs_f64()
 }
 
 /// Engine throughput harness: a Figure 1-sized N-body system run plus
@@ -368,6 +396,22 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
         format!("{QOPS} scheduled; indexed is {:.2}x", indexed / lazy),
     ));
 
+    // Allocation-policy dispatch: the same §4.1 division through the
+    // policy trait object (how the kernel calls it now) vs the inlined
+    // concrete call (the pre-split shape). Guards the policy/mechanism
+    // refactor against dispatch-cost regressions.
+    const POPS: u64 = 400_000;
+    let dispatched = alloc_policy_microloop(POPS, true);
+    let inlined = alloc_policy_microloop(POPS, false);
+    lines.push(BenchLine::new(
+        "policy_dispatch",
+        dispatched,
+        format!(
+            "{POPS} divisions; inlined {inlined:.0}/s ({:.2}x of dyn)",
+            inlined / dispatched
+        ),
+    ));
+
     // Host-parallel sweep: the whole Figure 1 grid (18 independent cells)
     // at one worker vs. `jobs` workers — the scaling number this harness
     // tracks over time. Virtual-time results are identical at any job
@@ -423,8 +467,9 @@ fn trace_cmd(scenario: &str, format: &str, out: Option<&str>) -> Result<(), Pani
             std::process::exit(2);
         }
     };
-    const CPUS: u16 = 6;
-    let mut builder = SystemBuilder::new(CPUS)
+    // Machine size from the scenario descriptor, not a local constant.
+    let cpus = scenario::find(scenario).expect("scenario exists").cpus;
+    let mut builder = SystemBuilder::new(cpus)
         .cost(cost)
         .seed(0x5eed)
         .daemons(DaemonSpec::topaz_default_set())
@@ -436,7 +481,7 @@ fn trace_cmd(scenario: &str, format: &str, out: Option<&str>) -> Result<(), Pani
         builder = builder.app(AppSpec::new(
             format!("nbody-{i}"),
             ThreadApi::SchedulerActivations {
-                max_processors: CPUS as u32,
+                max_processors: cpus as u32,
             },
             body,
         ));
@@ -445,7 +490,7 @@ fn trace_cmd(scenario: &str, format: &str, out: Option<&str>) -> Result<(), Pani
     let report = sys.run();
     assert!(report.all_done(), "trace scenario: {:?}", report.outcome);
     let output = match format {
-        "perfetto" => perfetto_json(sys.kernel().trace(), CPUS),
+        "perfetto" => perfetto_json(sys.kernel().trace(), cpus),
         "log" => text_log(sys.kernel().trace()),
         "histograms" => {
             let mut t = Table::new(&["app", "metric", "value"])
@@ -538,6 +583,8 @@ fn usage() -> String {
     let names: Vec<&str> = SUBCOMMANDS.iter().map(|(n, _)| *n).collect();
     format!(
         "usage: sa-experiments [--jobs N] [--list] [{}]\n\
+         \u{20}      sa-experiments run <scenario> [--alloc=POLICY] [--ready=POLICY]\n\
+         \u{20}      sa-experiments run --list\n\
          \u{20}      sa-experiments trace <fig1|table5> [--out FILE] \
          [--format perfetto|log|histograms]\n\
          \u{20}      sa-experiments profile <fig1|fig2|table5> [--out FILE] \
@@ -545,7 +592,9 @@ fn usage() -> String {
          \n\
          --jobs N   run sweep cells on N host threads (default: host cores,\n\
          \u{20}           or the SA_JOBS environment variable); --jobs 1 is fully serial\n\
-         --list     list subcommands and exit",
+         --alloc P  kernel processor-allocation policy (even|affinity|strict-priority)\n\
+         --ready P  user-level ready-queue discipline (local|global-fifo|global-lifo)\n\
+         --list     list subcommands (or, after 'run', scenarios) and exit",
         names.join("|")
     )
 }
@@ -555,10 +604,12 @@ fn usage() -> String {
 struct Options {
     jobs: NonZeroUsize,
     cmd: String,
-    /// Second positional argument (the `trace` scenario).
+    /// Second positional argument (the `trace`/`profile`/`run` scenario).
     arg: Option<String>,
     out: Option<String>,
     format: Option<String>,
+    /// Policy pair for the `run` subcommand.
+    policies: PolicyConfig,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, String> {
@@ -567,13 +618,33 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
     let mut arg2: Option<String> = None;
     let mut out: Option<String> = None;
     let mut format: Option<String> = None;
+    let mut alloc: Option<AllocPolicyKind> = None;
+    let mut ready: Option<ReadyPolicyKind> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         if arg == "--list" {
-            for (name, blurb) in SUBCOMMANDS {
-                println!("{name:<14} {blurb}");
+            if cmd.as_deref() == Some("run") {
+                list_scenarios();
+            } else {
+                for (name, blurb) in SUBCOMMANDS {
+                    println!("{name:<14} {blurb}");
+                }
             }
             return Ok(None);
+        } else if arg == "--alloc" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--alloc requires a value (e.g. --alloc affinity)".to_string())?;
+            alloc = Some(value.parse().map_err(|e| format!("--alloc: {e}"))?);
+        } else if let Some(value) = arg.strip_prefix("--alloc=") {
+            alloc = Some(value.parse().map_err(|e| format!("--alloc: {e}"))?);
+        } else if arg == "--ready" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--ready requires a value (e.g. --ready global-fifo)".to_string())?;
+            ready = Some(value.parse().map_err(|e| format!("--ready: {e}"))?);
+        } else if let Some(value) = arg.strip_prefix("--ready=") {
+            ready = Some(value.parse().map_err(|e| format!("--ready: {e}"))?);
         } else if arg == "--jobs" {
             let value = args
                 .next()
@@ -598,7 +669,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
             return Err(format!("unknown flag '{arg}'"));
         } else if cmd.is_none() {
             cmd = Some(arg);
-        } else if arg2.is_none() && matches!(cmd.as_deref(), Some("trace") | Some("profile")) {
+        } else if arg2.is_none()
+            && matches!(
+                cmd.as_deref(),
+                Some("trace") | Some("profile") | Some("run")
+            )
+        {
             arg2 = Some(arg);
         } else {
             return Err(format!("unexpected extra argument '{arg}'"));
@@ -610,6 +686,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
         return Err(
             "--out/--format only apply to the 'trace' and 'profile' subcommands".to_string(),
         );
+    }
+    if (alloc.is_some() || ready.is_some()) && cmd.as_deref() != Some("run") {
+        return Err("--alloc/--ready only apply to the 'run' subcommand".to_string());
+    }
+    if cmd.as_deref() == Some("run") && arg2.is_none() {
+        return Err("run requires a scenario name ('run --list' lists them)".to_string());
     }
     let jobs = match jobs {
         Some(j) => j,
@@ -628,6 +710,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
         arg: arg2,
         out,
         format,
+        policies: PolicyConfig {
+            alloc: alloc.unwrap_or_default(),
+            ready: ready.unwrap_or_default(),
+        },
     }))
 }
 
@@ -641,6 +727,11 @@ fn run(opts: &Options) -> Result<(), PanickedJob> {
         "fig2" => fig2(jobs),
         "table5" => table5(jobs),
         "engine-bench" => engine_bench(jobs),
+        "run" => run_scenario(
+            opts.arg.as_deref().expect("checked during parsing"),
+            opts.policies,
+            jobs,
+        ),
         "trace" => trace_cmd(
             opts.arg.as_deref().unwrap_or("fig1"),
             opts.format.as_deref().unwrap_or("perfetto"),

@@ -5,6 +5,7 @@
 //! in `sa-bench` print their output; integration tests assert on their
 //! shapes.
 
+use crate::scenario::PolicyConfig;
 use crate::{AppSpec, SystemBuilder, ThreadApi};
 use sa_kernel::DaemonSpec;
 use sa_machine::CostModel;
@@ -116,9 +117,33 @@ pub fn nbody_run(
     copies: usize,
     seed: u64,
 ) -> NBodyRun {
+    nbody_run_with(
+        PolicyConfig::default(),
+        api,
+        cpus,
+        nbody,
+        cost,
+        copies,
+        seed,
+    )
+}
+
+/// As [`nbody_run`], under an explicit [`PolicyConfig`] (kernel
+/// allocation policy × ready-queue discipline) — the scenario registry's
+/// entry point for policy comparisons.
+pub fn nbody_run_with(
+    policies: PolicyConfig,
+    api: ThreadApi,
+    cpus: u16,
+    nbody: NBodyConfig,
+    cost: CostModel,
+    copies: usize,
+    seed: u64,
+) -> NBodyRun {
     let mut builder = SystemBuilder::new(cpus)
         .cost(cost)
         .seed(seed)
+        .alloc_policy(policies.alloc)
         .daemons(DaemonSpec::topaz_default_set())
         .run_limit(SimTime::from_millis(3_600_000));
     let mut handles = Vec::new();
@@ -126,8 +151,10 @@ pub fn nbody_run(
         let mut cfg = nbody.clone();
         cfg.seed = nbody.seed + i as u64;
         let (body, handle) = nbody_parallel(cfg);
+        let mut app = AppSpec::new(format!("nbody-{i}"), api.clone(), body);
+        app.ready_policy = policies.ready;
         handles.push(handle);
-        builder = builder.app(AppSpec::new(format!("nbody-{i}"), api.clone(), body));
+        builder = builder.app(app);
     }
     let mut sys = builder.build();
     let report = sys.run();
@@ -223,21 +250,6 @@ pub fn engine_throughput_traced(
         sim_events: sys.kernel().kernel_metrics().events.get(),
         host_seconds,
     }
-}
-
-/// The `ThreadApi` for each of Figure 1/2's three systems at a given
-/// processor count.
-pub fn figure_apis(cpus: u32) -> [(&'static str, ThreadApi); 3] {
-    [
-        ("Topaz threads", ThreadApi::TopazThreads),
-        ("orig FastThrds", ThreadApi::OrigFastThreads { vps: cpus }),
-        (
-            "new FastThrds",
-            ThreadApi::SchedulerActivations {
-                max_processors: cpus,
-            },
-        ),
-    ]
 }
 
 #[cfg(test)]

@@ -25,10 +25,12 @@ pub mod critical_path;
 pub mod experiments;
 pub mod profile;
 pub mod reporting;
+pub mod scenario;
 pub mod sweeps;
 pub mod system;
 pub mod trace_export;
 
+pub use scenario::PolicyConfig;
 pub use system::{AppId, AppSpec, RunReport, System, SystemBuilder, ThreadApi};
 
 // Re-export the composing crates so downstream users need one dependency.

@@ -33,6 +33,7 @@
 
 use crate::critical_path::{critical_path, CriticalPath};
 use crate::reporting::{json_escape, Table};
+use crate::scenario::PolicyConfig;
 use crate::{AppSpec, SystemBuilder, ThreadApi};
 use sa_harness::{run_ordered, Job, PanickedJob};
 use sa_kernel::DaemonSpec;
@@ -94,28 +95,31 @@ fn profile_workload(memory_fraction: f64) -> NBodyConfig {
 }
 
 fn cells_for(scenario: &str) -> Option<Vec<CellSpec>> {
+    // The machine size comes from the scenario descriptor (the registry
+    // is the single owner of "how many processors does fig1 mean").
+    let cpus = crate::scenario::find(scenario)?.cpus;
     let fig_systems = |mem: f64, suffix: &str| -> Vec<CellSpec> {
-        crate::experiments::figure_apis(6)
+        crate::scenario::systems(cpus as u32)
             .into_iter()
             .map(|(name, api)| CellSpec {
                 label: format!("{name} / {suffix}"),
                 api,
-                machine: 6,
+                machine: cpus,
                 copies: 1,
                 memory_fraction: mem,
             })
             .collect()
     };
     match scenario {
-        "fig1" => Some(fig_systems(1.0, "6 cpus")),
-        "fig2" => Some(fig_systems(0.5, "50% memory / 6 cpus")),
+        "fig1" => Some(fig_systems(1.0, &format!("{cpus} cpus"))),
+        "fig2" => Some(fig_systems(0.5, &format!("50% memory / {cpus} cpus"))),
         "table5" => {
-            let mut cells: Vec<CellSpec> = crate::experiments::figure_apis(6)
+            let mut cells: Vec<CellSpec> = crate::scenario::systems(cpus as u32)
                 .into_iter()
                 .map(|(name, api)| CellSpec {
-                    label: format!("{name} / mp2 / 6 cpus"),
+                    label: format!("{name} / mp2 / {cpus} cpus"),
                     api,
-                    machine: 6,
+                    machine: cpus,
                     copies: 2,
                     memory_fraction: 1.0,
                 })
@@ -147,12 +151,13 @@ fn cells_for(scenario: &str) -> Option<Vec<CellSpec>> {
 
 /// Runs one cell: traced simulation, ledger snapshot (conservation
 /// verified), critical-path walk.
-fn run_cell(spec: CellSpec) -> ProfileCell {
+fn run_cell(spec: CellSpec, policies: PolicyConfig) -> ProfileCell {
     let cost = CostModel::firefly_prototype();
     let cfg = profile_workload(spec.memory_fraction);
     let mut builder = SystemBuilder::new(spec.machine)
         .cost(cost)
         .seed(0x5eed)
+        .alloc_policy(policies.alloc)
         .daemons(DaemonSpec::topaz_default_set())
         .run_limit(SimTime::from_millis(3_600_000))
         .trace(Trace::unbounded());
@@ -160,7 +165,9 @@ fn run_cell(spec: CellSpec) -> ProfileCell {
         let mut ncfg = cfg.clone();
         ncfg.seed = cfg.seed + i as u64;
         let (body, _handle) = nbody_parallel(ncfg);
-        builder = builder.app(AppSpec::new(format!("nbody-{i}"), spec.api.clone(), body));
+        let mut app = AppSpec::new(format!("nbody-{i}"), spec.api.clone(), body);
+        app.ready_policy = policies.ready;
+        builder = builder.app(app);
     }
     let mut sys = builder.build();
     let report = sys.run();
@@ -191,10 +198,21 @@ fn run_cell(spec: CellSpec) -> ProfileCell {
     }
 }
 
-/// Runs every cell of `scenario` (fanned across up to `jobs` host
-/// threads; output is independent of the job count) and returns the
-/// assembled profile.
+/// Runs every cell of `scenario` under the default policies (fanned
+/// across up to `jobs` host threads; output is independent of the job
+/// count) and returns the assembled profile.
 pub fn run_profile(scenario: &str, jobs: NonZeroUsize) -> Result<Profile, String> {
+    run_profile_with(scenario, PolicyConfig::default(), jobs)
+}
+
+/// As [`run_profile`], under an explicit [`PolicyConfig`] — the ledger
+/// conservation and critical-path attribution checks run on every cell
+/// regardless of the policy pair.
+pub fn run_profile_with(
+    scenario: &str,
+    policies: PolicyConfig,
+    jobs: NonZeroUsize,
+) -> Result<Profile, String> {
     let specs = cells_for(scenario).ok_or_else(|| {
         format!(
             "unknown profile scenario '{scenario}' (expected {})",
@@ -203,7 +221,7 @@ pub fn run_profile(scenario: &str, jobs: NonZeroUsize) -> Result<Profile, String
     })?;
     let tasks: Vec<Job<'_, ProfileCell>> = specs
         .into_iter()
-        .map(|spec| -> Job<'_, ProfileCell> { Box::new(move || run_cell(spec)) })
+        .map(|spec| -> Job<'_, ProfileCell> { Box::new(move || run_cell(spec, policies)) })
         .collect();
     let cells = run_ordered(jobs, tasks).map_err(|p: PanickedJob| p.to_string())?;
     Ok(Profile {

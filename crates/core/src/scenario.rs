@@ -1,0 +1,436 @@
+//! The declarative scenario registry: every runnable experiment as data.
+//!
+//! A [`Scenario`] is a named workload shape plus the machine it runs on
+//! (`cpus`); running one takes a [`PolicyConfig`] — the kernel's
+//! processor-allocation policy crossed with the user-level ready-queue
+//! discipline — so any *policy × workload × cpus* cell of the grid is one
+//! CLI invocation:
+//!
+//! ```sh
+//! sa-experiments run fig1 --alloc=affinity --ready=global-fifo
+//! sa-experiments run --list
+//! ```
+//!
+//! The registry replaces the old per-figure plumbing: the sweep
+//! harnesses, the profiler, and the trace exporter all read the processor
+//! count from the scenario descriptor instead of hard-coding the
+//! six-processor Firefly, and the figure subcommands (`fig1`, `fig2`,
+//! `table5`) are now aliases for `run <scenario>` under the default
+//! policies — their stdout is byte-identical to what the pre-registry
+//! code printed (CI diffs it against committed golden files).
+//!
+//! Rendering happens after every cell has been collected (the
+//! [`sa_harness::run_ordered`] contract), so a scenario's output is
+//! byte-identical at any `--jobs` count for any policy pair.
+
+use crate::experiments::{nbody_run_with, nbody_sequential_time};
+use crate::sweeps::{fig1_grid, fig2_sweep, table5_runs};
+use crate::{AppSpec, SystemBuilder, ThreadApi};
+use sa_harness::{run_ordered, Job, PanickedJob};
+use sa_kernel::{AllocPolicyKind, DaemonSpec};
+use sa_machine::CostModel;
+use sa_uthread::ReadyPolicyKind;
+use sa_workload::nbody::NBodyConfig;
+use sa_workload::server::{server, ServerConfig};
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+
+/// The policy pair a scenario runs under: the kernel's processor
+/// allocation (§4.1/§4.2) × the runtime's ready-queue discipline (§2.1).
+/// The default pair is the paper's system (even space-sharing, local LIFO
+/// with idle stealing) and reproduces the committed figures exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyConfig {
+    /// Kernel processor-allocation policy.
+    pub alloc: AllocPolicyKind,
+    /// User-level ready-queue discipline.
+    pub ready: ReadyPolicyKind,
+}
+
+impl PolicyConfig {
+    /// True for the paper's default pair.
+    pub fn is_default(&self) -> bool {
+        *self == PolicyConfig::default()
+    }
+
+    /// Every alloc × ready combination, in registry order (the test
+    /// matrices iterate this).
+    pub fn all() -> impl Iterator<Item = PolicyConfig> {
+        AllocPolicyKind::ALL.into_iter().flat_map(|alloc| {
+            ReadyPolicyKind::ALL
+                .into_iter()
+                .map(move |ready| PolicyConfig { alloc, ready })
+        })
+    }
+}
+
+impl std::fmt::Display for PolicyConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "alloc={} ready={}", self.alloc, self.ready)
+    }
+}
+
+/// The `ThreadApi` for each of Figure 1/2's three systems at a given
+/// processor count (the columns of every comparison).
+pub fn systems(cpus: u32) -> [(&'static str, ThreadApi); 3] {
+    [
+        ("Topaz threads", ThreadApi::TopazThreads),
+        ("orig FastThrds", ThreadApi::OrigFastThreads { vps: cpus }),
+        (
+            "new FastThrds",
+            ThreadApi::SchedulerActivations {
+                max_processors: cpus,
+            },
+        ),
+    ]
+}
+
+type Runner = fn(&Scenario, PolicyConfig, NonZeroUsize) -> Result<String, PanickedJob>;
+
+/// One runnable experiment: a workload shape on a machine size.
+pub struct Scenario {
+    /// Registry key (`sa-experiments run <name>`).
+    pub name: &'static str,
+    /// One-line description (`run --list`).
+    pub about: &'static str,
+    /// Physical processors in the scenario's machine — the single source
+    /// the sweeps, profiler, and trace exporter read instead of
+    /// hard-coding the Firefly's six.
+    pub cpus: u16,
+    runner: Runner,
+}
+
+impl Scenario {
+    /// Runs every cell of the scenario under `policies` (fanned across up
+    /// to `jobs` host threads) and returns the rendered report. Output is
+    /// independent of `jobs`; under the default policies the figure
+    /// scenarios reproduce the committed golden files byte-for-byte.
+    pub fn run(&self, policies: PolicyConfig, jobs: NonZeroUsize) -> Result<String, PanickedJob> {
+        (self.runner)(self, policies, jobs)
+    }
+}
+
+/// The registry, in display order.
+pub const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "fig1",
+        about: "N-body speedup vs processors, three systems",
+        cpus: 6,
+        runner: run_fig1,
+    },
+    Scenario {
+        name: "fig2",
+        about: "N-body time vs available memory, three systems",
+        cpus: 6,
+        runner: run_fig2,
+    },
+    Scenario {
+        name: "table5",
+        about: "multiprogramming level 2: two N-body copies",
+        cpus: 6,
+        runner: run_table5,
+    },
+    Scenario {
+        name: "nbody",
+        about: "one N-body row: elapsed/speedup/misses per system",
+        cpus: 6,
+        runner: run_nbody,
+    },
+    Scenario {
+        name: "server",
+        about: "request latency distribution per system",
+        cpus: 4,
+        runner: run_server,
+    },
+    Scenario {
+        name: "bufcache",
+        about: "buffer-cache misses vs memory per system",
+        cpus: 6,
+        runner: run_bufcache,
+    },
+];
+
+/// Looks up a scenario by registry key.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+fn run_fig1(
+    sc: &Scenario,
+    policies: PolicyConfig,
+    jobs: NonZeroUsize,
+) -> Result<String, PanickedJob> {
+    let cost = CostModel::firefly_prototype();
+    let cfg = NBodyConfig::default();
+    let grid = fig1_grid(&cfg, &cost, sc.cpus, 1..=sc.cpus, policies, 1, jobs)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 1: speedup vs processors (100% memory; sequential {})",
+        grid.seq
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>14} {:>15} {:>14}",
+        "procs", "Topaz threads", "orig FastThrds", "new FastThrds"
+    );
+    for (i, (cpus, _)) in grid.rows.iter().enumerate() {
+        let row = grid.speedups(i);
+        let _ = writeln!(
+            out,
+            "{cpus:<6} {:>14.2} {:>15.2} {:>14.2}",
+            row[0], row[1], row[2]
+        );
+    }
+    Ok(out)
+}
+
+fn run_fig2(
+    sc: &Scenario,
+    policies: PolicyConfig,
+    jobs: NonZeroUsize,
+) -> Result<String, PanickedJob> {
+    let cost = CostModel::firefly_prototype();
+    let cfg = NBodyConfig::default();
+    let fracs = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4];
+    let sweep = fig2_sweep(&cfg, &cost, sc.cpus, &fracs, false, policies, 1, jobs)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 2: N-body execution time (s) vs % memory, {} CPUs",
+        sc.cpus
+    );
+    let _ = writeln!(
+        out,
+        "{:<7} {:>14} {:>15} {:>14}",
+        "memory", "Topaz threads", "orig FastThrds", "new FastThrds"
+    );
+    for (frac, cells) in &sweep.rows {
+        let _ = writeln!(
+            out,
+            "{:>5.0}%  {:>14.2} {:>15.2} {:>14.2}",
+            frac * 100.0,
+            cells[0].elapsed.as_secs_f64(),
+            cells[1].elapsed.as_secs_f64(),
+            cells[2].elapsed.as_secs_f64()
+        );
+    }
+    Ok(out)
+}
+
+fn run_table5(
+    sc: &Scenario,
+    policies: PolicyConfig,
+    jobs: NonZeroUsize,
+) -> Result<String, PanickedJob> {
+    let cost = CostModel::firefly_prototype();
+    let cfg = NBodyConfig::default();
+    let t5 = table5_runs(&cfg, &cost, sc.cpus, policies, 1, false, jobs)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 5: multiprogramming level 2, {} CPUs (max speedup 3.0)",
+        sc.cpus
+    );
+    let paper = [1.29, 1.26, 2.45];
+    let names = ["Topaz threads", "orig FastThrds", "new FastThrds"];
+    for (i, r) in t5.multi.iter().enumerate() {
+        let s = t5.seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64;
+        let _ = writeln!(out, "  {:<18} {s:.2}  (paper {:.2})", names[i], paper[i]);
+    }
+    Ok(out)
+}
+
+fn run_nbody(
+    sc: &Scenario,
+    policies: PolicyConfig,
+    jobs: NonZeroUsize,
+) -> Result<String, PanickedJob> {
+    let cost = CostModel::firefly_prototype();
+    let cfg = NBodyConfig::default();
+    let machine = sc.cpus;
+    let mut tasks: Vec<Job<'_, crate::experiments::NBodyRun>> = Vec::new();
+    {
+        let (cfg, cost) = (cfg.clone(), cost.clone());
+        tasks.push(Box::new(move || crate::experiments::NBodyRun {
+            elapsed: nbody_sequential_time(cfg, cost, 1),
+            cache_misses: 0,
+        }));
+    }
+    for (_name, api) in systems(machine as u32) {
+        let (cfg, cost) = (cfg.clone(), cost.clone());
+        tasks.push(Box::new(move || {
+            nbody_run_with(policies, api, machine, cfg, cost, 1, 1)
+        }));
+    }
+    let mut results = run_ordered(jobs, tasks)?.into_iter();
+    let seq = results.next().expect("baseline job present").elapsed;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "N-body: {} bodies, {} steps, {} CPUs (sequential {seq})",
+        cfg.bodies, cfg.steps, machine
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>9} {:>13}",
+        "system", "elapsed", "speedup", "cache misses"
+    );
+    for ((name, _), r) in systems(machine as u32).into_iter().zip(results) {
+        let speedup = seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64;
+        let _ = writeln!(
+            out,
+            "{name:<16} {:>10} {speedup:>9.2} {:>13}",
+            format!("{}", r.elapsed),
+            r.cache_misses
+        );
+    }
+    Ok(out)
+}
+
+fn run_server(
+    sc: &Scenario,
+    policies: PolicyConfig,
+    jobs: NonZeroUsize,
+) -> Result<String, PanickedJob> {
+    let cost = CostModel::firefly_prototype();
+    let scfg = ServerConfig::default();
+    let machine = sc.cpus;
+    // The server body holds `Rc` stats internally, so each cell builds
+    // its own copy inside the job (only the `Send` config crosses
+    // threads) and returns plain numbers.
+    let tasks: Vec<Job<'_, (u64, String, String, String)>> = systems(machine as u32)
+        .into_iter()
+        .map(|(name, api)| -> Job<'_, (u64, String, String, String)> {
+            let (scfg, cost) = (scfg.clone(), cost.clone());
+            Box::new(move || {
+                let (body, stats) = server(scfg);
+                let mut app = AppSpec::new(name, api, body);
+                app.ready_policy = policies.ready;
+                let mut sys = SystemBuilder::new(machine)
+                    .cost(cost)
+                    .alloc_policy(policies.alloc)
+                    .daemons(DaemonSpec::topaz_default_set())
+                    .app(app)
+                    .build();
+                let report = sys.run();
+                assert!(
+                    report.all_done(),
+                    "server under {name}: {:?}",
+                    report.outcome
+                );
+                let h = stats.response_times();
+                (
+                    h.count(),
+                    format!("{}", h.quantile(0.5)),
+                    format!("{}", h.quantile(0.99)),
+                    format!("{}", h.max()),
+                )
+            })
+        })
+        .collect();
+    let results = run_ordered(jobs, tasks)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Server: {} requests, {:.0}% with {} of device I/O, {} CPUs",
+        scfg.requests,
+        scfg.io_probability * 100.0,
+        scfg.io_time,
+        machine
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>10} {:>10} {:>10}",
+        "system", "requests", "p50", "p99", "max"
+    );
+    for ((name, _), (count, p50, p99, max)) in systems(machine as u32).into_iter().zip(results) {
+        let _ = writeln!(out, "{name:<16} {count:>9} {p50:>10} {p99:>10} {max:>10}");
+    }
+    Ok(out)
+}
+
+fn run_bufcache(
+    sc: &Scenario,
+    policies: PolicyConfig,
+    jobs: NonZeroUsize,
+) -> Result<String, PanickedJob> {
+    let cost = CostModel::firefly_prototype();
+    let base = NBodyConfig::default();
+    let machine = sc.cpus;
+    let fracs = [1.0, 0.75, 0.5];
+    let mut tasks: Vec<Job<'_, crate::experiments::NBodyRun>> = Vec::new();
+    for &frac in &fracs {
+        for (_name, api) in systems(machine as u32) {
+            let cfg = NBodyConfig {
+                memory_fraction: frac,
+                ..base.clone()
+            };
+            let cost = cost.clone();
+            tasks.push(Box::new(move || {
+                nbody_run_with(policies, api, machine, cfg, cost, 1, 1)
+            }));
+        }
+    }
+    let mut results = run_ordered(jobs, tasks)?.into_iter();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Buffer cache: N-body misses vs available memory, {} CPUs",
+        machine
+    );
+    let _ = writeln!(
+        out,
+        "{:<7} {:>14} {:>15} {:>14}",
+        "memory", "Topaz threads", "orig FastThrds", "new FastThrds"
+    );
+    for &frac in &fracs {
+        let row: Vec<_> = results.by_ref().take(3).collect();
+        let _ = writeln!(
+            out,
+            "{:>5.0}%  {:>14} {:>15} {:>14}",
+            frac * 100.0,
+            row[0].cache_misses,
+            row[1].cache_misses,
+            row[2].cache_misses
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_finds_every_scenario_and_rejects_unknowns() {
+        for sc in SCENARIOS {
+            assert_eq!(find(sc.name).map(|s| s.name), Some(sc.name));
+            assert!(sc.cpus >= 1);
+            assert!(!sc.about.is_empty());
+        }
+        assert!(find("fig9").is_none());
+    }
+
+    #[test]
+    fn policy_combinations_cover_the_full_grid() {
+        let all: Vec<_> = PolicyConfig::all().collect();
+        assert_eq!(
+            all.len(),
+            AllocPolicyKind::ALL.len() * ReadyPolicyKind::ALL.len()
+        );
+        assert!(all[0].is_default());
+        // No duplicates.
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_config_displays_both_axes() {
+        let p = PolicyConfig::default();
+        assert_eq!(p.to_string(), "alloc=even ready=local");
+    }
+}

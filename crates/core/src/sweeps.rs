@@ -16,9 +16,10 @@
 //! `crates/core/tests/parallel_sweeps.rs`).
 
 use crate::experiments::{
-    engine_throughput, figure_apis, nbody_run, nbody_sequential_time, thread_op_latencies,
+    engine_throughput, nbody_run_with, nbody_sequential_time, thread_op_latencies,
     topaz_signal_wait, upcall_signal_wait, NBodyRun, ThreadOpLatencies,
 };
+use crate::scenario::{systems, PolicyConfig};
 use crate::ThreadApi;
 use sa_harness::{run_ordered, Job, PanickedJob};
 use sa_machine::CostModel;
@@ -36,7 +37,7 @@ pub struct Fig1Grid {
     /// Sequential (no thread management) elapsed time — the denominator.
     pub seq: SimDuration,
     /// One row per application processor count: `(cpus, [run per system])`
-    /// in [`figure_apis`] order.
+    /// in [`systems`] order.
     pub rows: Vec<(u16, Vec<NBodyRun>)>,
 }
 
@@ -51,9 +52,9 @@ impl Fig1Grid {
     }
 }
 
-/// Runs the Figure 1 grid — `app_cpus` × the three [`figure_apis`]
-/// systems, plus the sequential baseline — as `1 + 3·|app_cpus|`
-/// independent jobs on up to `jobs` host threads.
+/// Runs the Figure 1 grid — `app_cpus` × the three [`systems`], plus the
+/// sequential baseline — as `1 + 3·|app_cpus|` independent jobs on up to
+/// `jobs` host threads, every cell under the same [`PolicyConfig`].
 ///
 /// `machine` is the physical machine size for the user-level systems
 /// (the paper's Firefly always has six); Topaz kernel-thread parallelism
@@ -64,6 +65,7 @@ pub fn fig1_grid(
     cost: &CostModel,
     machine: u16,
     app_cpus: RangeInclusive<u16>,
+    policies: PolicyConfig,
     seed: u64,
     jobs: NonZeroUsize,
 ) -> Result<Fig1Grid, PanickedJob> {
@@ -77,7 +79,7 @@ pub fn fig1_grid(
     }
     let cpu_list: Vec<u16> = app_cpus.collect();
     for &cpus in &cpu_list {
-        for (name, api) in figure_apis(cpus as u32) {
+        for (name, api) in systems(cpus as u32) {
             let machine_for = if name == "Topaz threads" {
                 cpus
             } else {
@@ -85,7 +87,7 @@ pub fn fig1_grid(
             };
             let (cfg, cost) = (base.clone(), cost.clone());
             tasks.push(Box::new(move || {
-                nbody_run(api, machine_for, cfg, cost, 1, seed)
+                nbody_run_with(policies, api, machine_for, cfg, cost, 1, seed)
             }));
         }
     }
@@ -104,7 +106,7 @@ pub fn fig1_grid(
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig2Sweep {
     /// One row per memory fraction: `(fraction, [run per column])`.
-    /// Columns are [`figure_apis`] order, then the tuned column if
+    /// Columns are [`systems`] order, then the tuned column if
     /// requested.
     pub rows: Vec<(f64, Vec<NBodyRun>)>,
 }
@@ -112,26 +114,28 @@ pub struct Fig2Sweep {
 /// Runs the Figure 2 memory sweep as independent jobs on up to `jobs`
 /// host threads: every fraction × system cell (and the tuned column when
 /// `tuned_column` is set) is its own simulation.
+#[allow(clippy::too_many_arguments)]
 pub fn fig2_sweep(
     base: &NBodyConfig,
     cost: &CostModel,
     machine: u16,
     fracs: &[f64],
     tuned_column: bool,
+    policies: PolicyConfig,
     seed: u64,
     jobs: NonZeroUsize,
 ) -> Result<Fig2Sweep, PanickedJob> {
     let mut tasks: Vec<Job<'_, NBodyRun>> = Vec::new();
     let columns = 3 + usize::from(tuned_column);
     for &frac in fracs {
-        for (_name, api) in figure_apis(machine as u32) {
+        for (_name, api) in systems(machine as u32) {
             let cfg = NBodyConfig {
                 memory_fraction: frac,
                 ..base.clone()
             };
             let cost = cost.clone();
             tasks.push(Box::new(move || {
-                nbody_run(api, machine, cfg, cost, 1, seed)
+                nbody_run_with(policies, api, machine, cfg, cost, 1, seed)
             }));
         }
         if tuned_column {
@@ -140,7 +144,8 @@ pub fn fig2_sweep(
                 ..base.clone()
             };
             tasks.push(Box::new(move || {
-                nbody_run(
+                nbody_run_with(
+                    policies,
                     ThreadApi::SchedulerActivations {
                         max_processors: machine as u32,
                     },
@@ -168,18 +173,21 @@ pub fn fig2_sweep(
 pub struct Table5Runs {
     /// Sequential baseline elapsed time.
     pub seq: SimDuration,
-    /// Multiprogramming-level-2 runs, in [`figure_apis`] order.
+    /// Multiprogramming-level-2 runs, in [`systems`] order.
     pub multi: Vec<NBodyRun>,
     /// New FastThreads uniprogrammed on three of six processors, when
     /// requested.
     pub uni3: Option<NBodyRun>,
 }
 
-/// Runs Table 5 (multiprogramming level 2, six processors) as independent
-/// jobs on up to `jobs` host threads.
+/// Runs Table 5 (multiprogramming level 2 on a `machine`-processor
+/// machine — the scenario descriptor's size, six for the paper's) as
+/// independent jobs on up to `jobs` host threads.
 pub fn table5_runs(
     base: &NBodyConfig,
     cost: &CostModel,
+    machine: u16,
+    policies: PolicyConfig,
     seed: u64,
     cross_check: bool,
     jobs: NonZeroUsize,
@@ -192,16 +200,21 @@ pub fn table5_runs(
             cache_misses: 0,
         }));
     }
-    for (_name, api) in figure_apis(6) {
+    for (_name, api) in systems(machine as u32) {
         let (cfg, cost) = (base.clone(), cost.clone());
-        tasks.push(Box::new(move || nbody_run(api, 6, cfg, cost, 2, seed)));
+        tasks.push(Box::new(move || {
+            nbody_run_with(policies, api, machine, cfg, cost, 2, seed)
+        }));
     }
     if cross_check {
         let (cfg, cost) = (base.clone(), cost.clone());
         tasks.push(Box::new(move || {
-            nbody_run(
-                ThreadApi::SchedulerActivations { max_processors: 3 },
-                6,
+            nbody_run_with(
+                policies,
+                ThreadApi::SchedulerActivations {
+                    max_processors: (machine as u32) / 2,
+                },
+                machine,
                 cfg,
                 cost,
                 1,
@@ -296,7 +309,7 @@ pub fn fig1_grid_throughput(
 ) -> Result<SweepThroughput, PanickedJob> {
     let mut tasks: Vec<Job<'_, u64>> = Vec::new();
     for cpus in 1..=6u16 {
-        for (name, api) in figure_apis(cpus as u32) {
+        for (name, api) in systems(cpus as u32) {
             let machine_for = if name == "Topaz threads" { cpus } else { 6 };
             let (cfg, cost) = (base.clone(), cost.clone());
             tasks.push(Box::new(move || {

@@ -2,14 +2,14 @@
 //! kernel, and application address spaces.
 
 use sa_kernel::{
-    DaemonSpec, Kernel, KernelConfig, KernelFlavor, RunOutcome, SchedMode, SpaceKindSpec,
-    SpaceMetrics, SpaceSpec,
+    AllocPolicyKind, DaemonSpec, Kernel, KernelConfig, KernelFlavor, RunOutcome, SchedMode,
+    SpaceKindSpec, SpaceMetrics, SpaceSpec,
 };
 use sa_machine::disk::DiskConfig;
 use sa_machine::program::ThreadBody;
 use sa_machine::CostModel;
 use sa_sim::{SimDuration, SimTime, Trace};
-use sa_uthread::{CriticalSectionMode, FastThreads, FtConfig, SpinPolicy};
+use sa_uthread::{CriticalSectionMode, FastThreads, FtConfig, ReadyPolicyKind, SpinPolicy};
 
 /// Which thread system an application uses — the four columns of the
 /// paper's comparison.
@@ -52,6 +52,9 @@ pub struct AppSpec {
     /// Priority scheduling in FastThreads variants (see
     /// `FtConfig::priority_scheduling`).
     pub priority_scheduling: bool,
+    /// Ready-queue discipline for FastThreads variants (see
+    /// `FtConfig::ready_policy`).
+    pub ready_policy: ReadyPolicyKind,
 }
 
 impl AppSpec {
@@ -67,6 +70,7 @@ impl AppSpec {
             critical: CriticalSectionMode::ZeroOverhead,
             lock_policy: SpinPolicy::default(),
             priority_scheduling: false,
+            ready_policy: ReadyPolicyKind::default(),
         }
     }
 }
@@ -80,6 +84,7 @@ pub struct SystemBuilder {
     cpus: u16,
     cost: CostModel,
     sched: Option<SchedMode>,
+    alloc_policy: AllocPolicyKind,
     daemons: Vec<DaemonSpec>,
     disk: DiskConfig,
     seed: u64,
@@ -96,6 +101,7 @@ impl SystemBuilder {
             cpus,
             cost: CostModel::firefly_prototype(),
             sched: None,
+            alloc_policy: AllocPolicyKind::default(),
             daemons: Vec::new(),
             disk: DiskConfig::default(),
             seed: 0x5eed,
@@ -116,6 +122,13 @@ impl SystemBuilder {
     /// ([`SchedMode::SaAllocator`]); otherwise the native kernel.
     pub fn sched(mut self, sched: SchedMode) -> Self {
         self.sched = Some(sched);
+        self
+    }
+
+    /// Selects the kernel's processor-allocation policy (§4.1/§4.2);
+    /// defaults to the paper's even space-sharing.
+    pub fn alloc_policy(mut self, policy: AllocPolicyKind) -> Self {
+        self.alloc_policy = policy;
         self
     }
 
@@ -172,6 +185,7 @@ impl SystemBuilder {
         let cfg = KernelConfig {
             cpus: self.cpus,
             sched,
+            alloc_policy: self.alloc_policy,
             daemons: self.daemons,
             disk: self.disk,
             seed: self.seed,
@@ -197,6 +211,7 @@ impl SystemBuilder {
                     cfg.critical = app.critical;
                     cfg.lock_policy = app.lock_policy;
                     cfg.priority_scheduling = app.priority_scheduling;
+                    cfg.ready_policy = app.ready_policy;
                     SpaceKindSpec::UserLevel {
                         runtime: Box::new(FastThreads::new(cfg)),
                         main: app.main,
@@ -207,6 +222,7 @@ impl SystemBuilder {
                     cfg.critical = app.critical;
                     cfg.lock_policy = app.lock_policy;
                     cfg.priority_scheduling = app.priority_scheduling;
+                    cfg.ready_policy = app.ready_policy;
                     SpaceKindSpec::UserLevel {
                         runtime: Box::new(FastThreads::new(cfg)),
                         main: app.main,

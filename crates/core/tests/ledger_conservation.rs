@@ -12,7 +12,10 @@
 //! Host parallelism must not perturb any of it: rendering the same
 //! profile at one and at four worker threads must be byte-identical.
 
-use sa_core::profile::{render_folded, render_json, render_table, run_profile, Profile};
+use sa_core::profile::{
+    render_folded, render_json, render_table, run_profile, run_profile_with, Profile,
+};
+use sa_core::scenario::PolicyConfig;
 use sa_sim::CpuState;
 use std::num::NonZeroUsize;
 
@@ -68,6 +71,32 @@ fn fig1_cells_conserve_time_exactly() {
     let p = run_profile("fig1", NonZeroUsize::MIN).expect("fig1 profile");
     assert_eq!(p.cells.len(), 3, "three thread systems");
     check_conservation(&p);
+}
+
+/// Conservation is a property of the *mechanism*, so it must hold under
+/// every allocation × ready-queue policy pair, and so must job-count
+/// invisibility: each combo's profile rendered at one and at four worker
+/// threads must be byte-identical.
+#[test]
+fn fig1_conserves_time_under_every_policy_pair() {
+    for policies in PolicyConfig::all() {
+        let serial = run_profile_with("fig1", policies, NonZeroUsize::MIN)
+            .unwrap_or_else(|e| panic!("fig1 profile under {policies}: {e}"));
+        assert_eq!(serial.cells.len(), 3, "{policies}: three thread systems");
+        check_conservation(&serial);
+        let parallel = run_profile_with("fig1", policies, NonZeroUsize::new(4).unwrap())
+            .unwrap_or_else(|e| panic!("fig1 profile under {policies}: {e}"));
+        assert_eq!(
+            render_table(&serial),
+            render_table(&parallel),
+            "{policies}: table rendering differs across job counts"
+        );
+        assert_eq!(
+            render_json(&serial),
+            render_json(&parallel),
+            "{policies}: json rendering differs across job counts"
+        );
+    }
 }
 
 #[test]

@@ -5,6 +5,7 @@
 //! collects results by job index.
 
 use sa_core::experiments::NBodyRun;
+use sa_core::scenario::PolicyConfig;
 use sa_core::sweeps::{fig1_grid, fig2_sweep, table5_runs};
 use sa_core::{AppSpec, SystemBuilder, ThreadApi};
 use sa_harness::{run_ordered, Job};
@@ -61,8 +62,8 @@ fn sweep_inputs_and_outputs_are_send() {
 fn fig1_grid_parallel_equals_serial_per_cell() {
     let cfg = small_cfg();
     let cost = CostModel::firefly_prototype();
-    let serial = fig1_grid(&cfg, &cost, 4, 1..=2, 1, jobs(1)).unwrap();
-    let parallel = fig1_grid(&cfg, &cost, 4, 1..=2, 1, jobs(4)).unwrap();
+    let serial = fig1_grid(&cfg, &cost, 4, 1..=2, PolicyConfig::default(), 1, jobs(1)).unwrap();
+    let parallel = fig1_grid(&cfg, &cost, 4, 1..=2, PolicyConfig::default(), 1, jobs(4)).unwrap();
     assert_eq!(serial.seq, parallel.seq);
     assert_eq!(serial.rows.len(), parallel.rows.len());
     for (i, (s, p)) in serial.rows.iter().zip(&parallel.rows).enumerate() {
@@ -75,8 +76,28 @@ fn fig2_sweep_parallel_equals_serial_per_cell() {
     let cfg = small_cfg();
     let cost = CostModel::firefly_prototype();
     let fracs = [1.0, 0.5];
-    let serial = fig2_sweep(&cfg, &cost, 4, &fracs, false, 1, jobs(1)).unwrap();
-    let parallel = fig2_sweep(&cfg, &cost, 4, &fracs, false, 1, jobs(4)).unwrap();
+    let serial = fig2_sweep(
+        &cfg,
+        &cost,
+        4,
+        &fracs,
+        false,
+        PolicyConfig::default(),
+        1,
+        jobs(1),
+    )
+    .unwrap();
+    let parallel = fig2_sweep(
+        &cfg,
+        &cost,
+        4,
+        &fracs,
+        false,
+        PolicyConfig::default(),
+        1,
+        jobs(4),
+    )
+    .unwrap();
     assert_eq!(serial, parallel);
 }
 
@@ -84,30 +105,35 @@ fn fig2_sweep_parallel_equals_serial_per_cell() {
 fn table5_runs_parallel_equals_serial_per_cell() {
     let cfg = small_cfg();
     let cost = CostModel::firefly_prototype();
-    let serial = table5_runs(&cfg, &cost, 1, true, jobs(1)).unwrap();
-    let parallel = table5_runs(&cfg, &cost, 1, true, jobs(4)).unwrap();
+    let serial = table5_runs(&cfg, &cost, 6, PolicyConfig::default(), 1, true, jobs(1)).unwrap();
+    let parallel = table5_runs(&cfg, &cost, 6, PolicyConfig::default(), 1, true, jobs(4)).unwrap();
     assert_eq!(serial, parallel);
 }
 
 /// One traced cell: a small N-body run under scheduler activations whose
-/// full trace-record stream is the job's result.
-fn traced_cell(seed: u64) -> (Vec<TraceRecord>, u64) {
+/// full trace-record stream is the job's result. Every cell takes the
+/// policy pair it should run under, so the identity tests below cover
+/// the entire allocation × ready-queue grid, not just the defaults.
+fn traced_cell(seed: u64, policies: PolicyConfig) -> (Vec<TraceRecord>, u64) {
     let cfg = NBodyConfig {
         bodies: 40,
         steps: 1,
         ..NBodyConfig::default()
     };
     let (body, handle) = sa_workload::nbody::nbody_parallel(cfg);
+    let mut app = AppSpec::new(
+        "traced-cell",
+        ThreadApi::SchedulerActivations { max_processors: 4 },
+        body,
+    );
+    app.ready_policy = policies.ready;
     let mut sys = SystemBuilder::new(4)
         .cost(CostModel::firefly_prototype())
         .seed(seed)
         .daemons(sa_kernel::DaemonSpec::topaz_default_set())
+        .alloc_policy(policies.alloc)
         .trace(Trace::unbounded())
-        .app(AppSpec::new(
-            "traced-cell",
-            ThreadApi::SchedulerActivations { max_processors: 4 },
-            body,
-        ))
+        .app(app)
         .build();
     let report = sys.run();
     assert!(report.all_done(), "{:?}", report.outcome);
@@ -117,12 +143,14 @@ fn traced_cell(seed: u64) -> (Vec<TraceRecord>, u64) {
 
 #[test]
 fn trace_record_streams_are_identical_across_job_counts() {
-    let seeds = [3u64, 5, 7, 11];
+    // One cell per (allocation, ready-queue) policy pair: a job count
+    // must be invisible under every discipline, not just the default.
+    let combos: Vec<PolicyConfig> = PolicyConfig::all().collect();
     let make = || -> Vec<Job<'_, (Vec<TraceRecord>, u64)>> {
-        seeds
+        combos
             .iter()
-            .map(|&seed| -> Job<'_, (Vec<TraceRecord>, u64)> {
-                Box::new(move || traced_cell(seed))
+            .map(|&policies| -> Job<'_, (Vec<TraceRecord>, u64)> {
+                Box::new(move || traced_cell(7, policies))
             })
             .collect()
     };
@@ -130,15 +158,16 @@ fn trace_record_streams_are_identical_across_job_counts() {
     let parallel = run_ordered(jobs(4), make()).unwrap();
     for (i, ((s_trace, s_misses), (p_trace, p_misses))) in serial.iter().zip(&parallel).enumerate()
     {
-        assert!(!s_trace.is_empty(), "cell {i} traced nothing");
-        assert_eq!(s_misses, p_misses, "cell {i} stats differ");
+        let combo = combos[i];
+        assert!(!s_trace.is_empty(), "cell {i} ({combo}) traced nothing");
+        assert_eq!(s_misses, p_misses, "cell {i} ({combo}) stats differ");
         assert_eq!(
             s_trace.len(),
             p_trace.len(),
-            "cell {i} trace lengths differ"
+            "cell {i} ({combo}) trace lengths differ"
         );
         for (j, (a, b)) in s_trace.iter().zip(p_trace).enumerate() {
-            assert_eq!(a, b, "cell {i} traces diverge at record {j}");
+            assert_eq!(a, b, "cell {i} ({combo}) traces diverge at record {j}");
         }
     }
 }
@@ -150,22 +179,25 @@ type HistCell = (Vec<[u64; 64]>, Vec<String>);
 /// One histogram-bearing cell: the same run as [`traced_cell`], but its
 /// result is the latency histograms (raw log2 buckets *and* the rendered
 /// summary strings) rather than the trace stream.
-fn histogram_cell(seed: u64) -> HistCell {
+fn histogram_cell(seed: u64, policies: PolicyConfig) -> HistCell {
     let cfg = NBodyConfig {
         bodies: 40,
         steps: 1,
         ..NBodyConfig::default()
     };
     let (body, _handle) = sa_workload::nbody::nbody_parallel(cfg);
+    let mut app = AppSpec::new(
+        "hist-cell",
+        ThreadApi::SchedulerActivations { max_processors: 4 },
+        body,
+    );
+    app.ready_policy = policies.ready;
     let mut sys = SystemBuilder::new(4)
         .cost(CostModel::firefly_prototype())
         .seed(seed)
         .daemons(sa_kernel::DaemonSpec::topaz_default_set())
-        .app(AppSpec::new(
-            "hist-cell",
-            ThreadApi::SchedulerActivations { max_processors: 4 },
-            body,
-        ))
+        .alloc_policy(policies.alloc)
+        .app(app)
         .build();
     let report = sys.run();
     assert!(report.all_done(), "{:?}", report.outcome);
@@ -185,22 +217,31 @@ fn histogram_cell(seed: u64) -> HistCell {
 /// bucket arrays and rendered `p50/p90/p99` summaries.
 #[test]
 fn latency_histograms_are_identical_across_job_counts() {
-    let seeds = [3u64, 5, 7, 11];
+    let combos: Vec<PolicyConfig> = PolicyConfig::all().collect();
     let make = || -> Vec<Job<'_, HistCell>> {
-        seeds
+        combos
             .iter()
-            .map(|&seed| -> Job<'_, HistCell> { Box::new(move || histogram_cell(seed)) })
+            .map(|&policies| -> Job<'_, HistCell> {
+                Box::new(move || histogram_cell(11, policies))
+            })
             .collect()
     };
     let serial = run_ordered(jobs(1), make()).unwrap();
     let parallel = run_ordered(jobs(4), make()).unwrap();
     for (i, ((s_buckets, s_text), (p_buckets, p_text))) in serial.iter().zip(&parallel).enumerate()
     {
-        assert_eq!(s_buckets, p_buckets, "cell {i} histogram buckets differ");
-        assert_eq!(s_text, p_text, "cell {i} rendered summaries differ");
+        let combo = combos[i];
+        assert_eq!(
+            s_buckets, p_buckets,
+            "cell {i} ({combo}) histogram buckets differ"
+        );
+        assert_eq!(
+            s_text, p_text,
+            "cell {i} ({combo}) rendered summaries differ"
+        );
         assert!(
             s_buckets[0].iter().sum::<u64>() > 0,
-            "cell {i} recorded no upcall-delivery samples"
+            "cell {i} ({combo}) recorded no upcall-delivery samples"
         );
     }
 }

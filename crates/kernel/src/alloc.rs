@@ -15,9 +15,29 @@ use crate::config::SchedMode;
 use crate::exec::Running;
 use crate::ids::AsId;
 use crate::kernel::{Event, Kernel};
+use crate::policy::{AllocView, SpaceDemand};
 use crate::space::SpaceKind;
 use crate::upcall::UpcallEvent;
 use sa_sim::TraceEvent;
+
+/// Owned backing store for an [`AllocView`] (the policy borrows it).
+pub(crate) struct AllocSnapshot {
+    spaces: Vec<SpaceDemand>,
+    last_space: Vec<Option<u32>>,
+    total_cpus: u32,
+    rotation: u32,
+}
+
+impl AllocSnapshot {
+    pub(crate) fn view(&self) -> AllocView<'_> {
+        AllocView {
+            spaces: &self.spaces,
+            total_cpus: self.total_cpus,
+            rotation: self.rotation,
+            last_space: &self.last_space,
+        }
+    }
+}
 
 impl Kernel {
     /// A space's current processor demand.
@@ -58,13 +78,28 @@ impl Kernel {
         }
     }
 
-    /// Computes the target allocation: priorities strictly dominate, and
-    /// within a priority level processors are divided evenly, with unused
-    /// shares redistributed. When the division leaves a remainder, the
-    /// extra processors go to a rotating subset of the claimants — the
-    /// paper's "processors are time-sliced only if the number of available
-    /// processors is not an integer multiple of the number of address
-    /// spaces (at the same priority) that want them" (§4.1).
+    /// Snapshots the allocator-relevant state for the policy to read.
+    pub(crate) fn alloc_snapshot(&self) -> AllocSnapshot {
+        AllocSnapshot {
+            spaces: (0..self.spaces.len())
+                .map(|idx| SpaceDemand {
+                    demand: self.space_demand(AsId(idx as u32)),
+                    priority: self.spaces[idx].priority,
+                    assigned: self.spaces[idx].assigned_cpus,
+                })
+                .collect(),
+            last_space: self
+                .cpus
+                .iter()
+                .map(|c| c.last_space.map(|s| s.0))
+                .collect(),
+            total_cpus: self.cpus.len() as u32,
+            rotation: self.share_rotation,
+        }
+    }
+
+    /// Asks the configured [`crate::policy::AllocPolicy`] for the target
+    /// allocation.
     pub(crate) fn compute_targets(&self) -> Vec<u32> {
         self.compute_targets_inner().0
     }
@@ -72,76 +107,32 @@ impl Kernel {
     /// As [`Kernel::compute_targets`], also reporting whether a remainder
     /// exists (so the rotation timer knows to keep running).
     pub(crate) fn compute_targets_inner(&self) -> (Vec<u32>, bool) {
-        let n = self.spaces.len();
-        let mut targets = vec![0u32; n];
-        let mut has_remainder = false;
-        let mut avail = self.cpus.len() as u32;
-        // Group space indices by priority, descending.
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            self.spaces[b]
-                .priority
-                .cmp(&self.spaces[a].priority)
-                .then(a.cmp(&b))
-        });
-        let mut i = 0;
-        while i < order.len() && avail > 0 {
-            let prio = self.spaces[order[i]].priority;
-            let mut group: Vec<(usize, u32)> = Vec::new();
-            while i < order.len() && self.spaces[order[i]].priority == prio {
-                let idx = order[i];
-                let d = self.space_demand(AsId(idx as u32));
-                if d > 0 {
-                    group.push((idx, d));
-                }
-                i += 1;
-            }
-            // Waterfall even split within the priority level.
-            while !group.is_empty() && avail > 0 {
-                let share = avail / group.len() as u32;
-                if share == 0 {
-                    // Fewer processors than claimants: one each to a
-                    // rotating window of claimants (time-slicing the
-                    // remainder, deterministically).
-                    group.sort_by_key(|&(idx, _)| idx);
-                    has_remainder = true;
-                    let len = group.len();
-                    let start = (self.share_rotation as usize) % len;
-                    for k in 0..(avail as usize) {
-                        let (idx, _) = group[(start + k) % len];
-                        targets[idx] += 1;
-                    }
-                    avail = 0;
-                    break;
-                }
-                let satisfied: Vec<(usize, u32)> =
-                    group.iter().copied().filter(|&(_, d)| d <= share).collect();
-                if satisfied.is_empty() {
-                    // Everyone wants at least the share: split evenly and
-                    // hand the remainder out one-by-one, rotating who gets
-                    // the extras.
-                    group.sort_by_key(|&(idx, _)| idx);
-                    let rem = (avail - share * group.len() as u32) as usize;
-                    if rem > 0 {
-                        has_remainder = true;
-                    }
-                    let len = group.len();
-                    let start = (self.share_rotation as usize) % len;
-                    for (k, &(idx, _)) in group.iter().enumerate() {
-                        let gets_extra = (k + len - start) % len < rem;
-                        targets[idx] += share + u32::from(gets_extra);
-                    }
-                    avail = 0;
-                    break;
-                }
-                for &(idx, d) in &satisfied {
-                    targets[idx] += d;
-                    avail -= d;
-                }
-                group.retain(|&(idx, _)| !satisfied.iter().any(|&(s, _)| s == idx));
-            }
+        let snap = self.alloc_snapshot();
+        self.alloc_policy.targets(&snap.view())
+    }
+
+    /// Which free CPU should `space` receive? The mechanism collects the
+    /// grantable CPUs; the policy picks among them (§4.2 affinity hook;
+    /// the default policy takes the lowest-numbered, matching the old
+    /// inlined scan).
+    pub(crate) fn pick_grant_cpu(&self, space: AsId) -> Option<usize> {
+        let free: Vec<usize> = (0..self.cpus.len())
+            .filter(|&c| {
+                self.cpus[c].assigned.is_none()
+                    && matches!(self.cpus[c].running, Running::Idle)
+                    && self.cpus[c].inflight.is_none()
+                    && !self.cpus[c].realloc_pending
+            })
+            .collect();
+        if free.is_empty() {
+            return None;
         }
-        (targets, has_remainder)
+        let snap = self.alloc_snapshot();
+        let cpu = self
+            .alloc_policy
+            .pick_cpu(&snap.view(), space.index(), &free);
+        debug_assert!(free.contains(&cpu), "policy picked a non-free CPU");
+        Some(cpu)
     }
 
     /// Recomputes the allocation and moves processors to match.
@@ -177,7 +168,7 @@ impl Kernel {
         for idx in 0..self.spaces.len() {
             let id = AsId(idx as u32);
             while self.spaces[idx].assigned_cpus < targets[idx] {
-                let Some(cpu) = self.find_unassigned_idle_cpu() else {
+                let Some(cpu) = self.pick_grant_cpu(id) else {
                     return;
                 };
                 let before = self.spaces[idx].assigned_cpus;
@@ -275,9 +266,11 @@ impl Kernel {
     }
 
     /// Releases `cpu` from its owner, leaving it unassigned and idle.
+    /// Remembers the owner as the CPU's last space (§4.2 affinity input).
     pub(crate) fn release_cpu(&mut self, cpu: usize) {
         if let Some(owner) = self.cpus[cpu].assigned.take() {
             self.spaces[owner.index()].assigned_cpus -= 1;
+            self.cpus[cpu].last_space = Some(owner);
         }
         debug_assert!(self.cpus[cpu].inflight.is_none());
         self.set_idle(cpu);

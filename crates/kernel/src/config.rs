@@ -1,5 +1,6 @@
 //! Kernel and address-space configuration.
 
+use crate::policy::AllocPolicyKind;
 use crate::upcall::UserRuntime;
 use sa_machine::disk::DiskConfig;
 use sa_machine::program::ThreadBody;
@@ -60,6 +61,9 @@ pub struct KernelConfig {
     pub cpus: u16,
     /// Scheduling regime.
     pub sched: SchedMode,
+    /// Processor-allocation policy (only consulted in
+    /// [`SchedMode::SaAllocator`]).
+    pub alloc_policy: AllocPolicyKind,
     /// Kernel daemon threads.
     pub daemons: Vec<DaemonSpec>,
     /// Disk device configuration.
@@ -76,6 +80,7 @@ impl Default for KernelConfig {
         KernelConfig {
             cpus: 6,
             sched: SchedMode::SaAllocator,
+            alloc_policy: AllocPolicyKind::default(),
             daemons: Vec::new(),
             disk: DiskConfig::default(),
             seed: 0x005e_ed5a,
@@ -175,6 +180,7 @@ mod tests {
         let c = KernelConfig::default();
         assert_eq!(c.cpus, 6);
         assert_eq!(c.sched, SchedMode::SaAllocator);
+        assert_eq!(c.alloc_policy, AllocPolicyKind::SpaceShareEven);
         assert!(c.daemons.is_empty());
     }
 

@@ -58,7 +58,7 @@ impl Kernel {
             return false;
         }
         let space = self.acts[act.index()].space;
-        let Some(cpu) = self.find_unassigned_idle_cpu() else {
+        let Some(cpu) = self.pick_grant_cpu(space) else {
             // No free processor; the caller retries (a real debugger
             // blocks here). We do not steal: debugging must not perturb
             // other spaces.

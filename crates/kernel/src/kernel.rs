@@ -7,6 +7,7 @@ use crate::ids::{ActId, AsId, KtId};
 use crate::io::DiskOp;
 use crate::kthread::{KThread, KtState};
 use crate::metrics::{KernelMetrics, RunOutcome, SpaceMetrics};
+use crate::policy::AllocPolicy;
 use crate::sched::ReadyQueue;
 use crate::space::{Residency, SaState, Space, SpaceKind};
 use sa_machine::{CostModel, Disk};
@@ -57,6 +58,8 @@ pub(crate) struct Cpu {
     pub realloc_pending: bool,
     /// When the CPU last went idle (for idle-time accounting).
     pub idle_since: Option<SimTime>,
+    /// The space this CPU was last allocated to (§4.2 affinity input).
+    pub last_space: Option<AsId>,
 }
 
 /// A segment in flight on a CPU.
@@ -93,6 +96,10 @@ pub struct Kernel {
     pub(crate) share_rotation: u32,
     /// A `RotateShares` event is outstanding.
     pub(crate) rotation_armed: bool,
+    /// The processor-allocation policy (built from
+    /// [`KernelConfig::alloc_policy`]; the mechanism in `alloc.rs` asks
+    /// it for targets and grant picks).
+    pub(crate) alloc_policy: Box<dyn AllocPolicy>,
     started: bool,
 }
 
@@ -108,11 +115,13 @@ impl Kernel {
                 quantum_tok: None,
                 realloc_pending: false,
                 idle_since: Some(SimTime::ZERO),
+                last_space: None,
             })
             .collect();
         let n_cpus = cfg.cpus as usize;
         let disk = Disk::new(cfg.disk);
         let rng = SimRng::new(cfg.seed);
+        let alloc_policy = cfg.alloc_policy.build();
         let mut kernel = Kernel {
             cfg,
             cost,
@@ -131,6 +140,7 @@ impl Kernel {
             ledger: TimeLedger::new(n_cpus),
             share_rotation: 0,
             rotation_armed: false,
+            alloc_policy,
             started: false,
         };
         kernel.init_daemons();

@@ -33,6 +33,7 @@ pub mod kernel;
 pub mod kthread;
 pub mod locks;
 pub mod metrics;
+pub mod policy;
 pub mod sa;
 pub mod sched;
 pub mod space;
@@ -44,6 +45,9 @@ pub use ids::{ActId, AsId, KtId, VpId};
 pub use interp::NO_LOCK;
 pub use kernel::Kernel;
 pub use metrics::{KernelMetrics, RunOutcome, SpaceMetrics};
+pub use policy::{
+    Affinity, AllocPolicy, AllocPolicyKind, AllocView, SpaceDemand, SpaceShareEven, StrictPriority,
+};
 pub use sa::RUNTIME_PAGE;
 pub use upcall::{
     PollReason, RtEnv, SavedContext, Syscall, SyscallOutcome, UpcallEvent, UserRuntime, VpAction,

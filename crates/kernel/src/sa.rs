@@ -355,7 +355,7 @@ impl Kernel {
             self.spaces[space.index()].assigned_cpus < targets[space.index()]
         };
         if deserves_more {
-            if let Some(cpu) = self.find_unassigned_idle_cpu() {
+            if let Some(cpu) = self.pick_grant_cpu(space) {
                 self.grant_cpu_to(cpu, space);
                 return;
             }
@@ -380,16 +380,6 @@ impl Kernel {
 
     pub(crate) fn retry_notify(&mut self, space: AsId) {
         self.try_deliver_pending(space);
-    }
-
-    /// An idle CPU not assigned to any space.
-    pub(crate) fn find_unassigned_idle_cpu(&self) -> Option<usize> {
-        (0..self.cpus.len()).find(|&c| {
-            self.cpus[c].assigned.is_none()
-                && matches!(self.cpus[c].running, Running::Idle)
-                && self.cpus[c].inflight.is_none()
-                && !self.cpus[c].realloc_pending
-        })
     }
 
     /// Is the activation on `cpu` stoppable right now? (Running user-level

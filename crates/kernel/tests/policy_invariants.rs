@@ -1,0 +1,119 @@
+//! Property tests of the §4.1 allocation invariants over *every* built-in
+//! [`AllocPolicy`] — the contract the trait documents:
+//!
+//! 1. Work conservation: `sum(targets) == min(total_cpus, sum(demands))` —
+//!    no processor idles while any space has unmet demand, and the
+//!    allocation never exceeds the machine.
+//! 2. Demand cap: `targets[i] <= spaces[i].demand` — a space is never
+//!    handed processors it did not ask for.
+//! 3. `pick_cpu` returns a member of the free set it was offered.
+//! 4. Purity: the same view yields the same answer, twice — policies may
+//!    not smuggle in host state (the determinism rule the module docs
+//!    impose on policy authors).
+
+use proptest::prelude::*;
+use sa_kernel::{AllocPolicyKind, AllocView, SpaceDemand};
+
+/// A random space: small demands so contention, saturation, and zero
+/// (finished/unstarted) demand are all common; a few priority levels so
+/// strata interact.
+fn space() -> impl Strategy<Value = SpaceDemand> {
+    (0u32..12, 0u8..4, 0u32..7).prop_map(|(demand, priority, assigned)| SpaceDemand {
+        demand,
+        priority,
+        assigned,
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_policy_satisfies_the_alloc_invariants(
+        spaces in prop::collection::vec(space(), 1..10),
+        cpus in 0u32..33,
+        rotation in 0u32..64,
+        owners in prop::collection::vec((0u32..10, any::<bool>()), 33),
+        free_mask in prop::collection::vec(any::<bool>(), 33),
+    ) {
+        let last_space: Vec<Option<u32>> = owners
+            .iter()
+            .map(|&(s, some)| some.then_some(s % spaces.len() as u32))
+            .collect();
+        let free: Vec<usize> = (0..cpus as usize).filter(|&c| free_mask[c]).collect();
+        let view = AllocView {
+            spaces: &spaces,
+            total_cpus: cpus,
+            rotation,
+            last_space: &last_space,
+        };
+        let demand_sum: u32 = spaces.iter().map(|s| s.demand).sum();
+        for kind in AllocPolicyKind::ALL {
+            let policy = kind.build();
+            let (targets, remainder) = policy.targets(&view);
+            prop_assert_eq!(targets.len(), spaces.len(), "{}: one target per space", kind);
+            for (i, (&t, s)) in targets.iter().zip(&spaces).enumerate() {
+                prop_assert!(
+                    t <= s.demand,
+                    "{}: space {i} granted {t} > demand {}",
+                    kind, s.demand
+                );
+            }
+            prop_assert_eq!(
+                targets.iter().sum::<u32>(),
+                cpus.min(demand_sum),
+                "{}: not work-conserving (cpus {}, demand {})",
+                kind, cpus, demand_sum
+            );
+            // Purity: ask again, get the same answer.
+            let (again, rem_again) = policy.targets(&view);
+            prop_assert_eq!(&again, &targets, "{}: targets not a pure function", kind);
+            prop_assert_eq!(rem_again, remainder, "{}: remainder not a pure function", kind);
+            if !free.is_empty() {
+                for s in 0..spaces.len() {
+                    let cpu = policy.pick_cpu(&view, s, &free);
+                    prop_assert!(
+                        free.contains(&cpu),
+                        "{}: pick_cpu({s}) chose cpu {cpu} outside the free set {:?}",
+                        kind, free
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rotating the remainder must move processors around *without*
+    /// changing the total handed out or violating any per-space cap —
+    /// rotation redistributes, it never creates or destroys capacity.
+    #[test]
+    fn rotation_preserves_totals(
+        spaces in prop::collection::vec(space(), 1..8),
+        cpus in 1u32..16,
+    ) {
+        let demand_sum: u32 = spaces.iter().map(|s| s.demand).sum();
+        for kind in AllocPolicyKind::ALL {
+            let policy = kind.build();
+            let mut sums = Vec::new();
+            for rotation in 0..8 {
+                let view = AllocView {
+                    spaces: &spaces,
+                    total_cpus: cpus,
+                    rotation,
+                    last_space: &[],
+                };
+                let (targets, _) = policy.targets(&view);
+                for (i, (&t, s)) in targets.iter().zip(&spaces).enumerate() {
+                    prop_assert!(
+                        t <= s.demand,
+                        "{}: rotation {rotation}, space {i} over demand",
+                        kind
+                    );
+                }
+                sums.push(targets.iter().sum::<u32>());
+            }
+            prop_assert!(
+                sums.iter().all(|&s| s == cpus.min(demand_sum)),
+                "{}: rotation changed the allocated total: {:?}",
+                kind, sums
+            );
+        }
+    }
+}

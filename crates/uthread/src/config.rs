@@ -1,5 +1,6 @@
 //! Configuration of the FastThreads-like runtime.
 
+use crate::ready::ReadyPolicyKind;
 use crate::sync::SpinPolicy;
 use sa_sim::SimDuration;
 
@@ -58,6 +59,10 @@ pub struct FtConfig {
     /// (§3.1's priority preemption). Off by default: the paper's default
     /// FastThreads policy is plain per-processor LIFO.
     pub priority_scheduling: bool,
+    /// Ready-queue discipline (§2.1: the application picks its own
+    /// scheduling policy); defaults to the paper's per-processor LIFO
+    /// lists with idle stealing.
+    pub ready_policy: ReadyPolicyKind,
 }
 
 impl FtConfig {
@@ -71,6 +76,7 @@ impl FtConfig {
             max_processors,
             recycle_batch: 4,
             priority_scheduling: false,
+            ready_policy: ReadyPolicyKind::default(),
         }
     }
 
@@ -84,6 +90,7 @@ impl FtConfig {
             max_processors: vps,
             recycle_batch: 4,
             priority_scheduling: false,
+            ready_policy: ReadyPolicyKind::default(),
         }
     }
 }
@@ -97,6 +104,7 @@ mod tests {
         let sa = FtConfig::scheduler_activations(6);
         assert_eq!(sa.substrate, Substrate::SchedulerActivations);
         assert_eq!(sa.max_processors, 6);
+        assert_eq!(sa.ready_policy, ReadyPolicyKind::LocalLifo);
         let kt = FtConfig::kernel_threads(4);
         assert_eq!(kt.substrate, Substrate::KernelThreads { vps: 4 });
     }

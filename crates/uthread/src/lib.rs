@@ -16,12 +16,14 @@
 //! integration with the kernel differs — which is the paper's point.
 
 pub mod config;
+pub mod ready;
 pub mod runtime;
 pub mod stats;
 pub mod sync;
 pub mod types;
 
 pub use config::{CriticalSectionMode, FtConfig, Substrate};
+pub use ready::{GlobalFifo, GlobalLifo, LocalLifo, Pick, ReadyPolicy, ReadyPolicyKind};
 pub use runtime::FastThreads;
 pub use stats::FtStats;
 pub use sync::SpinPolicy;

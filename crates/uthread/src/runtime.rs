@@ -23,6 +23,7 @@
 //! the segment that precedes it.
 
 use crate::config::{CriticalSectionMode, FtConfig, Substrate};
+use crate::ready::ReadyPolicy;
 use crate::stats::FtStats;
 use crate::sync::{HandOff, SpinPolicy, UCv, ULock};
 use crate::types::{cookie, seg, Awaiting, RtMicro, Slot, SpinCtx, Step, UtId, UtState, Utcb};
@@ -42,6 +43,9 @@ pub struct FastThreads {
     cfg: FtConfig,
     tcbs: Vec<Utcb>,
     slots: Vec<Slot>,
+    /// The ready-queue discipline (every ready thread lives here; see
+    /// [`crate::ready`] for the policy contract).
+    ready: Box<dyn ReadyPolicy>,
     /// VP id → slot index. A slab rather than a hash map: this is read on
     /// every poll and upcall delivery, and VP ids (kernel-thread indexes
     /// or activation ids) are dense — the kernel allocates activation ids
@@ -92,14 +96,17 @@ pub struct FastThreads {
 impl FastThreads {
     /// Creates a runtime with the given configuration.
     pub fn new(cfg: FtConfig) -> Self {
-        let slots = match cfg.substrate {
+        let slots: Vec<Slot> = match cfg.substrate {
             Substrate::KernelThreads { vps } => (0..vps).map(|_| Slot::new()).collect(),
             Substrate::SchedulerActivations => Vec::new(),
         };
+        let mut ready = cfg.ready_policy.build();
+        ready.ensure_slots(slots.len());
         FastThreads {
             cfg,
             tcbs: Vec::new(),
             slots,
+            ready,
             vp_slot: Vec::new(),
             act_thread: Vec::new(),
             early_unblocks: Vec::new(),
@@ -159,7 +166,7 @@ impl FastThreads {
         id
     }
 
-    /// Pushes a thread onto a slot's ready list (LIFO) and wakes an idle
+    /// Hands a thread to the ready policy (hot end) and wakes an idle
     /// processor if one is spinning. Under priority scheduling, a readied
     /// thread that outranks a running one asks the kernel to interrupt the
     /// lowest-priority processor (§3.1).
@@ -167,7 +174,7 @@ impl FastThreads {
         debug_assert_ne!(self.tcbs[t.index()].state, UtState::Free);
         self.tcbs[t.index()].state = UtState::Ready;
         self.tcbs[t.index()].ready_since = Some(env.now);
-        self.slots[slot].ready.push_back(t);
+        self.ready.push(slot, t);
         self.kick_an_idler(env);
         if self.cfg.priority_scheduling && self.is_sa() {
             let new_prio = self.tcbs[t.index()].prio;
@@ -276,6 +283,7 @@ impl FastThreads {
                     self.slots.len() - 1
                 }),
         };
+        self.ready.ensure_slots(self.slots.len());
         let s = &mut self.slots[idx];
         s.active_vp = Some(vp);
         s.hysteresis_done = false;
@@ -529,21 +537,6 @@ impl FastThreads {
         q.push_back(RtMicro::Call(call));
     }
 
-    /// The (slot, position) of the highest-priority ready thread anywhere
-    /// (ties: latest on its list, preserving LIFO within a priority).
-    fn best_priority_pick(&self) -> Option<(usize, usize)> {
-        let mut best: Option<(usize, usize, u8)> = None;
-        for (si, s) in self.slots.iter().enumerate() {
-            for (pos, &t) in s.ready.iter().enumerate() {
-                let p = self.tcbs[t.index()].prio;
-                if best.is_none_or(|(_, _, bp)| p >= bp) {
-                    best = Some((si, pos, p));
-                }
-            }
-        }
-        best.map(|(si, pos, _)| (si, pos))
-    }
-
     /// Removes leftover spin segments/steps from the front of a thread's
     /// continuation.
     fn clear_spin_micros(&mut self, t: UtId) {
@@ -605,11 +598,11 @@ impl FastThreads {
                     .current
                     .take()
                     .expect("yield without thread");
-                // A yielding thread goes to the *cold* end of the LIFO
-                // ready list so every other runnable thread goes first.
+                // A yielding thread goes to the *cold* end of the ready
+                // queue so every other runnable thread goes first.
                 self.tcbs[t.index()].state = UtState::Ready;
                 self.tcbs[t.index()].ready_since = Some(env.now);
-                self.slots[slot].ready.push_front(t);
+                self.ready.push_cold(slot, t);
                 self.kick_an_idler(env);
             }
             Step::FinishExit => self.finish_exit(slot, env),
@@ -1147,42 +1140,21 @@ impl FastThreads {
             self.step_body(slot, t, env);
             return None;
         }
-        // 4. Dispatch: own ready list (LIFO), then scan the others (§4.2).
-        //    Under priority scheduling, pick the highest-priority runnable
-        //    thread anywhere instead.
-        if self.cfg.priority_scheduling {
-            if let Some((vslot, pos)) = self.best_priority_pick() {
-                let t = self.slots[vslot]
-                    .ready
-                    .remove(pos)
-                    .expect("picked position exists");
-                let stolen = vslot != slot;
-                if stolen {
-                    self.stats.steals.inc();
-                }
-                let d = c.ut_ready_dequeue
-                    + c.ut_ctx_switch
-                    + self.flag_cost(c)
-                    + self.resume_check_cost(t, c)
-                    + if stolen {
-                        c.ut_scan_step
-                    } else {
-                        SimDuration::ZERO
-                    };
-                let s = seg(
-                    d,
-                    WorkKind::RuntimeOverhead,
-                    cookie::Tag::Dispatch,
-                    Some(t),
-                    true,
-                );
-                let q = &mut self.slots[slot].cont;
-                q.push_back(RtMicro::Seg(s));
-                q.push_back(RtMicro::Step(Step::FinishDispatch(t)));
-                return None;
+        // 4. Dispatch: ask the ready policy for a thread (§2.1 — the
+        //    discipline is the application's choice). The policy reports
+        //    how it found the thread; the mechanism charges the costs.
+        let pick = if self.cfg.priority_scheduling {
+            self.ready.pop_best(slot, &|t| self.tcbs[t.index()].prio)
+        } else {
+            self.ready.pop(slot)
+        };
+        if let Some(pick) = pick {
+            let t = pick.t;
+            if pick.stolen {
+                self.stats.steals.inc();
             }
-        } else if let Some(t) = self.slots[slot].ready.pop_back() {
-            let d = c.ut_ready_dequeue
+            let d = c.ut_scan_step.saturating_mul(pick.scan_steps)
+                + c.ut_ready_dequeue
                 + c.ut_ctx_switch
                 + self.flag_cost(c)
                 + self.resume_check_cost(t, c);
@@ -1197,29 +1169,6 @@ impl FastThreads {
             q.push_back(RtMicro::Seg(s));
             q.push_back(RtMicro::Step(Step::FinishDispatch(t)));
             return None;
-        }
-        let nslots = self.slots.len();
-        for k in 1..nslots {
-            let victim = (slot + k) % nslots;
-            if let Some(t) = self.slots[victim].ready.pop_front() {
-                self.stats.steals.inc();
-                let d = c.ut_scan_step.saturating_mul(k as u64)
-                    + c.ut_ready_dequeue
-                    + c.ut_ctx_switch
-                    + self.flag_cost(c)
-                    + self.resume_check_cost(t, c);
-                let s = seg(
-                    d,
-                    WorkKind::RuntimeOverhead,
-                    cookie::Tag::Dispatch,
-                    Some(t),
-                    true,
-                );
-                let q = &mut self.slots[slot].cont;
-                q.push_back(RtMicro::Seg(s));
-                q.push_back(RtMicro::Step(Step::FinishDispatch(t)));
-                return None;
-            }
         }
         // 5. Nothing runnable.
         if self.live == 0 {
@@ -1424,15 +1373,11 @@ impl UserRuntime for FastThreads {
             let _ = writeln!(
                 out,
                 "slot {i}: vp={:?} current={:?} ready={} cont={} tasks={} spin={:?} recovering={:?} awaiting={:?}",
-                s.active_vp, s.current, s.ready.len(), s.cont.len(), s.tasks.len(),
+                s.active_vp, s.current, self.ready.len(i), s.cont.len(), s.tasks.len(),
                 s.spin, s.recovering, s.awaiting
             );
         }
-        let _ = writeln!(
-            out,
-            "ready totals: {}",
-            self.slots.iter().map(|s| s.ready.len()).sum::<usize>()
-        );
+        let _ = writeln!(out, "ready totals: {}", self.ready.total());
         let _ = writeln!(out, "act_thread: {:?}", self.act_thread);
         let _ = writeln!(out, "early_unblocks: {:?}", self.early_unblocks);
         for t in &self.tcbs {

@@ -256,16 +256,15 @@ pub(crate) mod cookie {
 }
 
 /// A virtual-processor slot: the per-processor state of the thread system
-/// (ready list, TCB free list, and the execution context of whatever the
-/// processor is doing). Slots outlive individual scheduler activations;
-/// the activation currently animating a slot is `active_vp`.
+/// (TCB free list and the execution context of whatever the processor is
+/// doing; ready threads live in the runtime's [`crate::ready`] policy).
+/// Slots outlive individual scheduler activations; the activation
+/// currently animating a slot is `active_vp`.
 pub(crate) struct Slot {
     /// The VP (kernel thread index or activation id) currently bound here.
     pub active_vp: Option<sa_kernel::VpId>,
     /// Thread loaded on this processor.
     pub current: Option<UtId>,
-    /// Per-processor LIFO ready list (§4.2).
-    pub ready: VecDeque<UtId>,
     /// Per-processor unlocked TCB free list ([Anderson et al. 89]).
     pub free_tcbs: Vec<UtId>,
     /// Slot-level (non-thread) pending micro-work: upcall processing,
@@ -292,7 +291,6 @@ impl Slot {
         Slot {
             active_vp: None,
             current: None,
-            ready: VecDeque::new(),
             free_tcbs: Vec::new(),
             cont: VecDeque::new(),
             tasks: VecDeque::new(),

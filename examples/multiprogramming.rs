@@ -8,8 +8,9 @@
 //! cargo run --release --example multiprogramming
 //! ```
 
-use scheduler_activations::experiments::{figure_apis, nbody_run, nbody_sequential_time};
+use scheduler_activations::experiments::{nbody_run, nbody_sequential_time};
 use scheduler_activations::machine::CostModel;
+use scheduler_activations::scenario::systems;
 use scheduler_activations::workload::nbody::NBodyConfig;
 
 fn main() {
@@ -18,7 +19,7 @@ fn main() {
     let seq = nbody_sequential_time(cfg.clone(), cost.clone(), 1);
     println!("two N-body copies at once on 6 CPUs (sequential baseline {seq})");
     println!("a speedup of 3.0 is the best either copy could possibly get\n");
-    for (name, api) in figure_apis(6) {
+    for (name, api) in systems(6) {
         let r = nbody_run(api, 6, cfg.clone(), cost.clone(), 2, 1);
         let speedup = seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64;
         println!("{name:<20} mean speedup {speedup:.2}");

@@ -11,8 +11,9 @@
 //! (Figure 2); at 100 the differences are pure thread-management overhead
 //! (Figure 1's 6-processor points).
 
-use scheduler_activations::experiments::{figure_apis, nbody_run, nbody_sequential_time};
+use scheduler_activations::experiments::{nbody_run, nbody_sequential_time};
 use scheduler_activations::machine::CostModel;
+use scheduler_activations::scenario::systems;
 use scheduler_activations::workload::nbody::NBodyConfig;
 
 fn main() {
@@ -35,7 +36,7 @@ fn main() {
         "sequential",
         format!("{seq}")
     );
-    for (name, api) in figure_apis(6) {
+    for (name, api) in systems(6) {
         let r = nbody_run(api, 6, cfg.clone(), cost.clone(), 1, 1);
         let speedup = seq.as_nanos() as f64 / r.elapsed.as_nanos() as f64;
         println!(

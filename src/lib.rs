@@ -36,7 +36,8 @@
 //! the harnesses that regenerate every table and figure of the paper.
 
 pub use sa_core::experiments;
-pub use sa_core::{AppId, AppSpec, RunReport, System, SystemBuilder, ThreadApi};
+pub use sa_core::scenario;
+pub use sa_core::{AppId, AppSpec, PolicyConfig, RunReport, System, SystemBuilder, ThreadApi};
 
 /// The simulation engine (virtual time, event queue, RNG, statistics).
 pub use sa_sim as sim;
