@@ -115,24 +115,43 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     }
 }
 
-/// Uniform choice between alternative strategies (see [`prop_oneof!`]).
+/// Choice between alternative strategies, uniform or weighted (see
+/// [`prop_oneof!`]).
 pub struct Union<T> {
-    options: Vec<BoxedStrategy<T>>,
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
 }
 
 impl<T> Union<T> {
-    /// Builds a union over the given alternatives.
+    /// Builds a uniform union over the given alternatives.
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Builds a union drawing each alternative in proportion to its
+    /// weight (upstream's `weight => strategy` form).
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         assert!(!options.is_empty(), "prop_oneof! of nothing");
-        Union { options }
+        let total_weight = options.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union {
+            options,
+            total_weight,
+        }
     }
 }
 
 impl<T> Strategy for Union<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
-        let i = rng.below(self.options.len());
-        self.options[i].generate(rng)
+        let mut pick = rng.below(self.total_weight as usize) as u64;
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
     }
 }
 
@@ -418,6 +437,11 @@ macro_rules! prop_assert_ne {
 /// Uniform choice among strategies producing the same type.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
     ($($strategy:expr),+ $(,)?) => {
         $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
     };

@@ -15,8 +15,9 @@
 //! cell exits nonzero with a clean message instead of a half-printed
 //! table.
 
+use sa_core::experiments::EngineThroughput;
 use sa_core::profile::{render_folded, render_json, render_table, run_profile};
-use sa_core::reporting::{write_bench_json, BenchLine, Table};
+use sa_core::reporting::{write_bench_json_with_host, BenchLine, HostInfo, Table};
 use sa_core::scenario::{self, PolicyConfig};
 use sa_core::sweeps::{fig1_grid_throughput, latency_rows, upcall_measurements};
 use sa_core::trace_export::{perfetto_json, text_log};
@@ -24,7 +25,7 @@ use sa_core::{AppSpec, SystemBuilder, ThreadApi};
 use sa_harness::{host_jobs, parse_jobs, PanickedJob};
 use sa_kernel::{AllocPolicy, AllocPolicyKind, AllocView, DaemonSpec, SpaceDemand, SpaceShareEven};
 use sa_machine::CostModel;
-use sa_sim::{event::lazy::LazyEventQueue, EventQueue, SimTime, Trace, UpcallKind};
+use sa_sim::{event::lazy::LazyEventQueue, EventCore, EventQueue, SimTime, Trace, UpcallKind};
 use sa_uthread::{CriticalSectionMode, ReadyPolicyKind};
 use sa_workload::nbody::{nbody_parallel, NBodyConfig};
 use std::num::NonZeroUsize;
@@ -206,10 +207,31 @@ fn table5(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
     run_scenario("table5", PolicyConfig::default(), jobs)
 }
 
-/// Push/pop/cancel microloop against the indexed event queue.
-fn queue_microloop_indexed(ops: u64) -> f64 {
+/// Standing far-out timers kept pending through the whole queue mix. The
+/// kernel's queue always carries a backlog of per-CPU quantum timers,
+/// daemon wakeups, and I/O timeouts that rarely fire; the near-term
+/// churn happens on top of it. The backlog is what separates the wheel's
+/// O(1) operations (untouched coarse slots) from the heap's O(log n)
+/// sifts through the whole population.
+const QUEUE_MIX_STANDING: u64 = 4096;
+
+/// Schedules the standing backlog: timers 4 ms apart starting at 20
+/// virtual seconds, far past every timestamp the mix itself pops.
+fn prefill_standing(mut schedule: impl FnMut(SimTime, u64)) {
+    for i in 0..QUEUE_MIX_STANDING {
+        schedule(SimTime::from_nanos(20_000_000_000 + i * 4_000_000), !i);
+    }
+}
+
+/// Push/pop/cancel microloop against the selected event core (the wheel
+/// in production, the indexed heap as the differential baseline), run
+/// over a standing backlog of `QUEUE_MIX_STANDING` pending timers.
+fn queue_microloop(core: EventCore, ops: u64) -> f64 {
+    let mut q = EventQueue::with_core(core);
+    prefill_standing(|t, v| {
+        q.schedule(t, v);
+    });
     let start = Instant::now();
-    let mut q = EventQueue::new();
     let mut sum = 0u64;
     let mut tokens = Vec::with_capacity(64);
     for round in 0..ops / 64 {
@@ -237,8 +259,11 @@ fn queue_microloop_indexed(ops: u64) -> f64 {
 
 /// The same microloop against the retained lazy-cancellation baseline.
 fn queue_microloop_lazy(ops: u64) -> f64 {
-    let start = Instant::now();
     let mut q = LazyEventQueue::new();
+    prefill_standing(|t, v| {
+        q.schedule(t, v);
+    });
+    let start = Instant::now();
     let mut sum = 0u64;
     let mut tokens = Vec::with_capacity(64);
     for round in 0..ops / 64 {
@@ -259,6 +284,63 @@ fn queue_microloop_lazy(ops: u64) -> f64 {
     }
     std::hint::black_box(sum);
     ops as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Runs a deterministic measurement `n` times and keeps the fastest run.
+/// The single-shot system measurements here last ~0.1 host seconds, which
+/// on the one-core reference box swings by tens of percent with
+/// first-touch page faults and frequency ramp; minimum time over a few
+/// repeats is the standard low-noise estimator when every run performs
+/// identical work.
+fn best_of(n: usize, mut run: impl FnMut() -> EngineThroughput) -> EngineThroughput {
+    let mut best = run();
+    for _ in 1..n {
+        let r = run();
+        if r.host_seconds < best.host_seconds {
+            best = r;
+        }
+    }
+    best
+}
+
+/// Same-tick batch dispatch at system scale: two multiprogrammed N-body
+/// applications on the six-processor machine, which keeps several CPUs
+/// finishing segments at identical timestamps — the simultaneity classes
+/// the kernel loop's `pop_batch` drains in one queue entry. Returns host
+/// throughput on the chosen event core.
+fn batch_dispatch_throughput(core: EventCore) -> EngineThroughput {
+    let cost = CostModel::firefly_prototype();
+    let cfg = NBodyConfig {
+        bodies: NBodyConfig::default().bodies / 2,
+        ..NBodyConfig::default()
+    };
+    let mut builder = SystemBuilder::new(6)
+        .cost(cost)
+        .seed(1)
+        .event_core(core)
+        .daemons(DaemonSpec::topaz_default_set())
+        .run_limit(SimTime::from_millis(3_600_000));
+    for copy in 0..2 {
+        let (body, _handle) = nbody_parallel(cfg.clone());
+        builder = builder.app(AppSpec::new(
+            format!("nbody-batch{copy}"),
+            ThreadApi::SchedulerActivations { max_processors: 6 },
+            body,
+        ));
+    }
+    let mut sys = builder.build();
+    let start = Instant::now();
+    let report = sys.run();
+    let host_seconds = start.elapsed().as_secs_f64();
+    assert!(
+        report.all_done(),
+        "batch dispatch bench: {:?}",
+        report.outcome
+    );
+    EngineThroughput {
+        sim_events: sys.kernel().kernel_metrics().events.get(),
+        host_seconds,
+    }
 }
 
 /// The §4.1 allocation decision on a synthetic eight-space view, called
@@ -311,16 +393,19 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
     let mut lines: Vec<BenchLine> = Vec::new();
 
     // Whole-system run: the paper's Figure 1 workload at 6 processors
-    // under scheduler activations — the end-to-end number. These single
-    // measurements stay serial on an otherwise-idle host so the numbers
-    // track engine changes, not co-scheduled sweep noise.
-    let r = sa_core::experiments::engine_throughput(
-        ThreadApi::SchedulerActivations { max_processors: 6 },
-        6,
-        cfg.clone(),
-        cost.clone(),
-        1,
-    );
+    // under scheduler activations — the end-to-end number. These
+    // measurements stay serial on an otherwise-idle host (best of three
+    // repeats, see `best_of`) so the numbers track engine changes, not
+    // co-scheduled sweep noise or warm-up artifacts.
+    let r = best_of(3, || {
+        sa_core::experiments::engine_throughput(
+            ThreadApi::SchedulerActivations { max_processors: 6 },
+            6,
+            cfg.clone(),
+            cost.clone(),
+            1,
+        )
+    });
     lines.push(BenchLine::new(
         "system_nbody_fig1_sa",
         r.events_per_sec(),
@@ -329,16 +414,18 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
 
     // Dispatch-heavy run: one processor, forcing the upcall/ready-queue
     // machinery through many more scheduling decisions per unit work.
-    let r1 = sa_core::experiments::engine_throughput(
-        ThreadApi::SchedulerActivations { max_processors: 1 },
-        1,
-        NBodyConfig {
-            bodies: cfg.bodies / 2,
-            ..cfg.clone()
-        },
-        cost.clone(),
-        1,
-    );
+    let r1 = best_of(3, || {
+        sa_core::experiments::engine_throughput(
+            ThreadApi::SchedulerActivations { max_processors: 1 },
+            1,
+            NBodyConfig {
+                bodies: cfg.bodies / 2,
+                ..cfg.clone()
+            },
+            cost.clone(),
+            1,
+        )
+    });
     lines.push(BenchLine::new(
         "system_nbody_dispatch_1cpu",
         r1.events_per_sec(),
@@ -353,22 +440,26 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
         bodies: cfg.bodies / 2,
         ..cfg.clone()
     };
-    let td = sa_core::experiments::engine_throughput_traced(
-        ThreadApi::SchedulerActivations { max_processors: 6 },
-        6,
-        small.clone(),
-        cost.clone(),
-        1,
-        Trace::disabled(),
-    );
-    let tu = sa_core::experiments::engine_throughput_traced(
-        ThreadApi::SchedulerActivations { max_processors: 6 },
-        6,
-        small,
-        cost.clone(),
-        1,
-        Trace::unbounded(),
-    );
+    let td = best_of(3, || {
+        sa_core::experiments::engine_throughput_traced(
+            ThreadApi::SchedulerActivations { max_processors: 6 },
+            6,
+            small.clone(),
+            cost.clone(),
+            1,
+            Trace::disabled(),
+        )
+    });
+    let tu = best_of(3, || {
+        sa_core::experiments::engine_throughput_traced(
+            ThreadApi::SchedulerActivations { max_processors: 6 },
+            6,
+            small.clone(),
+            cost.clone(),
+            1,
+            Trace::unbounded(),
+        )
+    });
     lines.push(BenchLine::new(
         "tracing_overhead",
         td.events_per_sec(),
@@ -380,11 +471,23 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
         ),
     ));
 
-    // Queue microloops: indexed (current) vs lazy-cancellation (baseline
-    // retained in `sa_sim::event::lazy`), same push/cancel/pop mix.
+    // Queue microloops on the same cancel-heavy push/cancel/pop mix:
+    // timing wheel (production core) vs indexed heap vs the retained
+    // lazy-cancellation baseline (`sa_sim::event::lazy`). Repeats are
+    // interleaved across the three cores (and the best kept per core) so
+    // host-speed drift during the run cannot skew the ratios.
     const QOPS: u64 = 2_000_000;
-    let indexed = queue_microloop_indexed(QOPS);
-    let lazy = queue_microloop_lazy(QOPS);
+    let (mut wheel, mut indexed, mut lazy) = (0f64, 0f64, 0f64);
+    for _ in 0..3 {
+        wheel = wheel.max(queue_microloop(EventCore::Wheel, QOPS));
+        indexed = indexed.max(queue_microloop(EventCore::Indexed, QOPS));
+        lazy = lazy.max(queue_microloop_lazy(QOPS));
+    }
+    lines.push(BenchLine::new(
+        "queue_mix_wheel",
+        wheel,
+        format!("{QOPS} scheduled; {:.2}x indexed", wheel / indexed),
+    ));
     lines.push(BenchLine::new(
         "queue_mix_indexed",
         indexed,
@@ -394,6 +497,32 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
         "queue_mix_lazy_baseline",
         lazy,
         format!("{QOPS} scheduled; indexed is {:.2}x", indexed / lazy),
+    ));
+
+    // Same-tick batch dispatch at system scale (multiprogrammed 6-CPU
+    // run, wheel core; the indexed number pins the spread between cores
+    // on the batch-heaviest scenario).
+    // Interleaved for the same drift-immunity as the queue mix.
+    let mut batch_wheel = batch_dispatch_throughput(EventCore::Wheel);
+    let mut batch_indexed = batch_dispatch_throughput(EventCore::Indexed);
+    for _ in 0..2 {
+        let w = batch_dispatch_throughput(EventCore::Wheel);
+        if w.host_seconds < batch_wheel.host_seconds {
+            batch_wheel = w;
+        }
+        let i = batch_dispatch_throughput(EventCore::Indexed);
+        if i.host_seconds < batch_indexed.host_seconds {
+            batch_indexed = i;
+        }
+    }
+    lines.push(BenchLine::new(
+        "system_batch_dispatch",
+        batch_wheel.events_per_sec(),
+        format!(
+            "2-app 6-cpu run; indexed core {:.0}/s ({:.2}x of wheel)",
+            batch_indexed.events_per_sec(),
+            batch_indexed.events_per_sec() / batch_wheel.events_per_sec()
+        ),
     ));
 
     // Allocation-policy dispatch: the same §4.1 division through the
@@ -438,8 +567,17 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
         );
     }
 
+    // Record host context so absolute numbers and the sweep's speedup
+    // line are interpretable across machines: on the 1-core reference
+    // container, "speedup 0.94x" is the expected ceiling, not a
+    // regression.
+    let host = HostInfo::detect(
+        "containerized reference box; sweep speedup is bounded by available cores",
+    );
+    println!("  host cores: {} ({})", host.cores, host.note);
+
     let path = "BENCH_engine.json";
-    match write_bench_json(path, &lines) {
+    match write_bench_json_with_host(path, &lines, &host) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

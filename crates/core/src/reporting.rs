@@ -53,9 +53,53 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Host context recorded alongside benchmark lines so absolute
+/// throughput and sweep-speedup numbers are interpretable across
+/// machines (a "speedup 0.94x" sweep line on a 1-core box is expected,
+/// not a regression).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostInfo {
+    /// Logical cores available to this process (container-aware: what
+    /// `std::thread::available_parallelism` reports, which respects
+    /// cgroup CPU limits).
+    pub cores: usize,
+    /// Free-form environment note (e.g. the container/reference-box
+    /// caveat for sweep speedups).
+    pub note: String,
+}
+
+impl HostInfo {
+    /// Detects the available core count and attaches `note`.
+    pub fn detect(note: impl Into<String>) -> Self {
+        HostInfo {
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            note: note.into(),
+        }
+    }
+}
+
 /// Renders bench lines as the flat `BENCH_engine.json` document.
 pub fn bench_lines_json(lines: &[BenchLine]) -> String {
-    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    bench_lines_json_with_host(lines, None)
+}
+
+/// As [`bench_lines_json`], with an optional `host` object ahead of the
+/// benchmark list. The host line deliberately does not start with `{`,
+/// so [`parse_bench_json`] (line-oriented) skips it and older readers
+/// keep working.
+pub fn bench_lines_json_with_host(lines: &[BenchLine], host: Option<&HostInfo>) -> String {
+    let mut json = String::from("{\n");
+    if let Some(h) = host {
+        let _ = writeln!(
+            json,
+            "  \"host\": {{\"cores\": {}, \"note\": \"{}\"}},",
+            h.cores,
+            json_escape(&h.note)
+        );
+    }
+    json.push_str("  \"benchmarks\": [\n");
     for (i, l) in lines.iter().enumerate() {
         let comma = if i + 1 < lines.len() { "," } else { "" };
         let _ = writeln!(
@@ -73,6 +117,15 @@ pub fn bench_lines_json(lines: &[BenchLine]) -> String {
 /// Writes bench lines to `path` as JSON.
 pub fn write_bench_json(path: &str, lines: &[BenchLine]) -> std::io::Result<()> {
     std::fs::write(path, bench_lines_json(lines))
+}
+
+/// Writes bench lines plus host context to `path` as JSON.
+pub fn write_bench_json_with_host(
+    path: &str,
+    lines: &[BenchLine],
+    host: &HostInfo,
+) -> std::io::Result<()> {
+    std::fs::write(path, bench_lines_json_with_host(lines, Some(host)))
 }
 
 /// A deterministic fixed-width text table: first column left-aligned,
@@ -320,6 +373,31 @@ mod tests {
         assert!((parsed[0].ops_per_sec - 123456.7).abs() < 0.1);
         assert_eq!(parsed[0].detail, r#"detail "quoted" \ slash"#);
         assert_eq!(parsed[1].detail, "tab\there");
+    }
+
+    #[test]
+    fn host_info_survives_the_line_oriented_parser() {
+        // The host object must be invisible to parse_bench_json (older
+        // readers and sa-bench-check see only benchmark lines) while
+        // still being present in the document.
+        let lines = vec![BenchLine::new("queue_mix_wheel", 42.0, "detail")];
+        let host = HostInfo {
+            cores: 3,
+            note: "1-core reference \"box\"".into(),
+        };
+        let json = bench_lines_json_with_host(&lines, Some(&host));
+        assert!(json.contains("\"host\": {\"cores\": 3"));
+        assert!(json.contains(r#"reference \"box\""#));
+        let parsed = parse_bench_json(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "queue_mix_wheel");
+    }
+
+    #[test]
+    fn host_info_detect_reports_at_least_one_core() {
+        let h = HostInfo::detect("n");
+        assert!(h.cores >= 1);
+        assert_eq!(h.note, "n");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use sa_kernel::{
 use sa_machine::disk::DiskConfig;
 use sa_machine::program::ThreadBody;
 use sa_machine::CostModel;
-use sa_sim::{SimDuration, SimTime, Trace};
+use sa_sim::{EventCore, SimDuration, SimTime, Trace};
 use sa_uthread::{CriticalSectionMode, FastThreads, FtConfig, ReadyPolicyKind, SpinPolicy};
 
 /// Which thread system an application uses — the four columns of the
@@ -88,6 +88,7 @@ pub struct SystemBuilder {
     daemons: Vec<DaemonSpec>,
     disk: DiskConfig,
     seed: u64,
+    event_core: EventCore,
     run_limit: SimTime,
     trace: Option<Trace>,
     apps: Vec<AppSpec>,
@@ -105,6 +106,7 @@ impl SystemBuilder {
             daemons: Vec::new(),
             disk: DiskConfig::default(),
             seed: 0x5eed,
+            event_core: EventCore::default(),
             run_limit: SimTime::from_millis(600_000),
             trace: None,
             apps: Vec::new(),
@@ -150,6 +152,14 @@ impl SystemBuilder {
         self
     }
 
+    /// Selects the event-queue core (differential testing and benchmarking;
+    /// the cores are observationally identical, so production callers keep
+    /// the default timing wheel).
+    pub fn event_core(mut self, core: EventCore) -> Self {
+        self.event_core = core;
+        self
+    }
+
     /// Sets the hard virtual-time limit.
     pub fn run_limit(mut self, limit: SimTime) -> Self {
         self.run_limit = limit;
@@ -189,6 +199,7 @@ impl SystemBuilder {
             daemons: self.daemons,
             disk: self.disk,
             seed: self.seed,
+            event_core: self.event_core,
             run_limit: self.run_limit,
         };
         let mut kernel = Kernel::new(cfg, self.cost);

@@ -12,7 +12,8 @@ use crate::sched::ReadyQueue;
 use crate::space::{Residency, SaState, Space, SpaceKind};
 use sa_machine::{CostModel, Disk};
 use sa_sim::{
-    CpuState, EventQueue, EventToken, SimRng, SimTime, TimeLedger, Trace, TraceEvent, WaitKind,
+    BatchStart, CpuState, EventQueue, EventToken, SimRng, SimTime, TimeLedger, Trace, TraceEvent,
+    WaitKind,
 };
 
 /// Priority of kernel daemon threads: above every application space.
@@ -96,6 +97,11 @@ pub struct Kernel {
     pub(crate) share_rotation: u32,
     /// A `RotateShares` event is outstanding.
     pub(crate) rotation_armed: bool,
+    /// Non-daemon spaces created / finished. The run loop asks "are all
+    /// application spaces done?" after every event; two counters answer
+    /// in O(1) instead of scanning the space table.
+    app_spaces: usize,
+    app_spaces_done: usize,
     /// The processor-allocation policy (built from
     /// [`KernelConfig::alloc_policy`]; the mechanism in `alloc.rs` asks
     /// it for targets and grant picks).
@@ -122,10 +128,11 @@ impl Kernel {
         let disk = Disk::new(cfg.disk);
         let rng = SimRng::new(cfg.seed);
         let alloc_policy = cfg.alloc_policy.build();
+        let q = EventQueue::with_core(cfg.event_core);
         let mut kernel = Kernel {
             cfg,
             cost,
-            q: EventQueue::new(),
+            q,
             rng,
             trace: Trace::disabled(),
             cpus,
@@ -140,6 +147,8 @@ impl Kernel {
             ledger: TimeLedger::new(n_cpus),
             share_rotation: 0,
             rotation_armed: false,
+            app_spaces: 0,
+            app_spaces_done: 0,
             alloc_policy,
             started: false,
         };
@@ -266,6 +275,7 @@ impl Kernel {
             is_daemon_space: false,
             metrics: SpaceMetrics::default(),
         };
+        self.app_spaces += 1;
         self.spaces.push(space);
         if let Some(main) = pending_main {
             // Kernel-direct: create the main kernel thread now (readied at
@@ -361,6 +371,16 @@ impl Kernel {
 
     /// Runs until every application space finishes, the event queue drains,
     /// or the configured time limit is hit.
+    ///
+    /// Each iteration stages one simultaneity class (all events at the next
+    /// timestamp) with `pop_batch_within` — the limit check is fused into
+    /// the staging walk — and applies it without re-entering the queue's
+    /// extraction machinery per event. Events scheduled mid-batch —
+    /// even at the same timestamp — land in the *next* batch, so the
+    /// delivery order (and hence every trace, metric, and golden output) is
+    /// byte-identical to the old one-pop-per-iteration loop; the batch's
+    /// shared timestamp also means the done/limit checks hoisted to batch
+    /// granularity decide exactly as they did per event.
     pub fn run(&mut self) -> RunOutcome {
         if !self.started {
             self.started = true;
@@ -373,26 +393,37 @@ impl Kernel {
                     deadlocked: false,
                 };
             }
-            let Some(t) = self.q.peek_time() else {
-                return RunOutcome {
-                    end: self.q.now(),
-                    timed_out: false,
-                    deadlocked: true,
-                };
-            };
-            if t > self.cfg.run_limit {
-                return RunOutcome {
-                    end: self.q.now(),
-                    timed_out: true,
-                    deadlocked: false,
-                };
+            match self.q.pop_batch_within(self.cfg.run_limit) {
+                BatchStart::Empty => {
+                    return RunOutcome {
+                        end: self.q.now(),
+                        timed_out: false,
+                        deadlocked: true,
+                    };
+                }
+                BatchStart::Deferred(_) => {
+                    return RunOutcome {
+                        end: self.q.now(),
+                        timed_out: true,
+                        deadlocked: false,
+                    };
+                }
+                BatchStart::Started(_) => {}
             }
-            let (_, ev) = self.q.pop().expect("peeked event vanished");
-            self.metrics.events.inc();
-            self.handle_event(ev);
-            self.check_quiescence();
-            #[cfg(debug_assertions)]
-            self.check_invariants();
+            while let Some(ev) = self.q.batch_pop() {
+                self.metrics.events.inc();
+                self.handle_event(ev);
+                self.check_quiescence();
+                #[cfg(debug_assertions)]
+                self.check_invariants();
+                if self.all_app_spaces_done() {
+                    return RunOutcome {
+                        end: self.q.now(),
+                        timed_out: false,
+                        deadlocked: false,
+                    };
+                }
+            }
         }
     }
 
@@ -426,17 +457,20 @@ impl Kernel {
     }
 
     fn all_app_spaces_done(&self) -> bool {
-        let mut any = false;
-        for s in &self.spaces {
-            if s.is_daemon_space {
-                continue;
-            }
-            any = true;
-            if !s.done {
-                return false;
-            }
-        }
-        any
+        debug_assert_eq!(
+            self.app_spaces,
+            self.spaces.iter().filter(|s| !s.is_daemon_space).count(),
+            "app-space counter drift"
+        );
+        debug_assert_eq!(
+            self.app_spaces_done,
+            self.spaces
+                .iter()
+                .filter(|s| !s.is_daemon_space && s.done)
+                .count(),
+            "app-space done-counter drift"
+        );
+        self.app_spaces > 0 && self.app_spaces_done == self.app_spaces
     }
 
     /// Detects freshly quiescent spaces and retires them.
@@ -501,6 +535,9 @@ impl Kernel {
         self.trace
             .event(now, || TraceEvent::SpaceDone { space: id.0 });
         self.spaces[id.index()].done = true;
+        if !self.spaces[id.index()].is_daemon_space {
+            self.app_spaces_done += 1;
+        }
         self.spaces[id.index()].completed_at = Some(now);
         // Any threads still on the gauges are being destroyed, not served:
         // stop the wait clocks.

@@ -1,0 +1,104 @@
+//! The original lazy-cancellation design, retained as a benchmark
+//! baseline and differential-testing reference.
+//!
+//! Not part of the public API contract; see `benches/simulator_micro.rs`
+//! and the `engine-bench` experiment for how the wheel and indexed cores
+//! are compared against it.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Token of the lazy queue (a bare sequence number).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LazyToken(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The pre-overhaul queue: `BinaryHeap` + lazy-cancel `HashSet`.
+pub struct LazyEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Sequence numbers currently in the heap and not cancelled. Lets
+    /// [`LazyEventQueue::cancel`] report whether it hit a live event —
+    /// matching the eager cores' API for the differential tests — without
+    /// changing the lazy reaping itself.
+    live: HashSet<u64>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+}
+
+impl<E> Default for LazyEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> LazyEventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        LazyEventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules an event.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> LazyToken {
+        assert!(time >= self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        self.live.insert(seq);
+        LazyToken(seq)
+    }
+
+    /// Marks a token dead; the heap entry is reaped at pop time. Returns
+    /// whether a live event was actually cancelled (stale tokens — already
+    /// fired or already cancelled — are no-ops).
+    pub fn cancel(&mut self, token: LazyToken) -> bool {
+        if self.live.remove(&token.0) {
+            self.cancelled.insert(token.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the next live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live.remove(&entry.seq);
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+}

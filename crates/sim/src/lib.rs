@@ -17,7 +17,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use event::{EventQueue, EventToken};
+pub use event::{BatchStart, EventCore, EventQueue, EventToken};
 pub use ledger::{CpuState, TimeLedger, WaitKind};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -36,7 +36,6 @@ use sa_machine::ids::{CvId, LockId};
 use sa_machine::program::{Op, OpResult, StepEnv, ThreadBody};
 use sa_machine::CostModel;
 use sa_sim::{SimDuration, TraceEvent};
-use std::collections::HashMap;
 
 /// The user-level thread package.
 pub struct FastThreads {
@@ -72,8 +71,14 @@ pub struct FastThreads {
     /// Reusable buffer for condition-variable broadcast wakeups; empty
     /// between calls.
     scratch_cv: Vec<(UtId, LockId)>,
-    locks: HashMap<LockId, ULock>,
-    cvs: HashMap<CvId, UCv>,
+    /// Lock table indexed by `LockId` (workload lock ids are small and
+    /// dense; `None` marks ids never used). A direct-indexed table —
+    /// the `HashMap` it replaces paid a hash per lock operation, which
+    /// showed up in the engine's event-loop profile.
+    locks: Vec<Option<ULock>>,
+    /// Condition-variable table indexed by `CvId`; same layout rationale
+    /// as `locks`.
+    cvs: Vec<Option<UCv>>,
     /// The main thread, created at `set_main`, waiting for the first VP.
     boot_thread: Option<UtId>,
     /// Runnable + running + spinning threads.
@@ -113,8 +118,8 @@ impl FastThreads {
             scratch_cont: Vec::new(),
             scratch_tasks: Vec::new(),
             scratch_cv: Vec::new(),
-            locks: HashMap::new(),
-            cvs: HashMap::new(),
+            locks: Vec::new(),
+            cvs: Vec::new(),
             boot_thread: None,
             busy: 0,
             live: 0,
@@ -265,6 +270,33 @@ impl FastThreads {
             self.early_unblocks.resize(vp.index() + 1, 0);
         }
         &mut self.early_unblocks[vp.index()]
+    }
+
+    /// The lock's state in `locks`, created empty on first use. A free
+    /// function over the field so callers keep disjoint borrows of the
+    /// rest of `self` (as `HashMap::entry` allowed).
+    fn lock_slot(locks: &mut Vec<Option<ULock>>, l: LockId) -> &mut ULock {
+        debug_assert_ne!(l, LockId::NONE, "lock table access with the NONE sentinel");
+        let i = l.index();
+        if locks.len() <= i {
+            locks.resize_with(i + 1, || None);
+        }
+        locks[i].get_or_insert_with(ULock::default)
+    }
+
+    /// The known lock's state, `None` for ids never used.
+    fn lock_get_mut(&mut self, l: LockId) -> Option<&mut ULock> {
+        self.locks.get_mut(l.index())?.as_mut()
+    }
+
+    /// The condition variable's state in `cvs`, created empty on first
+    /// use; same borrow shape as [`FastThreads::lock_slot`].
+    fn cv_slot(cvs: &mut Vec<Option<UCv>>, cv: CvId) -> &mut UCv {
+        let i = cv.index();
+        if cvs.len() <= i {
+            cvs.resize_with(i + 1, || None);
+        }
+        cvs[i].get_or_insert_with(UCv::default)
     }
 
     /// Binds a VP to a slot (reusing an inactive slot if possible).
@@ -641,7 +673,7 @@ impl FastThreads {
     fn finish_acquire(&mut self, slot: usize, l: LockId, env: &mut RtEnv<'_>) {
         let _ = env; // the fast path makes no kernel requests
         let t = self.slots[slot].current.expect("acquire without thread");
-        let lock = self.locks.entry(l).or_default();
+        let lock = Self::lock_slot(&mut self.locks, l);
         match lock.holder {
             None => {
                 lock.holder = Some(t);
@@ -702,7 +734,7 @@ impl FastThreads {
         self.slots[slot].spin = None;
         let t = self.slots[slot].current.expect("spin without thread");
         self.tcbs[t.index()].spinning_on = None;
-        let lock = self.locks.entry(l).or_default();
+        let lock = Self::lock_slot(&mut self.locks, l);
         if lock.holder == Some(t) {
             // Granted at the last moment; take it.
             self.tcbs[t.index()].locks_held += 1;
@@ -718,7 +750,7 @@ impl FastThreads {
     }
 
     fn block_on_lock(&mut self, slot: usize, t: UtId, l: LockId) {
-        self.locks.entry(l).or_default().waiters.push_back(t);
+        Self::lock_slot(&mut self.locks, l).waiters.push_back(t);
         self.tcbs[t.index()].state = UtState::BlockedLock(l);
         self.slots[slot].current = None;
         self.busy -= 1;
@@ -731,7 +763,7 @@ impl FastThreads {
             debug_assert!(*held > 0, "release while holding no locks");
             *held = held.saturating_sub(1);
         }
-        let lock = self.locks.get_mut(&l).expect("release of unknown lock");
+        let lock = self.lock_get_mut(l).expect("release of unknown lock");
         debug_assert_eq!(lock.holder, Some(t), "release by non-holder");
         match lock.hand_off() {
             HandOff::None => {}
@@ -763,7 +795,7 @@ impl FastThreads {
 
     fn finish_cv_wait(&mut self, slot: usize, cv: CvId, lock: LockId, env: &mut RtEnv<'_>) {
         let t = self.slots[slot].current.expect("wait without thread");
-        let c = self.cvs.entry(cv).or_default();
+        let c = Self::cv_slot(&mut self.cvs, cv);
         if c.banked > 0 {
             // Equivalent to an immediate (spurious) wakeup; the lock is
             // kept. Mesa-style users re-check their predicate.
@@ -791,7 +823,7 @@ impl FastThreads {
             debug_assert!(*held > 0, "cv wait without holding the lock");
             *held -= 1;
         }
-        let lock = self.locks.get_mut(&l).expect("wait with unknown lock");
+        let lock = self.lock_get_mut(l).expect("wait with unknown lock");
         debug_assert_eq!(lock.holder, Some(t));
         match lock.hand_off() {
             HandOff::None => {}
@@ -816,7 +848,7 @@ impl FastThreads {
     }
 
     fn finish_cv_signal(&mut self, slot: usize, cv: CvId, env: &mut RtEnv<'_>) {
-        let c = self.cvs.entry(cv).or_default();
+        let c = Self::cv_slot(&mut self.cvs, cv);
         match c.waiters.pop_front() {
             None => c.banked += 1,
             Some((w, lock)) => self.wake_cv_waiter(slot, w, lock, env),
@@ -830,7 +862,7 @@ impl FastThreads {
         // on the signal path.
         debug_assert!(self.scratch_cv.is_empty());
         let mut waiters = std::mem::take(&mut self.scratch_cv);
-        waiters.extend(self.cvs.entry(cv).or_default().waiters.drain(..));
+        waiters.extend(Self::cv_slot(&mut self.cvs, cv).waiters.drain(..));
         for (w, lock) in waiters.drain(..) {
             self.wake_cv_waiter(slot, w, lock, env);
         }
@@ -841,7 +873,7 @@ impl FastThreads {
     /// on the way) or moves onto the mutex's wait queue.
     fn wake_cv_waiter(&mut self, slot: usize, w: UtId, lock: LockId, env: &mut RtEnv<'_>) {
         if lock != NO_LOCK {
-            let l = self.locks.entry(lock).or_default();
+            let l = Self::lock_slot(&mut self.locks, lock);
             if l.holder.is_some() {
                 l.waiters.push_back(w);
                 self.tcbs[w.index()].state = UtState::BlockedLock(lock);
@@ -1010,7 +1042,7 @@ impl FastThreads {
                     .spinning_on
                     .take()
                     .expect("spinning thread without a target lock");
-                if let Some(l) = self.locks.get_mut(&lock) {
+                if let Some(l) = self.lock_get_mut(lock) {
                     l.remove_spinner(t);
                 }
                 self.clear_spin_micros(t);
@@ -1263,7 +1295,7 @@ impl UserRuntime for FastThreads {
                         // Drop the pending spin remainder, if any, and
                         // re-run the acquire: the releaser made us holder.
                         self.clear_spin_micros(t);
-                        let l = self.locks.entry(lock).or_default();
+                        let l = Self::lock_slot(&mut self.locks, lock);
                         l.remove_spinner(t);
                         self.tcbs[t.index()].spinning_on = None;
                         self.tcbs[t.index()].state = UtState::Running;
@@ -1359,7 +1391,12 @@ impl UserRuntime for FastThreads {
             self.notified_want_more,
             self.discard_backlog
         );
-        for (l, lk) in &self.locks {
+        for (l, lk) in self
+            .locks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| Some((LockId(i as u32), l.as_ref()?)))
+        {
             let _ = writeln!(
                 out,
                 "lock {l}: holder={:?} (state {:?}) spinners={} waiters={}",

@@ -11,7 +11,7 @@
 
 use sa_machine::ids::BlockId;
 use sa_sim::SimDuration;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// The paper's buffer-cache miss penalty.
 pub const MISS_PENALTY: SimDuration = SimDuration::from_millis(50);
@@ -20,9 +20,13 @@ pub const MISS_PENALTY: SimDuration = SimDuration::from_millis(50);
 #[derive(Debug)]
 pub struct BufCache {
     capacity: usize,
-    /// Block → recency stamp.
-    resident: HashMap<BlockId, u64>,
-    /// LRU order (may contain stale entries; validated against `resident`).
+    /// Recency stamp per block, indexed by `BlockId` (0 = not resident).
+    /// Block ids are small and dense (the workload numbers its dataset
+    /// from zero), so a direct-indexed table replaces per-access hashing.
+    stamps: Vec<u64>,
+    /// Blocks currently resident (`stamps[b] != 0`).
+    resident: usize,
+    /// LRU order (may contain stale entries; validated against `stamps`).
     order: VecDeque<(BlockId, u64)>,
     clock: u64,
     hits: u64,
@@ -35,7 +39,8 @@ impl BufCache {
     pub fn new(capacity: usize) -> Self {
         BufCache {
             capacity,
-            resident: HashMap::new(),
+            stamps: Vec::new(),
+            resident: 0,
             order: VecDeque::new(),
             clock: 0,
             hits: 0,
@@ -57,9 +62,20 @@ impl BufCache {
     pub fn prewarm(&mut self) {
         for b in 0..self.capacity {
             self.clock += 1;
-            self.resident.insert(BlockId(b as u32), self.clock);
-            self.order.push_back((BlockId(b as u32), self.clock));
+            let stamp = self.clock;
+            *self.stamp_mut(BlockId(b as u32)) = stamp;
+            self.resident += 1;
+            self.order.push_back((BlockId(b as u32), stamp));
         }
+    }
+
+    /// The block's stamp cell, growing the table on first sight of an id.
+    fn stamp_mut(&mut self, block: BlockId) -> &mut u64 {
+        let i = block.0 as usize;
+        if self.stamps.len() <= i {
+            self.stamps.resize(i + 1, 0);
+        }
+        &mut self.stamps[i]
     }
 
     /// Accesses a block: returns true on a hit. On a miss, the block is
@@ -71,14 +87,17 @@ impl BufCache {
             self.misses += 1;
             return false;
         }
-        let hit = self.resident.contains_key(&block);
-        self.resident.insert(block, self.clock);
-        self.order.push_back((block, self.clock));
+        let stamp = self.clock;
+        let cell = self.stamp_mut(block);
+        let hit = *cell != 0;
+        *cell = stamp;
+        self.order.push_back((block, stamp));
         if hit {
             self.hits += 1;
         } else {
             self.misses += 1;
-            while self.resident.len() > self.capacity {
+            self.resident += 1;
+            while self.resident > self.capacity {
                 self.evict_lru();
             }
         }
@@ -91,17 +110,18 @@ impl BufCache {
 
     fn evict_lru(&mut self) {
         while let Some((b, stamp)) = self.order.pop_front() {
-            if self.resident.get(&b) == Some(&stamp) {
-                self.resident.remove(&b);
+            if self.stamps[b.0 as usize] == stamp {
+                self.stamps[b.0 as usize] = 0;
+                self.resident -= 1;
                 return;
             }
         }
     }
 
     fn compact(&mut self) {
-        let resident = &self.resident;
+        let stamps = &self.stamps;
         self.order
-            .retain(|(b, stamp)| resident.get(b) == Some(stamp));
+            .retain(|(b, stamp)| stamps[b.0 as usize] == *stamp);
     }
 
     /// Hits so far.
@@ -126,12 +146,12 @@ impl BufCache {
 
     /// Number of resident blocks.
     pub fn len(&self) -> usize {
-        self.resident.len()
+        self.resident
     }
 
     /// True when nothing is resident.
     pub fn is_empty(&self) -> bool {
-        self.resident.is_empty()
+        self.resident == 0
     }
 
     /// Configured capacity.
