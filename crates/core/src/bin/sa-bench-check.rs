@@ -6,8 +6,12 @@
 //!
 //! Prints one row per baseline benchmark with the throughput ratio and a
 //! verdict, then exits nonzero if any benchmark regressed past the noise
-//! threshold or disappeared. Benchmarks new in the current file are
-//! ignored (a new benchmark cannot regress).
+//! threshold or disappeared. Moves past the threshold in the *good*
+//! direction are reported as `improved` (still exit 0) with a reminder
+//! to refresh the committed baseline. Benchmarks named `bytes_*` report
+//! footprints, where lower is better and the directions mirror.
+//! Benchmarks new in the current file are ignored (a new benchmark
+//! cannot regress).
 //!
 //! The default threshold (0.3: a benchmark may lose up to 30% before the
 //! gate trips) is sized for host-side throughput numbers measured on
@@ -104,9 +108,14 @@ fn main() {
     let deltas = compare_benches(&baseline, &current, opts.threshold);
     let mut t = Table::new(&["benchmark", "baseline/s", "current/s", "ratio", "verdict"]);
     let mut failed = false;
+    let mut improved = 0usize;
     for d in &deltas {
         let verdict = match d.verdict {
             BenchVerdict::Ok => "ok",
+            BenchVerdict::Improved => {
+                improved += 1;
+                "improved"
+            }
             BenchVerdict::Regressed => {
                 failed = true;
                 "REGRESSED"
@@ -126,7 +135,8 @@ fn main() {
     }
     print!("{}", t.render());
     println!(
-        "threshold: a benchmark may lose up to {:.0}% before the gate trips",
+        "threshold: a benchmark may move up to {:.0}% against its good direction \
+         before the gate trips (bytes_* lines: lower is better)",
         opts.threshold * 100.0
     );
     if failed {
@@ -136,5 +146,17 @@ fn main() {
         );
         std::process::exit(1);
     }
-    println!("sa-bench-check: ok ({} benchmarks)", deltas.len());
+    if improved > 0 {
+        // Improvements pass the gate, but say so out loud: a benchmark
+        // holding past the noise band is the cue to refresh the committed
+        // baseline so the gate tracks the better number.
+        println!(
+            "sa-bench-check: {improved} improved past the threshold — \
+             consider refreshing the committed baseline"
+        );
+    }
+    println!(
+        "sa-bench-check: ok ({} benchmarks, {improved} improved)",
+        deltas.len()
+    );
 }

@@ -279,12 +279,23 @@ fn extract_number_field(line: &str, key: &str) -> Option<f64> {
 /// baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BenchVerdict {
-    /// Within the noise threshold (or faster).
+    /// Within the noise threshold.
     Ok,
-    /// Slower than `baseline × (1 − threshold)`.
+    /// Better than the baseline by more than the noise threshold
+    /// (faster, or a smaller footprint for lower-is-better lines).
+    Improved,
+    /// Worse than the baseline by more than the noise threshold.
     Regressed,
     /// Present in the baseline but missing from the candidate.
     Missing,
+}
+
+/// Whether a benchmark line measures a footprint rather than a rate.
+/// By convention, names starting with `bytes_` (e.g. `bytes_per_thread`)
+/// report resident bytes in `ops_per_sec`, so *smaller* is better and
+/// the regression direction inverts.
+pub fn lower_is_better(name: &str) -> bool {
+    name.starts_with("bytes_")
 }
 
 /// One row of a baseline/candidate comparison.
@@ -303,9 +314,13 @@ pub struct BenchDelta {
 }
 
 /// Compares `current` against `baseline` with a relative noise
-/// `threshold` (e.g. 0.3 = a benchmark may lose up to 30% before it
-/// counts as a regression — same-machine reruns of this event-loop
-/// workload jitter well under that; see `EXPERIMENTS.md`).
+/// `threshold` (e.g. 0.3 = a benchmark may move up to 30% against its
+/// good direction before it counts as a regression — same-machine
+/// reruns of this event-loop workload jitter well under that; see
+/// `EXPERIMENTS.md`). Moves past the threshold in the *good* direction
+/// are reported as [`BenchVerdict::Improved`], the cue to refresh the
+/// committed baseline so the gate tracks the better number. Throughput
+/// lines want a high ratio; [`lower_is_better`] names want a low one.
 /// Benchmarks only in `current` are ignored: new benchmarks cannot
 /// regress. Returns one delta per baseline entry, in baseline order.
 pub fn compare_benches(
@@ -331,8 +346,17 @@ pub fn compare_benches(
                     } else {
                         1.0
                     };
-                    let verdict = if ratio < 1.0 - threshold {
+                    // A footprint line regresses by growing; a rate line
+                    // by shrinking. Same threshold, mirrored directions.
+                    let (bad, good) = if lower_is_better(&b.name) {
+                        (ratio > 1.0 + threshold, ratio < 1.0 - threshold)
+                    } else {
+                        (ratio < 1.0 - threshold, ratio > 1.0 + threshold)
+                    };
+                    let verdict = if bad {
                         BenchVerdict::Regressed
+                    } else if good {
+                        BenchVerdict::Improved
                     } else {
                         BenchVerdict::Ok
                     };
@@ -424,6 +448,39 @@ mod tests {
         assert_eq!(deltas[1].verdict, BenchVerdict::Missing);
         assert_eq!(deltas[2].verdict, BenchVerdict::Regressed);
         assert!((deltas[2].ratio - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_reports_improvements_past_threshold() {
+        let base = vec![
+            BenchLine::new("jumped", 100.0, ""),
+            BenchLine::new("steady", 100.0, ""),
+        ];
+        let cur = vec![
+            BenchLine::new("jumped", 150.0, ""),
+            BenchLine::new("steady", 129.9, ""),
+        ];
+        let deltas = compare_benches(&base, &cur, 0.3);
+        assert_eq!(deltas[0].verdict, BenchVerdict::Improved);
+        assert!((deltas[0].ratio - 1.5).abs() < 1e-9);
+        // Exactly at baseline × (1 + threshold) is still Ok, not Improved.
+        assert_eq!(deltas[1].verdict, BenchVerdict::Ok);
+    }
+
+    #[test]
+    fn bytes_lines_regress_in_the_opposite_direction() {
+        assert!(lower_is_better("bytes_per_thread"));
+        assert!(!lower_is_better("thread_churn_1m"));
+        let base = vec![BenchLine::new("bytes_per_thread", 100.0, "")];
+        // Growing footprint past the threshold: regression.
+        let grew = compare_benches(&base, &[BenchLine::new("bytes_per_thread", 140.0, "")], 0.3);
+        assert_eq!(grew[0].verdict, BenchVerdict::Regressed);
+        // Shrinking footprint past the threshold: improvement.
+        let shrank = compare_benches(&base, &[BenchLine::new("bytes_per_thread", 60.0, "")], 0.3);
+        assert_eq!(shrank[0].verdict, BenchVerdict::Improved);
+        // Inside the band either way: Ok.
+        let steady = compare_benches(&base, &[BenchLine::new("bytes_per_thread", 120.0, "")], 0.3);
+        assert_eq!(steady[0].verdict, BenchVerdict::Ok);
     }
 
     #[test]

@@ -89,6 +89,7 @@ pub struct SystemBuilder {
     disk: DiskConfig,
     seed: u64,
     event_core: EventCore,
+    dyn_policies: bool,
     run_limit: SimTime,
     trace: Option<Trace>,
     apps: Vec<AppSpec>,
@@ -107,6 +108,7 @@ impl SystemBuilder {
             disk: DiskConfig::default(),
             seed: 0x5eed,
             event_core: EventCore::default(),
+            dyn_policies: false,
             run_limit: SimTime::from_millis(600_000),
             trace: None,
             apps: Vec::new(),
@@ -172,6 +174,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Routes the allocation and ready policies through their original
+    /// `Box<dyn>` trait objects instead of the enum-dispatched fast path.
+    /// Observationally equivalent by construction; differential tests run
+    /// both shapes and diff the traces.
+    pub fn dyn_policies(mut self, on: bool) -> Self {
+        self.dyn_policies = on;
+        self
+    }
+
     /// Adds an application.
     pub fn app(mut self, app: AppSpec) -> Self {
         self.apps.push(app);
@@ -203,6 +214,9 @@ impl SystemBuilder {
             run_limit: self.run_limit,
         };
         let mut kernel = Kernel::new(cfg, self.cost);
+        if self.dyn_policies {
+            kernel.set_alloc_policy(self.alloc_policy.build());
+        }
         if let Some(trace) = self.trace {
             kernel.set_trace(trace);
         }
@@ -223,8 +237,13 @@ impl SystemBuilder {
                     cfg.lock_policy = app.lock_policy;
                     cfg.priority_scheduling = app.priority_scheduling;
                     cfg.ready_policy = app.ready_policy;
+                    let ready_kind = cfg.ready_policy;
+                    let mut rt = FastThreads::new(cfg);
+                    if self.dyn_policies {
+                        rt.set_ready_policy(ready_kind.build());
+                    }
                     SpaceKindSpec::UserLevel {
-                        runtime: Box::new(FastThreads::new(cfg)),
+                        runtime: Box::new(rt),
                         main: app.main,
                     }
                 }
@@ -234,8 +253,13 @@ impl SystemBuilder {
                     cfg.lock_policy = app.lock_policy;
                     cfg.priority_scheduling = app.priority_scheduling;
                     cfg.ready_policy = app.ready_policy;
+                    let ready_kind = cfg.ready_policy;
+                    let mut rt = FastThreads::new(cfg);
+                    if self.dyn_policies {
+                        rt.set_ready_policy(ready_kind.build());
+                    }
                     SpaceKindSpec::UserLevel {
-                        runtime: Box::new(FastThreads::new(cfg)),
+                        runtime: Box::new(rt),
                         main: app.main,
                     }
                 }
@@ -334,9 +358,21 @@ impl System {
         self.kernel.runtime_ready_wait_ns(app.0)
     }
 
+    /// Resident TCB-slab footprint of an application's user runtime
+    /// (`None` for kernel-direct applications).
+    pub fn tcb_slab_stats(&self, app: AppId) -> Option<sa_kernel::upcall::TcbSlabStats> {
+        self.kernel.runtime_tcb_slab_stats(app.0)
+    }
+
     /// Access to the underlying kernel (trace, global metrics, time).
     pub fn kernel(&self) -> &Kernel {
         &self.kernel
+    }
+
+    /// Mutable access to the underlying kernel (policy injection in
+    /// differential tests).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
     }
 }
 

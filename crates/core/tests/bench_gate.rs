@@ -45,7 +45,7 @@ fn passes_identical_runs_and_fails_injected_regression() {
     // Identical rerun: ok.
     let (code, text) = run_check(&baseline, &baseline, &[]);
     assert_eq!(code, 0, "identical runs must pass:\n{text}");
-    assert!(text.contains("ok (2 benchmarks)"), "{text}");
+    assert!(text.contains("ok (2 benchmarks, 0 improved)"), "{text}");
 
     // Small same-machine jitter (-10%): still ok at the default threshold.
     let jitter = write_fixture("jitter.json", &bench_json(14_400_000.0));
@@ -62,7 +62,17 @@ fn passes_identical_runs_and_fails_injected_regression() {
     let (code, text) = run_check(&baseline, &regressed, &["--threshold", "0.9"]);
     assert_eq!(code, 0, "loose threshold must pass:\n{text}");
 
-    for p in [baseline, jitter, regressed] {
+    // A large improvement (+60%) passes and is called out as such.
+    let improved = write_fixture("improved.json", &bench_json(25_600_000.0));
+    let (code, text) = run_check(&baseline, &improved, &[]);
+    assert_eq!(code, 0, "improvement must pass:\n{text}");
+    assert!(text.contains("improved"), "{text}");
+    assert!(
+        text.contains("1 improved past the threshold"),
+        "improvement summary missing:\n{text}"
+    );
+
+    for p in [baseline, jitter, regressed, improved] {
         let _ = std::fs::remove_file(p);
     }
 }

@@ -55,7 +55,7 @@ impl Kernel {
                     .filter(|c| {
                         c.assigned == Some(id)
                             && matches!(c.running, Running::Kt(kt)
-                                if self.kts[kt.index()].space == id)
+                                if self.kts.hot[kt.index()].space == id)
                     })
                     .count() as u32;
                 s.ready.len() as u32 + running

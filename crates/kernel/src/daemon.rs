@@ -58,12 +58,18 @@ impl Kernel {
             completed_at: None,
             started_at: None,
             is_daemon_space: true,
+            dc: crate::interp::DirectCosts::resolve(
+                &self.cost,
+                &SpaceKind::KernelDirect {
+                    flavor: KernelFlavor::TopazThreads,
+                },
+            ),
             metrics: SpaceMetrics::default(),
         });
         let specs = self.cfg.daemons.clone();
         for (i, spec) in specs.iter().enumerate() {
             let kt = self.new_kthread(id, DAEMON_PRIO, KtFlavor::Daemon(i as u32));
-            self.kts[kt.index()].state = KtState::Blocked(BlockKind::DaemonSleep);
+            self.kts.hot[kt.index()].state = KtState::Blocked(BlockKind::DaemonSleep);
             self.daemons.push(DaemonState { kt, spec: *spec });
             // Stagger first wakeups across the period.
             let first = spec
@@ -82,7 +88,7 @@ impl Kernel {
     pub(crate) fn on_daemon_wake(&mut self, idx: usize) {
         let kt = self.daemons[idx].kt;
         if !matches!(
-            self.kts[kt.index()].state,
+            self.kts.hot[kt.index()].state,
             KtState::Blocked(BlockKind::DaemonSleep)
         ) {
             // Still running its previous burst (overload); try again later.
@@ -97,7 +103,7 @@ impl Kernel {
 
     /// Refills a daemon thread: one burst, then back to sleep.
     pub(crate) fn refill_daemon(&mut self, kt: KtId) {
-        let idx = match self.kts[kt.index()].flavor {
+        let idx = match self.kts.hot[kt.index()].flavor {
             KtFlavor::Daemon(i) => i as usize,
             _ => unreachable!("refill_daemon on non-daemon"),
         };
@@ -108,14 +114,14 @@ impl Kernel {
             kind: WorkKind::UserWork,
             cookie: 0,
         };
-        let p = &mut self.kts[kt.index()].pipeline;
+        let p = &mut self.kts.cold[kt.index()].pipeline;
         p.push_back(Micro::Seg(seg));
         p.push_back(Micro::Eff(Effect::DaemonSleep));
     }
 
     /// Puts the daemon back to sleep and schedules the next wakeup.
     pub(crate) fn eff_daemon_sleep(&mut self, cpu: usize, kt: KtId) {
-        let idx = match self.kts[kt.index()].flavor {
+        let idx = match self.kts.hot[kt.index()].flavor {
             KtFlavor::Daemon(i) => i as usize,
             _ => unreachable!("daemon sleep on non-daemon"),
         };

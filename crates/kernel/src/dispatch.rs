@@ -25,7 +25,7 @@ impl Kernel {
         // the unit lookup off the disabled hot path).
         if self.trace.is_enabled() {
             let space = match self.cpus[cpu].running {
-                Running::Kt(kt) => Some(self.kts[kt.index()].space.0),
+                Running::Kt(kt) => Some(self.kts.hot[kt.index()].space.0),
                 Running::Act(a) => Some(self.acts[a.index()].space.0),
                 Running::Idle => None,
             };
@@ -51,12 +51,11 @@ impl Kernel {
     /// nanosecond exactly once).
     pub(crate) fn charge_seg(&mut self, cpu: usize, seg: Seg, dur: SimDuration) {
         let space = match self.cpus[cpu].running {
-            Running::Kt(kt) => Some(self.kts[kt.index()].space),
+            Running::Kt(kt) => Some(self.kts.hot[kt.index()].space),
             Running::Act(a) => Some(self.acts[a.index()].space),
             Running::Idle => None,
         };
-        self.ledger
-            .charge(cpu, space.map(|s| s.index()), seg.ledger_state(), dur);
+        self.charge_cpu(cpu, space.map(|s| s.index()), seg.ledger_state(), dur);
         if let Some(s) = space {
             if seg.preemptible {
                 self.spaces[s.index()].metrics.charge(seg.kind, dur);
@@ -94,12 +93,12 @@ impl Kernel {
                 }
                 Running::Kt(kt) => {
                     // Honour a deferred time-slice preemption.
-                    if self.kts[kt.index()].pending_preempt {
-                        self.kts[kt.index()].pending_preempt = false;
+                    if self.kts.hot[kt.index()].pending_preempt {
+                        self.kts.hot[kt.index()].pending_preempt = false;
                         self.preempt_kt_to_queue(cpu, kt);
                         continue;
                     }
-                    match self.kts[kt.index()].pipeline.pop_front() {
+                    match self.kts.cold[kt.index()].pipeline.pop_front() {
                         Some(Micro::Seg(seg)) => {
                             self.start_seg(cpu, seg);
                             return;
@@ -109,7 +108,10 @@ impl Kernel {
                             continue;
                         }
                         None => {
-                            self.refill_kt(cpu, kt);
+                            if let Some(seg) = self.refill_kt(cpu, kt) {
+                                self.start_seg(cpu, seg);
+                                return;
+                            }
                             continue;
                         }
                     }
@@ -124,7 +126,10 @@ impl Kernel {
                         continue;
                     }
                     None => {
-                        self.refill_act(cpu, a);
+                        if let Some(seg) = self.refill_act(cpu, a) {
+                            self.start_seg(cpu, seg);
+                            return;
+                        }
                         continue;
                     }
                 },
@@ -204,11 +209,11 @@ impl Kernel {
     /// Puts `kt` on `cpu` and begins executing it.
     pub(crate) fn dispatch_kt(&mut self, cpu: usize, kt: KtId) {
         debug_assert!(matches!(self.cpus[cpu].running, Running::Idle));
-        debug_assert_eq!(self.kts[kt.index()].state, KtState::Ready);
+        debug_assert_eq!(self.kts.hot[kt.index()].state, KtState::Ready);
         self.end_idle(cpu);
-        self.kts[kt.index()].state = KtState::Running(cpu as u16);
+        self.kts.hot[kt.index()].state = KtState::Running(cpu as u16);
         self.cpus[cpu].running = Running::Kt(kt);
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         self.spaces[space.index()].metrics.kt_switches.inc();
         self.trace.event(self.q.now(), || TraceEvent::Dispatch {
             cpu: cpu as u32,
@@ -222,7 +227,7 @@ impl Kernel {
     /// applies (it never applies to daemons — they sleep voluntarily).
     fn arm_quantum(&mut self, cpu: usize, kt: KtId) {
         if matches!(
-            self.kts[kt.index()].flavor,
+            self.kts.hot[kt.index()].flavor,
             crate::exec::KtFlavor::Daemon(_)
         ) {
             return;
@@ -242,11 +247,11 @@ impl Kernel {
         let Running::Kt(kt) = self.cpus[cpu].running else {
             return;
         };
-        let prio = self.kts[kt.index()].prio;
+        let prio = self.kts.hot[kt.index()].prio;
         let contended = match self.cfg.sched {
             SchedMode::TopazNative => self.global_rq.has_at_least(prio),
             SchedMode::SaAllocator => {
-                let space = self.kts[kt.index()].space;
+                let space = self.kts.hot[kt.index()].space;
                 self.spaces[space.index()].ready.has_at_least(prio)
             }
         };
@@ -259,11 +264,11 @@ impl Kernel {
                 self.preempt_kt_to_queue(cpu, kt);
                 self.advance_cpu(cpu);
             } else {
-                self.kts[kt.index()].pending_preempt = true;
+                self.kts.hot[kt.index()].pending_preempt = true;
             }
         } else {
             // Between segments (we are inside another handler); defer.
-            self.kts[kt.index()].pending_preempt = true;
+            self.kts.hot[kt.index()].pending_preempt = true;
         }
     }
 
@@ -275,20 +280,25 @@ impl Kernel {
         // A VP preempted while spinning re-checks its condition when it is
         // resumed (the spin loop re-reads the lock word): drop the saved
         // spin remainder and let the runtime re-evaluate.
-        if matches!(self.kts[kt.index()].flavor, crate::exec::KtFlavor::Vp(_)) {
-            if let Some(Micro::Seg(seg)) = self.kts[kt.index()].pipeline.front() {
+        if matches!(
+            self.kts.hot[kt.index()].flavor,
+            crate::exec::KtFlavor::Vp(_)
+        ) {
+            if let Some(Micro::Seg(seg)) = self.kts.cold[kt.index()].pipeline.front() {
                 if matches!(seg.kind, WorkKind::SpinWait | WorkKind::IdleSpin) {
-                    self.kts[kt.index()].pipeline.pop_front();
-                    self.kts[kt.index()].resume = Some(crate::exec::ResumeWith::Fresh);
+                    self.kts.cold[kt.index()].pipeline.pop_front();
+                    self.kts.cold[kt.index()].resume = Some(crate::exec::ResumeWith::Fresh);
                 }
             }
         }
         // Switch-in cost when the thread is later resumed.
         let ctx = Seg::kernel(self.cost.kt_ctx_switch);
-        self.kts[kt.index()].pipeline.push_front(Micro::Seg(ctx));
-        self.kts[kt.index()].state = KtState::Ready;
+        self.kts.cold[kt.index()]
+            .pipeline
+            .push_front(Micro::Seg(ctx));
+        self.kts.hot[kt.index()].state = KtState::Ready;
         self.set_idle(cpu);
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         self.spaces[space.index()].metrics.preemptions.inc();
         self.trace.event(self.q.now(), || TraceEvent::KtPreempt {
             cpu: cpu as u32,
@@ -306,7 +316,9 @@ impl Kernel {
         };
         match self.cpus[cpu].running {
             Running::Kt(kt) => {
-                self.kts[kt.index()].pipeline.push_front(Micro::Seg(rem));
+                self.kts.cold[kt.index()]
+                    .pipeline
+                    .push_front(Micro::Seg(rem));
             }
             Running::Act(a) => {
                 self.acts[a.index()].pipeline.push_front(Micro::Seg(rem));
@@ -347,7 +359,7 @@ impl Kernel {
 
     /// Makes `kt` runnable and tries to place it on a processor.
     pub(crate) fn make_runnable(&mut self, kt: KtId) {
-        debug_assert_eq!(self.kts[kt.index()].state, KtState::Ready);
+        debug_assert_eq!(self.kts.hot[kt.index()].state, KtState::Ready);
         match self.cfg.sched {
             SchedMode::TopazNative => self.place_native(kt),
             SchedMode::SaAllocator => self.place_allocated(kt),
@@ -356,12 +368,12 @@ impl Kernel {
 
     /// Enqueues without placement (used when the CPU decision is deferred).
     pub(crate) fn enqueue_ready(&mut self, kt: KtId) {
-        let prio = self.kts[kt.index()].prio;
+        let prio = self.kts.hot[kt.index()].prio;
         self.note_ready_wait(kt, 1);
         match self.cfg.sched {
             SchedMode::TopazNative => self.global_rq.push(kt, prio),
             SchedMode::SaAllocator => {
-                let space = self.kts[kt.index()].space;
+                let space = self.kts.hot[kt.index()].space;
                 self.spaces[space.index()].ready.push(kt, prio);
             }
         }
@@ -375,7 +387,7 @@ impl Kernel {
             self.schedule_dispatch(cpu);
             return;
         }
-        let prio = self.kts[kt.index()].prio;
+        let prio = self.kts.hot[kt.index()].prio;
         if let Some(victim_cpu) = self.find_lower_prio_victim(prio) {
             self.note_ready_wait(kt, 1);
             self.global_rq.push(kt, prio);
@@ -390,7 +402,7 @@ impl Kernel {
                 self.preempt_kt_to_queue(victim_cpu, victim);
                 self.schedule_dispatch(victim_cpu);
             } else {
-                self.kts[victim.index()].pending_preempt = true;
+                self.kts.hot[victim.index()].pending_preempt = true;
             }
             return;
         }
@@ -400,8 +412,8 @@ impl Kernel {
 
     /// Allocator-mode placement: only this space's CPUs are eligible.
     fn place_allocated(&mut self, kt: KtId) {
-        let space = self.kts[kt.index()].space;
-        let prio = self.kts[kt.index()].prio;
+        let space = self.kts.hot[kt.index()].space;
+        let prio = self.kts.hot[kt.index()].prio;
         // An idle CPU already assigned to this space?
         for cpu in 0..self.cpus.len() {
             if self.cpus[cpu].assigned == Some(space)
@@ -432,7 +444,7 @@ impl Kernel {
         let mut best: Option<(usize, u8)> = None;
         for cpu in 0..self.cpus.len() {
             if let Running::Kt(kt) = self.cpus[cpu].running {
-                let p = self.kts[kt.index()].prio;
+                let p = self.kts.hot[kt.index()].prio;
                 if p < prio && best.is_none_or(|(_, bp)| p < bp) {
                     best = Some((cpu, p));
                 }
@@ -444,18 +456,18 @@ impl Kernel {
     /// Wakes a blocked kernel thread.
     pub(crate) fn wake_kt(&mut self, kt: KtId) {
         debug_assert!(
-            matches!(self.kts[kt.index()].state, KtState::Blocked(_)),
+            matches!(self.kts.hot[kt.index()].state, KtState::Blocked(_)),
             "waking non-blocked {kt}: {:?}",
-            self.kts[kt.index()].state
+            self.kts.hot[kt.index()].state
         );
-        if let KtState::Blocked(bk) = self.kts[kt.index()].state {
+        if let KtState::Blocked(bk) = self.kts.hot[kt.index()].state {
             if let Some(wk) = bk.wait_kind() {
-                let space = self.kts[kt.index()].space;
+                let space = self.kts.hot[kt.index()].space;
                 self.note_blocked_wait(space, wk, -1);
             }
         }
-        self.kts[kt.index()].state = KtState::Ready;
-        let space = self.kts[kt.index()].space;
+        self.kts.hot[kt.index()].state = KtState::Ready;
+        let space = self.kts.hot[kt.index()].space;
         let now = self.q.now();
         self.trace.event(now, || sa_sim::TraceEvent::KtWake {
             space: space.0,

@@ -123,6 +123,32 @@ pub(crate) enum Effect {
     SaCall(crate::upcall::Syscall),
 }
 
+/// The four protection-boundary segments every kernel path is built
+/// from, constructed once from the cost model. Op interpretation copies
+/// these instead of re-deriving duration/preemptibility per micro-op.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SegCache {
+    /// Trap into the kernel (`kernel_trap`).
+    pub trap: Seg,
+    /// Return to user mode (`kernel_return`).
+    pub ret: Seg,
+    /// Syscall parameter copy/check (`syscall_copy_check`).
+    pub copy: Seg,
+    /// A test-and-set probe (`test_and_set`).
+    pub tas: Seg,
+}
+
+impl SegCache {
+    pub(crate) fn new(cost: &sa_machine::CostModel) -> Self {
+        SegCache {
+            trap: Seg::kernel(cost.kernel_trap),
+            ret: Seg::kernel(cost.kernel_return),
+            copy: Seg::kernel(cost.syscall_copy_check),
+            tas: Seg::kernel(cost.test_and_set),
+        }
+    }
+}
+
 /// What to report to the unit when it next refills.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum ResumeWith {

@@ -31,68 +31,87 @@ pub(crate) struct DirectCosts {
     pub wait: SimDuration,
 }
 
-impl Kernel {
-    pub(crate) fn direct_costs(&self, space: crate::ids::AsId) -> DirectCosts {
-        let flavor = match self.spaces[space.index()].kind {
-            SpaceKind::KernelDirect { flavor } => flavor,
+impl DirectCosts {
+    /// Resolves the per-flavor cost table once, at space creation; the
+    /// hot interpretation path then reads the cached copy instead of
+    /// re-matching space kind and kernel flavor on every op.
+    pub(crate) fn resolve(cost: &sa_machine::CostModel, kind: &SpaceKind) -> Self {
+        let flavor = match kind {
+            SpaceKind::KernelDirect { flavor } => *flavor,
             // User-level spaces reaching kernel sync objects pay the
             // kernel-thread-path costs (they are kernel code paths).
             _ => KernelFlavor::TopazThreads,
         };
         match flavor {
             KernelFlavor::TopazThreads => DirectCosts {
-                create: self.cost.kt_create,
-                start: self.cost.kt_start,
-                exit: self.cost.kt_exit,
-                signal: self.cost.kt_signal,
-                wait: self.cost.kt_wait,
+                create: cost.kt_create,
+                start: cost.kt_start,
+                exit: cost.kt_exit,
+                signal: cost.kt_signal,
+                wait: cost.kt_wait,
             },
             KernelFlavor::UltrixProcesses => DirectCosts {
-                create: self.cost.proc_fork_work,
-                start: self.cost.kt_start,
-                exit: self.cost.proc_exit_work,
-                signal: self.cost.proc_signal_work,
-                wait: self.cost.proc_wait_work,
+                create: cost.proc_fork_work,
+                start: cost.kt_start,
+                exit: cost.proc_exit_work,
+                signal: cost.proc_signal_work,
+                wait: cost.proc_wait_work,
             },
         }
     }
+}
 
-    /// Refills an empty pipeline for the kernel thread on `cpu`.
-    pub(crate) fn refill_kt(&mut self, cpu: usize, kt: KtId) {
-        match self.kts[kt.index()].flavor {
-            KtFlavor::AppBody => self.refill_kt_body(cpu, kt),
+impl Kernel {
+    pub(crate) fn direct_costs(&self, space: crate::ids::AsId) -> DirectCosts {
+        self.spaces[space.index()].dc
+    }
+
+    /// Refills an empty pipeline for the kernel thread on `cpu`. Returns a
+    /// segment the caller should start immediately, bypassing the pipeline
+    /// (see [`Kernel::refill_vp`]).
+    pub(crate) fn refill_kt(&mut self, cpu: usize, kt: KtId) -> Option<crate::exec::Seg> {
+        match self.kts.hot[kt.index()].flavor {
+            KtFlavor::AppBody => {
+                self.refill_kt_body(cpu, kt);
+                None
+            }
             KtFlavor::Vp(vp) => self.refill_vp(cpu, UnitRef::Kt(kt), vp),
-            KtFlavor::Daemon(_) => self.refill_daemon(kt),
+            KtFlavor::Daemon(_) => {
+                self.refill_daemon(kt);
+                None
+            }
         }
     }
 
     /// Steps the application body and queues the micro-ops for its next op.
     fn refill_kt_body(&mut self, _cpu: usize, kt: KtId) {
-        let res = self.kts[kt.index()].take_resume_op();
+        let res = self.kts.cold[kt.index()].take_resume_op();
         let env = StepEnv {
             now: self.q.now(),
             self_ref: ThreadRef(kt.0 as u64),
             last: res,
         };
-        let mut body = self.kts[kt.index()]
+        let mut body = self.kts.cold[kt.index()]
             .body
             .take()
             .expect("app kthread without body");
         let op = body.step(&env);
-        self.kts[kt.index()].body = Some(body);
+        self.kts.cold[kt.index()].body = Some(body);
         self.interp_op(kt, op);
     }
 
     /// Translates one application op into the kernel-thread code path.
     fn interp_op(&mut self, kt: KtId, op: Op) {
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         let dc = self.direct_costs(space);
         let c = &self.cost;
-        let trap = Seg::kernel(c.kernel_trap);
-        let ret = Seg::kernel(c.kernel_return);
-        let copy = Seg::kernel(c.syscall_copy_check);
-        let tas = Seg::kernel(c.test_and_set);
-        let p = &mut self.kts[kt.index()].pipeline;
+        let crate::exec::SegCache {
+            trap,
+            ret,
+            copy,
+            tas,
+        } = self.segs;
+        let p = &mut self.kts.cold[kt.index()].pipeline;
         debug_assert!(p.is_empty());
         let mut trapped = true;
         let fork_prio = match &op {
@@ -106,9 +125,9 @@ impl Kernel {
                 trapped = false;
             }
             Op::Fork(body) | Op::ForkPrio(body, _) => {
-                self.kts[kt.index()].pending_child = Some(body);
-                self.kts[kt.index()].pending_child_prio = fork_prio;
-                let p = &mut self.kts[kt.index()].pipeline;
+                self.kts.cold[kt.index()].pending_child = Some(body);
+                self.kts.cold[kt.index()].pending_child_prio = fork_prio;
+                let p = &mut self.kts.cold[kt.index()].pipeline;
                 p.push_back(Micro::Seg(trap));
                 p.push_back(Micro::Seg(copy));
                 p.push_back(Micro::Seg(Seg::kernel(dc.create)));
@@ -191,7 +210,7 @@ impl Kernel {
     pub(crate) fn apply_effect_kt(&mut self, cpu: usize, kt: KtId, eff: Effect) {
         match eff {
             Effect::Resume(r) => {
-                self.kts[kt.index()].resume = Some(r);
+                self.kts.cold[kt.index()].resume = Some(r);
             }
             Effect::SpawnChild => self.eff_spawn_child(kt),
             Effect::ExitFinal => self.eff_exit_final(cpu, kt),
@@ -203,7 +222,7 @@ impl Kernel {
             Effect::CvBroadcast(cv) => self.eff_cv_broadcast(kt, cv),
             Effect::JoinCheck(t) => self.eff_join_check(cpu, kt, t),
             Effect::StartIo(d) => {
-                let space = self.kts[kt.index()].space;
+                let space = self.kts.hot[kt.index()].space;
                 self.start_disk_op(
                     UnitRef::Kt(kt),
                     space,
@@ -215,7 +234,7 @@ impl Kernel {
             }
             Effect::MemCheck(page) => self.eff_mem_check(kt, page),
             Effect::StartPageIo(page) => {
-                let space = self.kts[kt.index()].space;
+                let space = self.kts.hot[kt.index()].space;
                 let latency = self.disk.default_latency();
                 self.start_disk_op(
                     UnitRef::Kt(kt),
@@ -229,7 +248,7 @@ impl Kernel {
             Effect::ChanSignal(ch) => self.eff_chan_signal(kt, ch),
             Effect::ChanWait(ch) => self.eff_chan_wait(cpu, kt, ch),
             Effect::YieldCpu => {
-                self.kts[kt.index()].state = KtState::Ready;
+                self.kts.hot[kt.index()].state = KtState::Ready;
                 self.set_idle(cpu);
                 self.bump_gen(cpu);
                 self.enqueue_ready(kt);
@@ -244,8 +263,8 @@ impl Kernel {
     /// Blocks `kt`, freeing its CPU.
     pub(crate) fn block_kt(&mut self, cpu: usize, kt: KtId, kind: BlockKind) {
         debug_assert!(matches!(self.cpus[cpu].running, Running::Kt(k) if k == kt));
-        self.kts[kt.index()].state = KtState::Blocked(kind);
-        let space = self.kts[kt.index()].space;
+        self.kts.hot[kt.index()].state = KtState::Blocked(kind);
+        let space = self.kts.hot[kt.index()].space;
         if let Some(wk) = kind.wait_kind() {
             self.note_blocked_wait(space, wk, 1);
         }
@@ -261,41 +280,42 @@ impl Kernel {
     }
 
     fn eff_spawn_child(&mut self, kt: KtId) {
-        let body = self.kts[kt.index()]
+        let body = self.kts.cold[kt.index()]
             .pending_child
             .take()
             .expect("SpawnChild without a stashed body");
-        let space = self.kts[kt.index()].space;
-        let prio = self.kts[kt.index()]
+        let space = self.kts.hot[kt.index()].space;
+        let prio = self.kts.cold[kt.index()]
             .pending_child_prio
             .take()
-            .unwrap_or(self.kts[kt.index()].prio);
+            .unwrap_or(self.kts.hot[kt.index()].prio);
         let child = self.new_kthread(space, prio, KtFlavor::AppBody);
         let dc = self.direct_costs(space);
         {
-            let c = &mut self.kts[child.index()];
+            let c = &mut self.kts.cold[child.index()];
             c.body = Some(body);
             c.resume = Some(ResumeWith::Op(OpResult::Start));
             c.pipeline.push_back(Micro::Seg(Seg::kernel(dc.start)));
         }
         self.spaces[space.index()].live_kthreads += 1;
-        self.kts[kt.index()].resume =
+        self.kts.cold[kt.index()].resume =
             Some(ResumeWith::Op(OpResult::Forked(ThreadRef(child.0 as u64))));
         self.make_runnable(child);
     }
 
     fn eff_exit_final(&mut self, cpu: usize, kt: KtId) {
-        let space = self.kts[kt.index()].space;
-        self.kts[kt.index()].exited = true;
-        self.kts[kt.index()].state = KtState::Dead;
-        self.kts[kt.index()].body = None;
-        let joiners = std::mem::take(&mut self.kts[kt.index()].joiners);
+        let space = self.kts.hot[kt.index()].space;
+        self.kts.cold[kt.index()].exited = true;
+        self.kts.hot[kt.index()].state = KtState::Dead;
+        self.kts.cold[kt.index()].body = None;
+        let joiners = std::mem::take(&mut self.kts.cold[kt.index()].joiners);
         self.spaces[space.index()].live_kthreads -= 1;
+        self.quiesce_dirty = true;
         self.set_idle(cpu);
         self.bump_gen(cpu);
         for j in joiners {
-            let ret = Seg::kernel(self.cost.kernel_return);
-            let jt = &mut self.kts[j.index()];
+            let ret = self.segs.ret;
+            let jt = &mut self.kts.cold[j.index()];
             jt.pipeline.push_back(Micro::Seg(ret));
             jt.resume = Some(ResumeWith::Op(OpResult::Done));
             self.wake_kt(j);
@@ -304,26 +324,26 @@ impl Kernel {
 
     fn eff_join_check(&mut self, cpu: usize, kt: KtId, t: ThreadRef) {
         let target = KtId(t.0 as u32);
-        if self.kts[target.index()].exited {
+        if self.kts.cold[target.index()].exited {
             let c = &self.cost;
             let segs = [Seg::kernel(c.kt_sched), Seg::kernel(c.kernel_return)];
-            let p = &mut self.kts[kt.index()].pipeline;
+            let p = &mut self.kts.cold[kt.index()].pipeline;
             for s in segs {
                 p.push_back(Micro::Seg(s));
             }
             p.push_back(Micro::Eff(Effect::Resume(ResumeWith::Op(OpResult::Done))));
         } else {
-            self.kts[target.index()].joiners.push(kt);
+            self.kts.cold[target.index()].joiners.push(kt);
             self.block_kt(cpu, kt, BlockKind::Join(target));
         }
     }
 
     fn eff_try_acquire(&mut self, cpu: usize, kt: KtId, l: LockId) {
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         let lock = self.spaces[space.index()].klocks.entry(l).or_default();
         if lock.holder.is_none() {
             lock.holder = Some(kt);
-            let p = &mut self.kts[kt.index()].pipeline;
+            let p = &mut self.kts.cold[kt.index()].pipeline;
             p.push_back(Micro::Eff(Effect::Resume(ResumeWith::Op(OpResult::Done))));
         } else {
             // Contended: trap and block in the kernel (§5.3's Topaz locks).
@@ -333,7 +353,7 @@ impl Kernel {
             self.spaces[space.index()].metrics.traps.inc();
             let c = &self.cost;
             let segs = [Seg::kernel(c.kernel_trap), Seg::kernel(c.kt_lock_block)];
-            let p = &mut self.kts[kt.index()].pipeline;
+            let p = &mut self.kts.cold[kt.index()].pipeline;
             for s in segs {
                 p.push_back(Micro::Seg(s));
             }
@@ -345,12 +365,12 @@ impl Kernel {
     /// End of the contended-acquire kernel path: take the lock if it was
     /// released meanwhile, else enqueue and block atomically.
     fn eff_block_on_lock(&mut self, cpu: usize, kt: KtId, l: LockId) {
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         let lock = self.spaces[space.index()].klocks.entry(l).or_default();
         if lock.holder.is_none() {
             lock.holder = Some(kt);
-            let ret = Seg::kernel(self.cost.kernel_return);
-            let p = &mut self.kts[kt.index()].pipeline;
+            let ret = self.segs.ret;
+            let p = &mut self.kts.cold[kt.index()].pipeline;
             p.push_back(Micro::Seg(ret));
             p.push_back(Micro::Eff(Effect::Resume(ResumeWith::Op(OpResult::Done))));
         } else {
@@ -361,7 +381,7 @@ impl Kernel {
 
     /// Releases lock `l` held by `kt`; wakes and hands off to one waiter.
     fn eff_unlock(&mut self, kt: KtId, l: LockId) {
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         let woken = self.unlock_app_lock(space, l, Some(kt));
         if woken {
             // Waking the blocked acquirer is a kernel path for the releaser.
@@ -372,12 +392,12 @@ impl Kernel {
                 Seg::kernel(c.kt_signal),
                 Seg::kernel(c.kernel_return),
             ];
-            let p = &mut self.kts[kt.index()].pipeline;
+            let p = &mut self.kts.cold[kt.index()].pipeline;
             for s in segs {
                 p.push_back(Micro::Seg(s));
             }
         }
-        self.kts[kt.index()].resume = Some(ResumeWith::Op(OpResult::Done));
+        self.kts.cold[kt.index()].resume = Some(ResumeWith::Op(OpResult::Done));
     }
 
     /// Core lock-release: frees the lock and wakes one waiter, which then
@@ -400,7 +420,7 @@ impl Kernel {
         }
         lock.holder = None;
         if let Some(w) = lock.waiters.pop_front() {
-            let wt = &mut self.kts[w.index()];
+            let wt = &mut self.kts.cold[w.index()];
             wt.pipeline.push_back(Micro::Eff(Effect::TryAcquire(l)));
             self.wake_kt(w);
             true
@@ -410,13 +430,13 @@ impl Kernel {
     }
 
     fn eff_cv_wait(&mut self, cpu: usize, kt: KtId, cv: CvId, lock: LockId) {
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         let kcv = self.spaces[space.index()].kcvs.entry(cv).or_default();
         // A banked signal satisfies the wait immediately (equivalent to a
         // Mesa-style spurious wakeup; waiters must re-check predicates).
         if kcv.waiters.is_empty() && self.take_banked_signal(space, cv) {
-            let ret = Seg::kernel(self.cost.kernel_return);
-            let p = &mut self.kts[kt.index()].pipeline;
+            let ret = self.segs.ret;
+            let p = &mut self.kts.cold[kt.index()].pipeline;
             p.push_back(Micro::Seg(ret));
             p.push_back(Micro::Eff(Effect::Resume(ResumeWith::Op(OpResult::Done))));
             return;
@@ -448,7 +468,7 @@ impl Kernel {
     }
 
     fn eff_cv_signal(&mut self, kt: KtId, cv: CvId) {
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         let kcv = self.spaces[space.index()].kcvs.entry(cv).or_default();
         match kcv.waiters.pop_front() {
             Some((w, lock)) => self.requeue_cv_waiter(space, w, lock),
@@ -465,7 +485,7 @@ impl Kernel {
     }
 
     fn eff_cv_broadcast(&mut self, kt: KtId, cv: CvId) {
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         let waiters: Vec<(KtId, LockId)> = self.spaces[space.index()]
             .kcvs
             .entry(cv)
@@ -486,22 +506,22 @@ impl Kernel {
             if kl.holder.is_some() {
                 // Must wait for the mutex; stays blocked, now on the lock.
                 kl.waiters.push_back(w);
-                self.kts[w.index()].state = KtState::Blocked(BlockKind::AppLock(lock));
+                self.kts.hot[w.index()].state = KtState::Blocked(BlockKind::AppLock(lock));
                 return;
             }
             kl.holder = Some(w);
         }
-        let ret = Seg::kernel(self.cost.kernel_return);
-        let wt = &mut self.kts[w.index()];
+        let ret = self.segs.ret;
+        let wt = &mut self.kts.cold[w.index()];
         wt.pipeline.push_back(Micro::Seg(ret));
         wt.resume = Some(ResumeWith::Op(OpResult::Done));
         self.wake_kt(w);
     }
 
     fn eff_mem_check(&mut self, kt: KtId, page: sa_machine::ids::PageId) {
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         if self.spaces[space.index()].residency.touch(page) {
-            self.kts[kt.index()].resume = Some(self.mem_hit_resume(kt));
+            self.kts.cold[kt.index()].resume = Some(self.mem_hit_resume(kt));
             return;
         }
         // Page fault: trap, service, then block on the disk read.
@@ -512,24 +532,24 @@ impl Kernel {
             Seg::kernel(c.kernel_trap),
             Seg::kernel(c.page_fault_service),
         ];
-        let p = &mut self.kts[kt.index()].pipeline;
+        let p = &mut self.kts.cold[kt.index()].pipeline;
         for s in segs {
             p.push_back(Micro::Seg(s));
         }
         p.push_back(Micro::Eff(Effect::StartPageIo(page)));
         // The return path after the fault completes.
-        let resume = match self.kts[kt.index()].flavor {
+        let resume = match self.kts.hot[kt.index()].flavor {
             KtFlavor::Vp(_) => ResumeWith::Syscall(crate::upcall::SyscallOutcome::IoDone),
             _ => ResumeWith::Op(OpResult::Done),
         };
-        let ret = Seg::kernel(self.cost.kernel_return);
-        let p = &mut self.kts[kt.index()].pipeline;
+        let ret = self.segs.ret;
+        let p = &mut self.kts.cold[kt.index()].pipeline;
         p.push_back(Micro::Seg(ret));
         p.push_back(Micro::Eff(Effect::Resume(resume)));
     }
 
     fn eff_chan_signal(&mut self, kt: KtId, ch: ChanId) {
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         let woken = self.spaces[space.index()]
             .kchans
             .entry(ch)
@@ -541,16 +561,16 @@ impl Kernel {
     }
 
     fn eff_chan_wait(&mut self, cpu: usize, kt: KtId, ch: ChanId) {
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         let satisfied = self.spaces[space.index()]
             .kchans
             .entry(ch)
             .or_default()
             .wait(UnitRef::Kt(kt));
         if satisfied {
-            let ret = Seg::kernel(self.cost.kernel_return);
-            let resume = resume_for_chan(&self.kts[kt.index()].flavor);
-            let p = &mut self.kts[kt.index()].pipeline;
+            let ret = self.segs.ret;
+            let resume = resume_for_chan(&self.kts.hot[kt.index()].flavor);
+            let p = &mut self.kts.cold[kt.index()].pipeline;
             p.push_back(Micro::Seg(ret));
             p.push_back(Micro::Eff(Effect::Resume(resume)));
         } else {
@@ -562,9 +582,9 @@ impl Kernel {
     pub(crate) fn wake_unit_from_chan(&mut self, unit: UnitRef) {
         match unit {
             UnitRef::Kt(w) => {
-                let ret = Seg::kernel(self.cost.kernel_return);
-                let resume = resume_for_chan(&self.kts[w.index()].flavor);
-                let wt = &mut self.kts[w.index()];
+                let ret = self.segs.ret;
+                let resume = resume_for_chan(&self.kts.hot[w.index()].flavor);
+                let wt = &mut self.kts.cold[w.index()];
                 wt.pipeline.push_back(Micro::Seg(ret));
                 wt.resume = Some(resume);
                 self.wake_kt(w);

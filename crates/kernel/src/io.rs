@@ -1,6 +1,6 @@
 //! Disk operations and page-in handling.
 
-use crate::exec::{Micro, ResumeWith, Seg, UnitRef};
+use crate::exec::{Micro, ResumeWith, UnitRef};
 use crate::ids::AsId;
 use crate::kernel::{Event, Kernel};
 use crate::kthread::{BlockKind, KtState};
@@ -75,23 +75,27 @@ impl Kernel {
         }
         match op.waiter {
             IoWaiter::Unit(UnitRef::Kt(kt)) => {
-                if self.spaces[op.space.index()].done || self.kts[kt.index()].state == KtState::Dead
+                if self.spaces[op.space.index()].done
+                    || self.kts.hot[kt.index()].state == KtState::Dead
                 {
                     return;
                 }
                 debug_assert!(
-                    matches!(self.kts[kt.index()].state, KtState::Blocked(BlockKind::Io)),
+                    matches!(
+                        self.kts.hot[kt.index()].state,
+                        KtState::Blocked(BlockKind::Io)
+                    ),
                     "I/O completion for a non-blocked thread"
                 );
                 // If the blocked op staged its own return path (page
                 // faults), use it; otherwise stage the plain return.
-                if self.kts[kt.index()].pipeline.is_empty() {
-                    let ret = Seg::kernel(self.cost.kernel_return);
-                    let resume = match self.kts[kt.index()].flavor {
+                if self.kts.cold[kt.index()].pipeline.is_empty() {
+                    let ret = self.segs.ret;
+                    let resume = match self.kts.hot[kt.index()].flavor {
                         crate::exec::KtFlavor::Vp(_) => ResumeWith::Syscall(op.outcome),
                         _ => ResumeWith::Op(sa_machine::OpResult::Done),
                     };
-                    let t = &mut self.kts[kt.index()];
+                    let t = &mut self.kts.cold[kt.index()];
                     t.pipeline.push_back(Micro::Seg(ret));
                     t.resume = Some(resume);
                 }

@@ -5,14 +5,14 @@ use crate::daemon::DaemonState;
 use crate::exec::{KtFlavor, Running, Seg};
 use crate::ids::{ActId, AsId, KtId};
 use crate::io::DiskOp;
-use crate::kthread::{KThread, KtState};
+use crate::kthread::{KtState, KtTable};
 use crate::metrics::{KernelMetrics, RunOutcome, SpaceMetrics};
-use crate::policy::AllocPolicy;
+use crate::policy::{AllocPolicy, AllocPolicySelect};
 use crate::sched::ReadyQueue;
 use crate::space::{Residency, SaState, Space, SpaceKind};
 use sa_machine::{CostModel, Disk};
 use sa_sim::{
-    BatchStart, CpuState, EventQueue, EventToken, SimRng, SimTime, TimeLedger, Trace, TraceEvent,
+    CpuState, EventQueue, EventToken, PopNext, SimRng, SimTime, TimeLedger, Trace, TraceEvent,
     WaitKind,
 };
 
@@ -70,6 +70,49 @@ pub(crate) struct Inflight {
     pub token: EventToken,
 }
 
+/// Per-CPU pending ledger charges, accumulated until the dispatched
+/// space changes. The dispatch loop charges one segment per event; a CPU
+/// runs long stretches of segments for the same space, so merging them
+/// here turns three array-indexed ledger adds per micro-op into one
+/// plain `u64` add, flushed once per space switch (or ledger read).
+/// Pure summation, so conservation (`sum == cpus × makespan`) is exact.
+#[derive(Clone)]
+pub(crate) struct ChargeAcc {
+    /// Raw space index plus one; 0 means unattributed.
+    key: u32,
+    /// Pending nanoseconds, indexed in `CpuState::ALL` order.
+    ns: [u64; CpuState::COUNT],
+}
+
+impl ChargeAcc {
+    fn new() -> Self {
+        ChargeAcc {
+            key: 0,
+            ns: [0; CpuState::COUNT],
+        }
+    }
+
+    /// Drains the pending sums into `ledger` for `cpu`.
+    fn flush_into(&mut self, ledger: &mut TimeLedger, cpu: usize) {
+        let space = if self.key == 0 {
+            None
+        } else {
+            Some(self.key as usize - 1)
+        };
+        for (i, state) in CpuState::ALL.iter().enumerate() {
+            if self.ns[i] != 0 {
+                ledger.charge(
+                    cpu,
+                    space,
+                    *state,
+                    sa_sim::SimDuration::from_nanos(self.ns[i]),
+                );
+                self.ns[i] = 0;
+            }
+        }
+    }
+}
+
 /// The simulated operating system kernel.
 ///
 /// Owns the machine (CPUs, disk), every address space, all kernel threads
@@ -77,13 +120,15 @@ pub(crate) struct Inflight {
 pub struct Kernel {
     pub(crate) cfg: KernelConfig,
     pub(crate) cost: CostModel,
+    /// Prebuilt protection-boundary segments (see [`SegCache`]).
+    pub(crate) segs: crate::exec::SegCache,
     pub(crate) q: EventQueue<Event>,
     pub(crate) rng: SimRng,
     /// Execution trace (enable with [`Kernel::set_trace`]).
     pub(crate) trace: Trace,
     pub(crate) cpus: Vec<Cpu>,
     pub(crate) spaces: Vec<Space>,
-    pub(crate) kts: Vec<KThread>,
+    pub(crate) kts: KtTable,
     pub(crate) acts: Vec<crate::activation::Activation>,
     pub(crate) disk: Disk,
     pub(crate) diskops: Vec<Option<DiskOp>>,
@@ -93,6 +138,8 @@ pub struct Kernel {
     pub(crate) metrics: KernelMetrics,
     /// Where every CPU nanosecond went (always on; a `u64` add per charge).
     pub(crate) ledger: TimeLedger,
+    /// Per-CPU charge accumulators in front of `ledger` (see [`ChargeAcc`]).
+    pending_charges: Vec<ChargeAcc>,
     /// Rotation counter for remainder processors (§4.1 time-slicing).
     pub(crate) share_rotation: u32,
     /// A `RotateShares` event is outstanding.
@@ -102,10 +149,17 @@ pub struct Kernel {
     /// in O(1) instead of scanning the space table.
     app_spaces: usize,
     app_spaces_done: usize,
+    /// Something happened that could have made a space quiescent (a
+    /// runtime poll/upcall, a kernel-thread exit, an activation unblock).
+    /// The run loop only walks the space table when this is set; most
+    /// events (segment completions, dispatches) can't retire a space and
+    /// skip the scan entirely.
+    pub(crate) quiesce_dirty: bool,
     /// The processor-allocation policy (built from
     /// [`KernelConfig::alloc_policy`]; the mechanism in `alloc.rs` asks
-    /// it for targets and grant picks).
-    pub(crate) alloc_policy: Box<dyn AllocPolicy>,
+    /// it for targets and grant picks). Enum-dispatched: the built-in
+    /// policies resolve statically (see [`AllocPolicySelect`]).
+    pub(crate) alloc_policy: AllocPolicySelect,
     started: bool,
 }
 
@@ -127,17 +181,19 @@ impl Kernel {
         let n_cpus = cfg.cpus as usize;
         let disk = Disk::new(cfg.disk);
         let rng = SimRng::new(cfg.seed);
-        let alloc_policy = cfg.alloc_policy.build();
+        let alloc_policy = cfg.alloc_policy.build_select();
         let q = EventQueue::with_core(cfg.event_core);
+        let segs = crate::exec::SegCache::new(&cost);
         let mut kernel = Kernel {
             cfg,
             cost,
+            segs,
             q,
             rng,
             trace: Trace::disabled(),
             cpus,
             spaces: Vec::new(),
-            kts: Vec::new(),
+            kts: KtTable::default(),
             acts: Vec::new(),
             disk,
             diskops: Vec::new(),
@@ -145,10 +201,12 @@ impl Kernel {
             global_rq: ReadyQueue::new(),
             metrics: KernelMetrics::default(),
             ledger: TimeLedger::new(n_cpus),
+            pending_charges: vec![ChargeAcc::new(); n_cpus],
             share_rotation: 0,
             rotation_armed: false,
             app_spaces: 0,
             app_spaces_done: 0,
+            quiesce_dirty: false,
             alloc_policy,
             started: false,
         };
@@ -159,6 +217,13 @@ impl Kernel {
     /// Installs a trace sink (replaces the default disabled trace).
     pub fn set_trace(&mut self, trace: Trace) {
         self.trace = trace;
+    }
+
+    /// Replaces the allocation policy with a custom trait-object policy —
+    /// the pre-flattening dynamic-dispatch shape (differential tests use
+    /// this to pin enum dispatch to the `Box<dyn>` path byte-for-byte).
+    pub fn set_alloc_policy(&mut self, p: Box<dyn AllocPolicy>) {
+        self.alloc_policy = AllocPolicySelect::Custom(p);
     }
 
     /// Read access to the trace.
@@ -202,6 +267,15 @@ impl Kernel {
             .runtime
             .as_ref()
             .map_or(0, |rt| rt.ready_wait_ns())
+    }
+
+    /// Resident TCB-slab footprint of the space's user runtime (`None`
+    /// for kernel-direct spaces or runtimes without slab tables).
+    pub fn runtime_tcb_slab_stats(&self, space: AsId) -> Option<crate::upcall::TcbSlabStats> {
+        self.spaces[space.index()]
+            .runtime
+            .as_ref()
+            .and_then(|rt| rt.tcb_slab_stats())
     }
 
     /// The user runtime's own statistics line, if the space has one.
@@ -253,6 +327,7 @@ impl Kernel {
             (None, main) => pending_main = main,
             _ => {}
         }
+        let dc = crate::interp::DirectCosts::resolve(&self.cost, &kind);
         let space = Space {
             id,
             name: spec.name,
@@ -273,6 +348,7 @@ impl Kernel {
             completed_at: None,
             started_at: None,
             is_daemon_space: false,
+            dc,
             metrics: SpaceMetrics::default(),
         };
         self.app_spaces += 1;
@@ -285,11 +361,11 @@ impl Kernel {
                 _ => unreachable!(),
             };
             let kt = self.new_kthread(id, 1, flavor);
-            self.kts[kt.index()].body = Some(main);
-            self.kts[kt.index()].resume =
+            self.kts.cold[kt.index()].body = Some(main);
+            self.kts.cold[kt.index()].resume =
                 Some(crate::exec::ResumeWith::Op(sa_machine::OpResult::Start));
             // Not readied yet; `start_space` does that.
-            self.kts[kt.index()].state = KtState::Blocked(crate::kthread::BlockKind::Parked);
+            self.kts.hot[kt.index()].state = KtState::Blocked(crate::kthread::BlockKind::Parked);
             self.spaces[id.index()].live_kthreads = 1;
         }
         self.q
@@ -299,9 +375,7 @@ impl Kernel {
 
     /// Allocates a kernel thread control block.
     pub(crate) fn new_kthread(&mut self, space: AsId, prio: u8, flavor: KtFlavor) -> KtId {
-        let id = KtId(self.kts.len() as u32);
-        self.kts.push(KThread::new(id, space, prio, flavor));
-        id
+        self.kts.push(space, prio, flavor)
     }
 
     /// Allocates a fresh activation control block.
@@ -313,6 +387,7 @@ impl Kernel {
     }
 
     fn start_space(&mut self, id: AsId) {
+        self.quiesce_dirty = true;
         let now = self.q.now();
         {
             let s = &mut self.spaces[id.index()];
@@ -326,13 +401,14 @@ impl Kernel {
         match self.spaces[id.index()].kind {
             SpaceKind::KernelDirect { .. } => {
                 // Ready the main thread created in `add_space`.
-                let main = self
-                    .kts
-                    .iter()
-                    .find(|kt| kt.space == id && matches!(kt.flavor, KtFlavor::AppBody))
-                    .map(|kt| kt.id)
+                let main = (0..self.kts.len())
+                    .find(|&i| {
+                        let h = &self.kts.hot[i];
+                        h.space == id && matches!(h.flavor, KtFlavor::AppBody)
+                    })
+                    .map(|i| KtId(i as u32))
                     .expect("kernel-direct space without main thread");
-                self.kts[main.index()].state = KtState::Ready;
+                self.kts.hot[main.index()].state = KtState::Ready;
                 self.make_runnable(main);
             }
             SpaceKind::UserOnKt { .. } => {
@@ -345,7 +421,7 @@ impl Kernel {
                 let mut vps = Vec::with_capacity(n as usize);
                 for i in 0..n {
                     let kt = self.new_kthread(id, 1, KtFlavor::Vp(crate::ids::VpId(i)));
-                    self.kts[kt.index()].resume = Some(crate::exec::ResumeWith::Fresh);
+                    self.kts.cold[kt.index()].resume = Some(crate::exec::ResumeWith::Fresh);
                     vps.push(kt);
                 }
                 if let SpaceKind::UserOnKt { vps: slot } = &mut self.spaces[id.index()].kind {
@@ -372,15 +448,15 @@ impl Kernel {
     /// Runs until every application space finishes, the event queue drains,
     /// or the configured time limit is hit.
     ///
-    /// Each iteration stages one simultaneity class (all events at the next
-    /// timestamp) with `pop_batch_within` — the limit check is fused into
-    /// the staging walk — and applies it without re-entering the queue's
-    /// extraction machinery per event. Events scheduled mid-batch —
-    /// even at the same timestamp — land in the *next* batch, so the
-    /// delivery order (and hence every trace, metric, and golden output) is
-    /// byte-identical to the old one-pop-per-iteration loop; the batch's
-    /// shared timestamp also means the done/limit checks hoisted to batch
-    /// granularity decide exactly as they did per event.
+    /// Each iteration delivers one event with `pop_within` — a fused
+    /// peek + pop that applies the run-limit check without a separate
+    /// queue-head scan. Delivery is the queue's strict `(time, seq)`
+    /// order, so every trace, metric, and golden output is byte-identical
+    /// to both the old batch-staging loop and the still-older
+    /// one-pop-per-iteration loop. System runs measure ~1.0 events per
+    /// simultaneity class, which made the batch staging machinery (slot
+    /// walks, sequence sort, staging deque) pure per-event overhead —
+    /// the single-pop loop skips all of it.
     pub fn run(&mut self) -> RunOutcome {
         if !self.started {
             self.started = true;
@@ -393,35 +469,29 @@ impl Kernel {
                     deadlocked: false,
                 };
             }
-            match self.q.pop_batch_within(self.cfg.run_limit) {
-                BatchStart::Empty => {
+            match self.q.pop_within(self.cfg.run_limit) {
+                PopNext::Empty => {
                     return RunOutcome {
                         end: self.q.now(),
                         timed_out: false,
                         deadlocked: true,
                     };
                 }
-                BatchStart::Deferred(_) => {
+                PopNext::Deferred(_) => {
                     return RunOutcome {
                         end: self.q.now(),
                         timed_out: true,
                         deadlocked: false,
                     };
                 }
-                BatchStart::Started(_) => {}
-            }
-            while let Some(ev) = self.q.batch_pop() {
-                self.metrics.events.inc();
-                self.handle_event(ev);
-                self.check_quiescence();
-                #[cfg(debug_assertions)]
-                self.check_invariants();
-                if self.all_app_spaces_done() {
-                    return RunOutcome {
-                        end: self.q.now(),
-                        timed_out: false,
-                        deadlocked: false,
-                    };
+                PopNext::Popped(_, ev) => {
+                    self.metrics.events.inc();
+                    self.handle_event(ev);
+                    if self.quiesce_dirty {
+                        self.check_quiescence();
+                    }
+                    #[cfg(debug_assertions)]
+                    self.check_invariants();
                 }
             }
         }
@@ -475,6 +545,7 @@ impl Kernel {
 
     /// Detects freshly quiescent spaces and retires them.
     fn check_quiescence(&mut self) {
+        self.quiesce_dirty = false;
         for i in 0..self.spaces.len() {
             let s = &self.spaces[i];
             if !s.started || s.done || s.is_daemon_space {
@@ -545,7 +616,7 @@ impl Kernel {
         // Tear down whatever is still dispatched for this space.
         for cpu in 0..self.cpus.len() {
             let belongs = match self.cpus[cpu].running {
-                Running::Kt(kt) => self.kts[kt.index()].space == id,
+                Running::Kt(kt) => self.kts.hot[kt.index()].space == id,
                 Running::Act(a) => self.acts[a.index()].space == id,
                 Running::Idle => false,
             };
@@ -559,10 +630,10 @@ impl Kernel {
             _ => Vec::new(),
         };
         for kt in vps {
-            if self.kts[kt.index()].state != KtState::Dead {
+            if self.kts.hot[kt.index()].state != KtState::Dead {
                 self.global_rq.remove(kt);
                 self.spaces[id.index()].ready.remove(kt);
-                self.kts[kt.index()].state = KtState::Dead;
+                self.kts.hot[kt.index()].state = KtState::Dead;
             }
         }
         // Reclaim activations.
@@ -595,7 +666,7 @@ impl Kernel {
         self.cancel_inflight(cpu);
         match self.cpus[cpu].running {
             Running::Kt(kt) => {
-                self.kts[kt.index()].state = KtState::Dead;
+                self.kts.hot[kt.index()].state = KtState::Dead;
             }
             Running::Act(a) => {
                 self.acts[a.index()].state = crate::activation::ActState::Cached;
@@ -608,6 +679,25 @@ impl Kernel {
         self.set_idle(cpu);
     }
 
+    /// Charges `dur` of `state` on `cpu` through the per-CPU accumulator
+    /// (the single entry point for all three charge choke points:
+    /// completed segments, cancelled segments, ended idle stretches).
+    pub(crate) fn charge_cpu(
+        &mut self,
+        cpu: usize,
+        space: Option<usize>,
+        state: CpuState,
+        dur: sa_sim::SimDuration,
+    ) {
+        let key = space.map_or(0, |s| s as u32 + 1);
+        let acc = &mut self.pending_charges[cpu];
+        if acc.key != key {
+            acc.flush_into(&mut self.ledger, cpu);
+            acc.key = key;
+        }
+        acc.ns[state as usize] += dur.as_nanos();
+    }
+
     /// Cancels the in-flight segment on `cpu` without charging the partial
     /// time to the space's metrics (teardown only). The ledger still
     /// records the elapsed portion — the CPU really did spend that time —
@@ -617,8 +707,7 @@ impl Kernel {
             self.q.cancel(inf.token);
             let elapsed = self.q.now().since(inf.started);
             let space = self.running_space_index(cpu);
-            self.ledger
-                .charge(cpu, space, inf.seg.ledger_state(), elapsed);
+            self.charge_cpu(cpu, space, inf.seg.ledger_state(), elapsed);
         }
         self.bump_gen(cpu);
     }
@@ -626,7 +715,7 @@ impl Kernel {
     /// The raw index of the space dispatched on `cpu`, if any.
     pub(crate) fn running_space_index(&self, cpu: usize) -> Option<usize> {
         match self.cpus[cpu].running {
-            Running::Kt(kt) => Some(self.kts[kt.index()].space.index()),
+            Running::Kt(kt) => Some(self.kts.hot[kt.index()].space.index()),
             Running::Act(a) => Some(self.acts[a.index()].space.index()),
             Running::Idle => None,
         }
@@ -635,7 +724,7 @@ impl Kernel {
     /// Adjusts the ready-wait gauge of `kt`'s space by `delta` threads.
     /// Call on every ready-queue push (+1) and pop (−1).
     pub(crate) fn note_ready_wait(&mut self, kt: KtId, delta: i64) {
-        let space = self.kts[kt.index()].space;
+        let space = self.kts.hot[kt.index()].space;
         self.ledger
             .note_wait(space.index(), WaitKind::Ready, self.q.now(), delta);
     }
@@ -654,6 +743,8 @@ impl Kernel {
         let now = self.q.now();
         let mut ledger = self.ledger.clone();
         for cpu in 0..self.cpus.len() {
+            let mut pending = self.pending_charges[cpu].clone();
+            pending.flush_into(&mut ledger, cpu);
             if let Some(inf) = &self.cpus[cpu].inflight {
                 let elapsed = now.since(inf.started);
                 let space = self.running_space_index(cpu);
@@ -686,7 +777,7 @@ impl Kernel {
         if let Some(since) = self.cpus[cpu].idle_since.take() {
             let d = self.q.now().since(since);
             self.metrics.charge_idle(d);
-            self.ledger.charge(cpu, None, CpuState::Idle, d);
+            self.charge_cpu(cpu, None, CpuState::Idle, d);
         }
     }
 

@@ -74,14 +74,27 @@ pub(crate) enum KtState {
     Dead,
 }
 
-/// A kernel thread control block.
-pub(crate) struct KThread {
-    pub id: KtId,
+/// The hot half of a kernel thread control block: the words the
+/// dispatcher reads on every scheduling decision (is it runnable, where,
+/// at what priority, on whose behalf). 20 bytes; a 4096-row page packs
+/// ~3 threads per cache line, so ready-queue scans and invariant checks
+/// walk lines instead of chasing per-thread boxes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct KtHot {
     pub space: AsId,
     /// Scheduler priority; higher wins. Daemons run above applications.
     pub prio: u8,
     pub state: KtState,
     pub flavor: KtFlavor,
+    /// A deferred time-slice preemption to honour at the next boundary.
+    pub pending_preempt: bool,
+}
+
+/// The cold half: bodies, pipelines, and bookkeeping touched only when
+/// the thread itself runs or changes lifecycle — never during another
+/// thread's dispatch.
+#[derive(Default)]
+pub(crate) struct KtCold {
     /// The application body (only for `KtFlavor::AppBody`).
     pub body: Option<Box<dyn ThreadBody>>,
     /// Pending micro-ops; survives preemption (the kernel resumes kernel
@@ -94,8 +107,6 @@ pub(crate) struct KThread {
     pub pending_child: Option<Box<dyn ThreadBody>>,
     /// Priority for the stashed child (`Op::ForkPrio`).
     pub pending_child_prio: Option<u8>,
-    /// A deferred time-slice preemption to honour at the next boundary.
-    pub pending_preempt: bool,
     /// Threads waiting in `Join` on this one.
     pub joiners: Vec<KtId>,
     /// Set when the thread has exited (distinct from `Dead` only during
@@ -103,25 +114,7 @@ pub(crate) struct KThread {
     pub exited: bool,
 }
 
-impl KThread {
-    pub(crate) fn new(id: KtId, space: AsId, prio: u8, flavor: KtFlavor) -> Self {
-        KThread {
-            id,
-            space,
-            prio,
-            state: KtState::Ready,
-            flavor,
-            body: None,
-            pipeline: Pipeline::new(),
-            resume: None,
-            pending_child: None,
-            pending_child_prio: None,
-            pending_preempt: false,
-            joiners: Vec::new(),
-            exited: false,
-        }
-    }
-
+impl KtCold {
     /// Takes the resume value, defaulting to `Done` for app bodies.
     pub(crate) fn take_resume_op(&mut self) -> OpResult {
         match self.resume.take() {
@@ -132,16 +125,33 @@ impl KThread {
     }
 }
 
-impl core::fmt::Debug for KThread {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("KThread")
-            .field("id", &self.id)
-            .field("space", &self.space)
-            .field("prio", &self.prio)
-            .field("state", &self.state)
-            .field("flavor", &self.flavor)
-            .field("pipeline_len", &self.pipeline.len())
-            .finish()
+/// The kernel thread table: struct-of-arrays over paged slabs, indexed
+/// by dense [`KtId`] row numbers. `KtId(i)` addresses `hot[i]` and
+/// `cold[i]`; rows are never freed (control blocks outlive exits for
+/// joiners, as in the monolithic version).
+#[derive(Default)]
+pub(crate) struct KtTable {
+    pub hot: sa_sim::PagedVec<KtHot, 4096>,
+    pub cold: sa_sim::PagedVec<KtCold, 1024>,
+}
+
+impl KtTable {
+    pub(crate) fn len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Allocates a control block in `Ready` state and returns its id.
+    pub(crate) fn push(&mut self, space: AsId, prio: u8, flavor: KtFlavor) -> KtId {
+        let row = self.hot.push(KtHot {
+            space,
+            prio,
+            state: KtState::Ready,
+            flavor,
+            pending_preempt: false,
+        });
+        let cold_row = self.cold.push(KtCold::default());
+        debug_assert_eq!(row, cold_row);
+        KtId(row)
     }
 }
 
@@ -152,17 +162,26 @@ mod tests {
 
     #[test]
     fn new_thread_is_ready() {
-        let kt = KThread::new(KtId(0), AsId(0), 1, KtFlavor::AppBody);
-        assert_eq!(kt.state, KtState::Ready);
-        assert!(kt.pipeline.is_empty());
+        let mut kts = KtTable::default();
+        let kt = kts.push(AsId(0), 1, KtFlavor::AppBody);
+        assert_eq!(kt, KtId(0));
+        assert_eq!(kts.hot[0].state, KtState::Ready);
+        assert!(kts.cold[0].pipeline.is_empty());
     }
 
     #[test]
     fn take_resume_defaults_to_done() {
-        let mut kt = KThread::new(KtId(0), AsId(0), 1, KtFlavor::AppBody);
+        let mut kt = KtCold::default();
         assert_eq!(kt.take_resume_op(), OpResult::Done);
         kt.resume = Some(ResumeWith::Op(OpResult::Start));
         assert_eq!(kt.take_resume_op(), OpResult::Start);
         assert_eq!(kt.take_resume_op(), OpResult::Done);
+    }
+
+    #[test]
+    fn hot_rows_stay_small() {
+        // The whole point of the split: the per-thread dispatch words must
+        // stay within a fraction of a cache line.
+        assert!(core::mem::size_of::<KtHot>() <= 24);
     }
 }

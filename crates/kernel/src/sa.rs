@@ -72,6 +72,7 @@ impl Kernel {
         rt.deliver_upcall(&mut env, VpId(a.0), &batch.events);
         let kicks = std::mem::take(&mut env.kicks);
         self.spaces[space.index()].runtime = Some(rt);
+        self.quiesce_dirty = true;
         for k in kicks {
             self.process_kick(space, k);
         }
@@ -100,7 +101,7 @@ impl Kernel {
             });
         }
         let c = &self.cost;
-        let ret = Seg::kernel(c.kernel_return);
+        let ret = self.segs.ret;
         match call {
             Syscall::Io { dur } => {
                 let copy = Seg::kernel(c.syscall_copy_check);
@@ -313,6 +314,7 @@ impl Kernel {
         self.note_blocked_wait(space, wait, -1);
         let sa = &mut self.spaces[space.index()].sa;
         sa.blocked.retain(|&x| x != a);
+        self.quiesce_dirty = true;
         sa.discarded.push(a);
         self.acts[a.index()].state = ActState::Discarded;
         let ev = UpcallEvent::Unblocked {

@@ -143,6 +143,8 @@ pub(crate) struct Space {
     pub started_at: Option<SimTime>,
     /// True for the internal daemon space.
     pub is_daemon_space: bool,
+    /// Kernel-path cost table resolved from the flavor at creation.
+    pub dc: crate::interp::DirectCosts,
     pub metrics: SpaceMetrics,
 }
 

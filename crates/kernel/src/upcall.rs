@@ -382,6 +382,26 @@ pub trait UserRuntime {
     fn debug_dump(&self) -> String {
         String::new()
     }
+
+    /// Resident footprint of the runtime's thread-control-block storage,
+    /// or `None` for runtimes without slab-backed tables. Feeds the
+    /// `bytes_per_thread` benchmark line.
+    fn tcb_slab_stats(&self) -> Option<TcbSlabStats> {
+        None
+    }
+}
+
+/// Resident TCB-slab footprint reported by [`UserRuntime::tcb_slab_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcbSlabStats {
+    /// Rows ever allocated — the high-water mark of concurrently live
+    /// threads (exited rows are recycled, never freed back).
+    pub rows: usize,
+    /// Bytes resident in the hot (dispatch-path) half of the slab.
+    pub hot_bytes: usize,
+    /// Bytes resident across hot and cold halves (excludes heap owned by
+    /// boxed thread bodies and continuation queues).
+    pub total_bytes: usize,
 }
 
 #[cfg(test)]

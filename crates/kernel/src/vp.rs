@@ -15,12 +15,15 @@ use crate::upcall::{PollReason, RtEnv, Syscall, VpAction, WorkKind};
 use sa_sim::SimDuration;
 
 impl Kernel {
-    /// Refills a VP unit by polling its runtime.
-    pub(crate) fn refill_vp(&mut self, cpu: usize, unit: UnitRef, vp: VpId) {
+    /// Refills a VP unit by polling its runtime. Returns a segment the
+    /// caller should start immediately: the common poll result is "run
+    /// this segment", and handing it straight back to the dispatch loop
+    /// skips a pipeline push/pop round trip on the per-event hot path.
+    pub(crate) fn refill_vp(&mut self, cpu: usize, unit: UnitRef, vp: VpId) -> Option<Seg> {
         let (space, reason) = match unit {
             UnitRef::Kt(kt) => (
-                self.kts[kt.index()].space,
-                resume_to_reason(self.kts[kt.index()].resume.take()),
+                self.kts.hot[kt.index()].space,
+                resume_to_reason(self.kts.cold[kt.index()].resume.take()),
             ),
             UnitRef::Act(a) => (
                 self.acts[a.index()].space,
@@ -30,10 +33,10 @@ impl Kernel {
         if self.spaces[space.index()].done {
             // Stale dispatch after teardown; park quietly.
             self.park_unit(cpu, unit);
-            return;
+            return None;
         }
         let action = self.call_poll(space, vp, reason);
-        self.apply_vp_action(cpu, unit, space, action);
+        self.apply_vp_action(cpu, unit, space, action)
     }
 
     /// Calls `runtime.poll` with a scoped environment, then applies any
@@ -47,6 +50,14 @@ impl Kernel {
         let action = rt.poll(&mut env, vp, reason);
         let kicks = std::mem::take(&mut env.kicks);
         self.spaces[space.index()].runtime = Some(rt);
+        // A `Run` result proves the runtime still has live work (a loaded
+        // thread or boot step), so this poll cannot have made the space
+        // quiescent; skip the space-table walk for the common case. Every
+        // other action (spin, syscall, give-up) can coincide with the last
+        // thread exiting and must trigger the check.
+        if !matches!(action, VpAction::Run(_)) {
+            self.quiesce_dirty = true;
+        }
         for k in kicks {
             if k != vp {
                 self.process_kick(space, k);
@@ -61,7 +72,7 @@ impl Kernel {
             return;
         };
         let cpu = match unit {
-            UnitRef::Kt(kt) => match self.kts[kt.index()].state {
+            UnitRef::Kt(kt) => match self.kts.hot[kt.index()].state {
                 KtState::Running(c) => c as usize,
                 _ => return, // preempted spinner re-checks when resumed
             },
@@ -80,7 +91,7 @@ impl Kernel {
         // Charge the elapsed spin and wake the VP with `Kicked`.
         let _ = self.take_inflight_remainder(cpu);
         match unit {
-            UnitRef::Kt(kt) => self.kts[kt.index()].resume = Some(ResumeWith::Kicked),
+            UnitRef::Kt(kt) => self.kts.cold[kt.index()].resume = Some(ResumeWith::Kicked),
             UnitRef::Act(a) => self.acts[a.index()].resume = Some(ResumeWith::Kicked),
         }
         self.schedule_dispatch(cpu);
@@ -102,42 +113,47 @@ impl Kernel {
         }
     }
 
-    /// Applies a runtime-returned action to the unit on `cpu`.
+    /// Applies a runtime-returned action to the unit on `cpu`. `Run` and
+    /// `Spin` hand their segment back for the caller to start directly
+    /// (the unit's pipeline is empty — refill only runs when it drained —
+    /// so starting in place is order-identical to a push/pop round trip).
     pub(crate) fn apply_vp_action(
         &mut self,
         cpu: usize,
         unit: UnitRef,
         space: AsId,
         action: VpAction,
-    ) {
+    ) -> Option<Seg> {
         match action {
-            VpAction::Run(seg) => {
-                let s = Seg {
-                    dur: seg.dur,
-                    preemptible: true,
-                    kind: seg.kind,
-                    cookie: seg.cookie,
-                };
-                self.push_unit_micro(unit, Micro::Seg(s));
-            }
+            VpAction::Run(seg) => Some(Seg {
+                dur: seg.dur,
+                preemptible: true,
+                kind: seg.kind,
+                cookie: seg.cookie,
+            }),
             VpAction::Spin { cookie, kind } => {
                 debug_assert!(
                     matches!(kind, WorkKind::SpinWait | WorkKind::IdleSpin),
                     "spin with non-spin kind {kind:?}"
                 );
-                let s = Seg {
+                Some(Seg {
                     dur: SimDuration::MAX,
                     preemptible: true,
                     kind,
                     cookie,
-                };
-                self.push_unit_micro(unit, Micro::Seg(s));
+                })
             }
-            VpAction::Syscall { call } => self.push_syscall_micros(unit, space, call),
-            VpAction::GiveUp => match unit {
-                UnitRef::Kt(_) => self.park_unit(cpu, unit),
-                UnitRef::Act(a) => self.act_give_up(cpu, a),
-            },
+            VpAction::Syscall { call } => {
+                self.push_syscall_micros(unit, space, call);
+                None
+            }
+            VpAction::GiveUp => {
+                match unit {
+                    UnitRef::Kt(_) => self.park_unit(cpu, unit),
+                    UnitRef::Act(a) => self.act_give_up(cpu, a),
+                }
+                None
+            }
         }
     }
 
@@ -163,7 +179,7 @@ impl Kernel {
                 // unless the fault path runs (decided by the effect).
                 if !matches!(call, Syscall::MemRead { .. }) {
                     self.spaces[space.index()].metrics.traps.inc();
-                    let trap = Seg::kernel(self.cost.kernel_trap);
+                    let trap = self.segs.trap;
                     self.acts[a.index()].pipeline.push_back(Micro::Seg(trap));
                 }
                 self.acts[a.index()]
@@ -179,10 +195,10 @@ impl Kernel {
         let dc = self.direct_costs(space);
         let trap = Seg::kernel(c.kernel_trap);
         let copy = Seg::kernel(c.syscall_copy_check);
-        let ret = Seg::kernel(c.kernel_return);
+        let ret = self.segs.ret;
         let sigok = ResumeWith::Syscall(crate::upcall::SyscallOutcome::Ok);
         let mut trapped = true;
-        let p = &mut self.kts[kt.index()].pipeline;
+        let p = &mut self.kts.cold[kt.index()].pipeline;
         match call {
             Syscall::Io { dur } => {
                 p.push_back(Micro::Seg(trap));
@@ -225,7 +241,7 @@ impl Kernel {
 
     /// Flavor-aware resume for `MemCheck` hits.
     pub(crate) fn mem_hit_resume(&self, kt: crate::ids::KtId) -> ResumeWith {
-        match self.kts[kt.index()].flavor {
+        match self.kts.hot[kt.index()].flavor {
             crate::exec::KtFlavor::Vp(_) => {
                 ResumeWith::Syscall(crate::upcall::SyscallOutcome::MemHit)
             }
@@ -233,17 +249,11 @@ impl Kernel {
         }
     }
 
-    /// Refills an activation by polling the runtime.
-    pub(crate) fn refill_act(&mut self, cpu: usize, a: crate::ids::ActId) {
+    /// Refills an activation by polling the runtime. Returns a segment to
+    /// start immediately (see [`Kernel::refill_vp`]).
+    pub(crate) fn refill_act(&mut self, cpu: usize, a: crate::ids::ActId) -> Option<Seg> {
         debug_assert!(matches!(self.cpus[cpu].running, Running::Act(x) if x == a));
-        self.refill_vp(cpu, UnitRef::Act(a), VpId(a.0));
-    }
-
-    fn push_unit_micro(&mut self, unit: UnitRef, m: Micro) {
-        match unit {
-            UnitRef::Kt(kt) => self.kts[kt.index()].pipeline.push_back(m),
-            UnitRef::Act(a) => self.acts[a.index()].pipeline.push_back(m),
-        }
+        self.refill_vp(cpu, UnitRef::Act(a), VpId(a.0))
     }
 }
 

@@ -87,6 +87,18 @@ pub enum BatchStart {
     Started(SimTime),
 }
 
+/// Outcome of [`EventQueue::pop_within`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PopNext<E> {
+    /// No live events remain.
+    Empty,
+    /// The next event fires after the limit; the queue is untouched (the
+    /// clock does not advance) and the event's timestamp is reported.
+    Deferred(SimTime),
+    /// The next event, delivered; the clock advanced to its timestamp.
+    Popped(SimTime, E),
+}
+
 // The wheel variant is ~5 KiB (inline slot heads and occupancy bitmaps)
 // against the heap's handful of `Vec`s, but a queue is created once per
 // simulation and never moved on the hot path — boxing it would buy
@@ -214,6 +226,24 @@ impl<E> EventQueue<E> {
         match &mut self.core {
             Core::Wheel(q) => q.pop_batch_within(limit),
             Core::Indexed(q) => q.pop_batch_within(limit),
+        }
+    }
+
+    /// Fused peek + single-event pop: delivers the next live event if it
+    /// fires at or before `limit`, otherwise [`PopNext::Deferred`] leaves
+    /// the queue (and clock) untouched.
+    ///
+    /// Delivery order is the same strict `(time, seq)` order as every
+    /// other extraction path, so a step loop built on this is
+    /// byte-identical to one built on the batch API — without paying the
+    /// staging machinery (slot walks, sequence sort, staging deque) on
+    /// every simultaneity class of size one, which is the dominant case
+    /// in system runs. Pending staged entries are served first, so the
+    /// two APIs interleave safely.
+    pub fn pop_within(&mut self, limit: SimTime) -> PopNext<E> {
+        match &mut self.core {
+            Core::Wheel(q) => q.pop_within(limit),
+            Core::Indexed(q) => q.pop_within(limit),
         }
     }
 

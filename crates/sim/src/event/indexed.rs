@@ -200,6 +200,33 @@ impl<E> IndexedQueue<E> {
         BatchStart::Started(t)
     }
 
+    /// Fused peek + pop of a single event: delivers the next live event if
+    /// it fires at or before `limit`, else reports it without touching the
+    /// queue. Per-event counterpart of [`IndexedQueue::pop_batch_within`]
+    /// with identical delivery order. Staged entries are served first so
+    /// the two APIs interleave safely.
+    pub fn pop_within(&mut self, limit: SimTime) -> super::PopNext<E> {
+        while let Some((slot, gen)) = self.staged.pop_front() {
+            if self.nodes[slot as usize].gen != gen {
+                continue;
+            }
+            self.staged_live -= 1;
+            let time = self.nodes[slot as usize].time;
+            return super::PopNext::Popped(time, self.free_node(slot));
+        }
+        let Some(&slot) = self.heap.first() else {
+            return super::PopNext::Empty;
+        };
+        let time = self.nodes[slot as usize].time;
+        if time > limit {
+            return super::PopNext::Deferred(time);
+        }
+        self.detach_at(0);
+        debug_assert!(time >= self.now, "event queue time inversion");
+        self.now = time;
+        super::PopNext::Popped(time, self.free_node(slot))
+    }
+
     /// Delivers the next event of the staged batch, skipping entries
     /// cancelled since staging. `None` once the batch is drained.
     pub fn batch_pop(&mut self) -> Option<E> {

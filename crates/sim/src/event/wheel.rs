@@ -315,6 +315,39 @@ impl<E> WheelQueue<E> {
         BatchStart::Started(t)
     }
 
+    /// Fused peek + pop of a single event: delivers the next live event if
+    /// it fires at or before `limit`, else reports it without touching the
+    /// queue. The per-event equivalent of [`WheelQueue::pop_batch_within`]
+    /// — same delivery order (strict `(time, seq)`), none of the staging
+    /// overhead (slot walks, sequence sort, staging deque) that a
+    /// batch-of-one pays. Pending staged entries are served first so the
+    /// two APIs interleave safely.
+    pub fn pop_within(&mut self, limit: SimTime) -> super::PopNext<E> {
+        while let Some((idx, gen)) = self.staged.pop_front() {
+            if self.nodes[idx as usize].gen != gen {
+                continue; // cancelled while staged
+            }
+            self.staged_live -= 1;
+            let time = self.nodes[idx as usize].time;
+            let ev = self.free_node(idx);
+            return super::PopNext::Popped(time, ev);
+        }
+        let Some(slot) = self.prepare_min() else {
+            return super::PopNext::Empty;
+        };
+        let best = self.slot_min(slot);
+        let time = self.nodes[best as usize].time;
+        if time > limit {
+            return super::PopNext::Deferred(time);
+        }
+        self.unlink(best);
+        self.live -= 1;
+        let ev = self.free_node(best);
+        debug_assert!(time >= self.now, "event queue time inversion");
+        self.now = time;
+        super::PopNext::Popped(time, ev)
+    }
+
     /// Delivers the next event of the staged batch, skipping entries
     /// cancelled since staging. `None` once the batch is drained.
     pub fn batch_pop(&mut self) -> Option<E> {

@@ -12,13 +12,15 @@
 
 pub mod event;
 pub mod ledger;
+pub mod paged;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use event::{BatchStart, EventCore, EventQueue, EventToken};
+pub use event::{BatchStart, EventCore, EventQueue, EventToken, PopNext};
 pub use ledger::{CpuState, TimeLedger, WaitKind};
+pub use paged::PagedVec;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceRecord, Tracer, UpcallKind};

@@ -1,0 +1,187 @@
+//! Paged-slab storage for dense per-thread tables.
+//!
+//! A [`PagedVec`] is an append-only indexed table that grows by whole
+//! pages instead of realloc-and-copy. At 10⁶ entries a plain `Vec`
+//! doubles through ~20 reallocations, each copying the entire table and
+//! transiently holding 1.5× the steady-state footprint; a `PagedVec`
+//! allocates one fixed-size page at a time and never moves an existing
+//! element. Ids are dense `u32` row numbers (the same id spaces as
+//! `KtId`/`UtId`), so `table[id]` is a shift-and-mask plus one indexed
+//! load — no hashing, no pointer chase through per-entry boxes.
+//!
+//! The page size is a const parameter and must be a power of two so the
+//! index split compiles to `id >> LOG2(P)` / `id & (P-1)`. Hot tables
+//! (thread state words) use large pages; tiny tables (address spaces)
+//! use small ones so `bytes_resident` stays honest.
+
+/// An append-only paged table indexed by dense row number.
+///
+/// Rows are never moved once pushed; growth allocates a fresh page.
+/// `P` is the page capacity in rows and must be a power of two.
+#[derive(Debug)]
+pub struct PagedVec<T, const P: usize = 1024> {
+    pages: Vec<Vec<T>>,
+    len: usize,
+}
+
+impl<T, const P: usize> Default for PagedVec<T, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const P: usize> PagedVec<T, P> {
+    const _POW2: () = assert!(P.is_power_of_two(), "page size must be a power of two");
+
+    /// An empty table (no pages allocated).
+    pub fn new() -> Self {
+        #[allow(clippy::let_unit_value)]
+        let _ = Self::_POW2;
+        PagedVec {
+            pages: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows have been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a row and returns its dense index.
+    pub fn push(&mut self, value: T) -> u32 {
+        let id = self.len;
+        if id >> P.trailing_zeros() == self.pages.len() {
+            self.pages.push(Vec::with_capacity(P));
+        }
+        let page = self
+            .pages
+            .last_mut()
+            .expect("page allocated on demand above");
+        debug_assert!(page.len() < P);
+        page.push(value);
+        self.len += 1;
+        u32::try_from(id).expect("paged table overflowed u32 id space")
+    }
+
+    /// Row `i`, or `None` past the end.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i < self.len {
+            Some(&self.pages[i >> P.trailing_zeros()][i & (P - 1)])
+        } else {
+            None
+        }
+    }
+
+    /// Mutable row `i`, or `None` past the end.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        if i < self.len {
+            Some(&mut self.pages[i >> P.trailing_zeros()][i & (P - 1)])
+        } else {
+            None
+        }
+    }
+
+    /// Bytes held resident by allocated pages (capacity, not just rows):
+    /// the honest slab footprint reported by `bytes_per_thread`.
+    pub fn bytes_resident(&self) -> usize {
+        self.pages
+            .iter()
+            .map(|p| p.capacity() * core::mem::size_of::<T>())
+            .sum()
+    }
+
+    /// Iterates rows in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.pages.iter().flatten()
+    }
+
+    /// Iterates rows mutably in index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.pages.iter_mut().flatten()
+    }
+}
+
+impl<T, const P: usize> core::ops::Index<usize> for PagedVec<T, P> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        debug_assert!(i < self.len, "row {i} out of bounds (len {})", self.len);
+        &self.pages[i >> P.trailing_zeros()][i & (P - 1)]
+    }
+}
+
+impl<T, const P: usize> core::ops::IndexMut<usize> for PagedVec<T, P> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        debug_assert!(i < self.len, "row {i} out of bounds (len {})", self.len);
+        &mut self.pages[i >> P.trailing_zeros()][i & (P - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_index_roundtrip() {
+        let mut v: PagedVec<u64, 4> = PagedVec::new();
+        for i in 0..37u64 {
+            let id = v.push(i * 3);
+            assert_eq!(id as u64, i);
+        }
+        assert_eq!(v.len(), 37);
+        for i in 0..37usize {
+            assert_eq!(v[i], i as u64 * 3);
+        }
+        assert_eq!(v.get(37), None);
+    }
+
+    #[test]
+    fn pages_never_move_rows() {
+        let mut v: PagedVec<u32, 8> = PagedVec::new();
+        v.push(7);
+        let p0 = &v[0] as *const u32;
+        for i in 0..1000 {
+            v.push(i);
+        }
+        assert_eq!(&v[0] as *const u32, p0);
+    }
+
+    #[test]
+    fn bytes_resident_counts_whole_pages() {
+        let mut v: PagedVec<u64, 16> = PagedVec::new();
+        assert_eq!(v.bytes_resident(), 0);
+        v.push(1);
+        assert_eq!(v.bytes_resident(), 16 * 8);
+        for i in 0..16 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 17);
+        assert_eq!(v.bytes_resident(), 2 * 16 * 8);
+    }
+
+    #[test]
+    fn iter_matches_index_order() {
+        let mut v: PagedVec<usize, 4> = PagedVec::new();
+        for i in 0..11 {
+            v.push(i);
+        }
+        let collected: Vec<usize> = v.iter().copied().collect();
+        assert_eq!(collected, (0..11).collect::<Vec<_>>());
+        for r in v.iter_mut() {
+            *r += 100;
+        }
+        assert_eq!(v[10], 110);
+    }
+}

@@ -316,7 +316,18 @@ impl ReadyPolicyKind {
         }
     }
 
-    /// Instantiates the discipline.
+    /// Instantiates the discipline as an enum-dispatched
+    /// [`ReadyPolicySelect`] (the runtime's storage form: built-in
+    /// disciplines dispatch statically, see the type's docs).
+    pub fn build_select(self) -> ReadyPolicySelect {
+        match self {
+            ReadyPolicyKind::LocalLifo => ReadyPolicySelect::LocalLifo(LocalLifo::default()),
+            ReadyPolicyKind::GlobalFifo => ReadyPolicySelect::GlobalFifo(GlobalFifo::default()),
+            ReadyPolicyKind::GlobalLifo => ReadyPolicySelect::GlobalLifo(GlobalLifo::default()),
+        }
+    }
+
+    /// Instantiates the discipline as a trait object.
     pub fn build(self) -> Box<dyn ReadyPolicy> {
         match self {
             ReadyPolicyKind::LocalLifo => Box::<LocalLifo>::default(),
@@ -344,6 +355,112 @@ impl FromStr for ReadyPolicyKind {
                 "unknown ready policy '{other}' (expected one of: {})",
                 ReadyPolicyKind::ALL.map(|k| k.name()).join(", ")
             )),
+        }
+    }
+}
+
+/// Enum-dispatched ready-policy holder: the runtime's storage form.
+///
+/// Every simulation configures one of the built-in disciplines via
+/// [`ReadyPolicyKind`], so the `Box<dyn ReadyPolicy>` indirection on the
+/// dispatch path was provably monomorphic; this enum lets the compiler
+/// resolve (and inline) those calls statically while [`Custom`] keeps the
+/// open trait for external disciplines — and doubles as the
+/// pre-flattening dynamic-dispatch shape for differential tests.
+///
+/// [`Custom`]: ReadyPolicySelect::Custom
+pub enum ReadyPolicySelect {
+    /// [`LocalLifo`], statically dispatched.
+    LocalLifo(LocalLifo),
+    /// [`GlobalFifo`], statically dispatched.
+    GlobalFifo(GlobalFifo),
+    /// [`GlobalLifo`], statically dispatched.
+    GlobalLifo(GlobalLifo),
+    /// Any other discipline, behind the original trait object.
+    Custom(Box<dyn ReadyPolicy>),
+}
+
+impl ReadyPolicySelect {
+    /// Stable policy name (see [`ReadyPolicy::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReadyPolicySelect::LocalLifo(p) => p.name(),
+            ReadyPolicySelect::GlobalFifo(p) => p.name(),
+            ReadyPolicySelect::GlobalLifo(p) => p.name(),
+            ReadyPolicySelect::Custom(p) => p.name(),
+        }
+    }
+
+    /// See [`ReadyPolicy::ensure_slots`].
+    pub fn ensure_slots(&mut self, n: usize) {
+        match self {
+            ReadyPolicySelect::LocalLifo(p) => p.ensure_slots(n),
+            ReadyPolicySelect::GlobalFifo(p) => p.ensure_slots(n),
+            ReadyPolicySelect::GlobalLifo(p) => p.ensure_slots(n),
+            ReadyPolicySelect::Custom(p) => p.ensure_slots(n),
+        }
+    }
+
+    /// See [`ReadyPolicy::push`].
+    #[inline]
+    pub fn push(&mut self, slot: usize, t: UtId) {
+        match self {
+            ReadyPolicySelect::LocalLifo(p) => p.push(slot, t),
+            ReadyPolicySelect::GlobalFifo(p) => p.push(slot, t),
+            ReadyPolicySelect::GlobalLifo(p) => p.push(slot, t),
+            ReadyPolicySelect::Custom(p) => p.push(slot, t),
+        }
+    }
+
+    /// See [`ReadyPolicy::push_cold`].
+    #[inline]
+    pub fn push_cold(&mut self, slot: usize, t: UtId) {
+        match self {
+            ReadyPolicySelect::LocalLifo(p) => p.push_cold(slot, t),
+            ReadyPolicySelect::GlobalFifo(p) => p.push_cold(slot, t),
+            ReadyPolicySelect::GlobalLifo(p) => p.push_cold(slot, t),
+            ReadyPolicySelect::Custom(p) => p.push_cold(slot, t),
+        }
+    }
+
+    /// See [`ReadyPolicy::pop`].
+    #[inline]
+    pub fn pop(&mut self, slot: usize) -> Option<Pick> {
+        match self {
+            ReadyPolicySelect::LocalLifo(p) => p.pop(slot),
+            ReadyPolicySelect::GlobalFifo(p) => p.pop(slot),
+            ReadyPolicySelect::GlobalLifo(p) => p.pop(slot),
+            ReadyPolicySelect::Custom(p) => p.pop(slot),
+        }
+    }
+
+    /// See [`ReadyPolicy::pop_best`].
+    pub fn pop_best(&mut self, slot: usize, prio: &dyn Fn(UtId) -> u8) -> Option<Pick> {
+        match self {
+            ReadyPolicySelect::LocalLifo(p) => p.pop_best(slot, prio),
+            ReadyPolicySelect::GlobalFifo(p) => p.pop_best(slot, prio),
+            ReadyPolicySelect::GlobalLifo(p) => p.pop_best(slot, prio),
+            ReadyPolicySelect::Custom(p) => p.pop_best(slot, prio),
+        }
+    }
+
+    /// See [`ReadyPolicy::len`].
+    pub fn len(&self, slot: usize) -> usize {
+        match self {
+            ReadyPolicySelect::LocalLifo(p) => p.len(slot),
+            ReadyPolicySelect::GlobalFifo(p) => p.len(slot),
+            ReadyPolicySelect::GlobalLifo(p) => p.len(slot),
+            ReadyPolicySelect::Custom(p) => p.len(slot),
+        }
+    }
+
+    /// See [`ReadyPolicy::total`].
+    pub fn total(&self) -> usize {
+        match self {
+            ReadyPolicySelect::LocalLifo(p) => p.total(),
+            ReadyPolicySelect::GlobalFifo(p) => p.total(),
+            ReadyPolicySelect::GlobalLifo(p) => p.total(),
+            ReadyPolicySelect::Custom(p) => p.total(),
         }
     }
 }

@@ -23,12 +23,12 @@
 //! the segment that precedes it.
 
 use crate::config::{CriticalSectionMode, FtConfig, Substrate};
-use crate::ready::ReadyPolicy;
+use crate::ready::{ReadyPolicy, ReadyPolicySelect};
 use crate::stats::FtStats;
 use crate::sync::{HandOff, SpinPolicy, UCv, ULock};
-use crate::types::{cookie, seg, Awaiting, RtMicro, Slot, SpinCtx, Step, UtId, UtState, Utcb};
+use crate::types::{cookie, seg, Awaiting, RtMicro, Slot, SpinCtx, Step, TcbStore, UtId, UtState};
 use sa_kernel::upcall::{
-    PollReason, RtEnv, SavedContext, Syscall, UpcallEvent, UserRuntime, VpAction, WorkKind,
+    PollReason, RtEnv, SavedContext, Syscall, UpcallEvent, UserRuntime, VpAction, VpSeg, WorkKind,
 };
 use sa_kernel::VpId;
 use sa_kernel::NO_LOCK;
@@ -40,11 +40,11 @@ use sa_sim::{SimDuration, TraceEvent};
 /// The user-level thread package.
 pub struct FastThreads {
     cfg: FtConfig,
-    tcbs: Vec<Utcb>,
+    tcbs: TcbStore,
     slots: Vec<Slot>,
     /// The ready-queue discipline (every ready thread lives here; see
     /// [`crate::ready`] for the policy contract).
-    ready: Box<dyn ReadyPolicy>,
+    ready: ReadyPolicySelect,
     /// VP id → slot index. A slab rather than a hash map: this is read on
     /// every poll and upcall delivery, and VP ids (kernel-thread indexes
     /// or activation ids) are dense — the kernel allocates activation ids
@@ -94,8 +94,47 @@ pub struct FastThreads {
     discard_backlog: u32,
     /// A §3.1 priority-preemption request to issue at the next chance.
     preempt_request: Option<VpId>,
+    /// Set whenever `hint_due`, `discard_backlog`, or `preempt_request`
+    /// gains a pending value: [`FastThreads::fill`] checks this one flag
+    /// per poll instead of walking the three kernel-notification checks
+    /// on the hot path (cleared when all three are serviced).
+    kernel_attention: bool,
+    /// Precomputed per-op durations, built on first poll (see
+    /// [`CostCache`]).
+    cost_cache: Option<CostCache>,
     /// Statistics.
     pub stats: FtStats,
+}
+
+/// Precomputed per-operation durations.
+///
+/// Interpreting an op used to re-sum its cost-model terms — plus the
+/// config-dependent critical-flag and busy-accounting surcharges — on
+/// every call. All of those are constant for a given `FtConfig` +
+/// [`CostModel`] (the kernel's cost model never changes mid-run), so they
+/// are folded once here the first time the runtime is polled.
+#[derive(Debug, Clone, Copy)]
+struct CostCache {
+    /// SA busy-count accounting surcharge (zero on kernel threads).
+    acct: SimDuration,
+    /// Lock acquire fast path: test-and-set + lock body + flag.
+    acquire: SimDuration,
+    /// Lock release fast path.
+    release: SimDuration,
+    /// Condition-variable wait/signal/broadcast.
+    cv_op: SimDuration,
+    /// Fork: TCB alloc + init + ready push, two critical sections, acct.
+    fork: SimDuration,
+    /// Join bookkeeping.
+    join: SimDuration,
+    /// Exit: cleanup + TCB free, two critical sections, acct.
+    exit: SimDuration,
+    /// Ready-list push (yield / requeue paths).
+    enqueue: SimDuration,
+    /// Ready-list push plus busy accounting (unblock requeue).
+    enqueue_acct: SimDuration,
+    /// Fixed part of a dispatch: dequeue + context switch + flag.
+    dispatch: SimDuration,
 }
 
 impl FastThreads {
@@ -105,11 +144,11 @@ impl FastThreads {
             Substrate::KernelThreads { vps } => (0..vps).map(|_| Slot::new()).collect(),
             Substrate::SchedulerActivations => Vec::new(),
         };
-        let mut ready = cfg.ready_policy.build();
+        let mut ready = cfg.ready_policy.build_select();
         ready.ensure_slots(slots.len());
         FastThreads {
             cfg,
-            tcbs: Vec::new(),
+            tcbs: TcbStore::default(),
             slots,
             ready,
             vp_slot: Vec::new(),
@@ -124,9 +163,11 @@ impl FastThreads {
             busy: 0,
             live: 0,
             hint_due: false,
+            kernel_attention: false,
             notified_want_more: false,
             discard_backlog: 0,
             preempt_request: None,
+            cost_cache: None,
             stats: FtStats::default(),
         }
     }
@@ -134,6 +175,34 @@ impl FastThreads {
     /// True when running on scheduler activations.
     fn is_sa(&self) -> bool {
         matches!(self.cfg.substrate, Substrate::SchedulerActivations)
+    }
+
+    /// Replaces the ready discipline with a custom trait-object policy —
+    /// the pre-flattening dynamic-dispatch shape (differential tests use
+    /// this to pin enum dispatch to the `Box<dyn>` path byte-for-byte).
+    /// Call before any thread runs; existing ready threads are not
+    /// migrated.
+    pub fn set_ready_policy(&mut self, p: Box<dyn ReadyPolicy>) {
+        let mut p = ReadyPolicySelect::Custom(p);
+        p.ensure_slots(self.slots.len());
+        self.ready = p;
+    }
+
+    /// Bytes resident in the hot (dispatch-path) half of the TCB slab.
+    pub fn tcb_hot_bytes(&self) -> usize {
+        self.tcbs.hot_bytes_resident()
+    }
+
+    /// Bytes resident in the whole TCB slab (hot + cold rows; excludes
+    /// heap owned by boxed bodies and continuation queues).
+    pub fn tcb_bytes(&self) -> usize {
+        self.tcbs.bytes_resident()
+    }
+
+    /// TCB rows ever allocated — the high-water mark of concurrently
+    /// live threads, since exited TCBs are recycled through free lists.
+    pub fn tcb_rows(&self) -> usize {
+        self.tcbs.len()
     }
 
     /// Extra per-critical-section cost in `ExplicitFlag` mode; zero in the
@@ -155,19 +224,39 @@ impl FastThreads {
         }
     }
 
+    /// The folded per-op duration table, built on first use.
+    #[inline]
+    fn costs(&mut self, c: &CostModel) -> CostCache {
+        if let Some(cc) = self.cost_cache {
+            return cc;
+        }
+        let flag = self.flag_cost(c);
+        let acct = self.busy_acct(c);
+        let cc = CostCache {
+            acct,
+            acquire: c.test_and_set + c.ut_lock_fast + flag,
+            release: c.ut_lock_fast + flag,
+            cv_op: c.ut_cv_op + flag + acct,
+            fork: c.ut_tcb_alloc + c.ut_tcb_init + c.ut_ready_enqueue + flag + flag + acct,
+            join: c.ut_join,
+            exit: c.ut_exit_cleanup + c.ut_tcb_free + flag + flag + acct,
+            enqueue: c.ut_ready_enqueue + flag,
+            enqueue_acct: c.ut_ready_enqueue + flag + acct,
+            dispatch: c.ut_ready_dequeue + c.ut_ctx_switch + flag,
+        };
+        self.cost_cache = Some(cc);
+        cc
+    }
+
     // ---- TCB and queue primitives -------------------------------------
 
     /// Allocates a TCB from the slot's free list (or grows the table).
     fn alloc_tcb(&mut self, slot: usize, body: Box<dyn ThreadBody>) -> UtId {
         let id = match self.slots[slot].free_tcbs.pop() {
             Some(id) => id,
-            None => {
-                let id = UtId(self.tcbs.len() as u32);
-                self.tcbs.push(Utcb::new(id));
-                id
-            }
+            None => self.tcbs.push_free(),
         };
-        self.tcbs[id.index()].reinit(body);
+        self.tcbs.reinit(id, body);
         id
     }
 
@@ -176,13 +265,13 @@ impl FastThreads {
     /// thread that outranks a running one asks the kernel to interrupt the
     /// lowest-priority processor (§3.1).
     fn ready_thread(&mut self, slot: usize, t: UtId, env: &mut RtEnv<'_>) {
-        debug_assert_ne!(self.tcbs[t.index()].state, UtState::Free);
-        self.tcbs[t.index()].state = UtState::Ready;
-        self.tcbs[t.index()].ready_since = Some(env.now);
+        debug_assert_ne!(self.tcbs.hot[t.index()].state, UtState::Free);
+        self.tcbs.hot[t.index()].state = UtState::Ready;
+        self.tcbs.hot[t.index()].ready_since = Some(env.now);
         self.ready.push(slot, t);
         self.kick_an_idler(env);
         if self.cfg.priority_scheduling && self.is_sa() {
-            let new_prio = self.tcbs[t.index()].prio;
+            let new_prio = self.tcbs.hot[t.index()].prio;
             // Find the lowest-priority running thread; if it ranks below
             // the newcomer and no processor is idle, request a preemption.
             let any_idle = self
@@ -202,12 +291,16 @@ impl FastThreads {
                     })
                     .filter_map(|(_, s)| {
                         let cur = s.current?;
-                        Some((s.active_vp.expect("filtered"), self.tcbs[cur.index()].prio))
+                        Some((
+                            s.active_vp.expect("filtered"),
+                            self.tcbs.hot[cur.index()].prio,
+                        ))
                     })
                     .min_by_key(|&(_, p)| p);
                 if let Some((vp, p)) = victim {
                     if p < new_prio {
                         self.preempt_request = Some(vp);
+                        self.kernel_attention = true;
                     }
                 }
             }
@@ -236,6 +329,7 @@ impl FastThreads {
         let held = self.active_slot_count() as u32;
         if self.busy > held && !self.notified_want_more {
             self.hint_due = true;
+            self.kernel_attention = true;
         }
     }
 
@@ -243,7 +337,7 @@ impl FastThreads {
     /// dispatch of a thread resumed from a condition wait or a preemption
     /// checks whether saved state (condition codes) must be restored.
     fn resume_check_cost(&self, t: UtId, c: &CostModel) -> SimDuration {
-        if self.is_sa() && self.tcbs[t.index()].needs_resume_check {
+        if self.is_sa() && self.tcbs.hot[t.index()].needs_resume_check {
             c.sa_resume_check
         } else {
             SimDuration::ZERO
@@ -374,41 +468,44 @@ impl FastThreads {
 
     /// Steps the current thread's body and queues the micro-ops of its
     /// next operation.
-    fn step_body(&mut self, slot: usize, t: UtId, env: &mut RtEnv<'_>) {
-        let last = std::mem::replace(&mut self.tcbs[t.index()].next_result, OpResult::Done);
+    fn step_body(&mut self, slot: usize, t: UtId, env: &mut RtEnv<'_>) -> Option<VpSeg> {
+        let last = std::mem::replace(&mut self.tcbs.cold[t.index()].next_result, OpResult::Done);
         let step_env = StepEnv {
             now: env.now,
             self_ref: t.as_ref(),
             last,
         };
-        let mut body = self.tcbs[t.index()]
+        let mut body = self.tcbs.cold[t.index()]
             .body
             .take()
             .expect("running thread without body");
         let op = body.step(&step_env);
-        self.tcbs[t.index()].body = Some(body);
-        self.interpret(slot, t, op, env);
+        self.tcbs.cold[t.index()].body = Some(body);
+        self.interpret(slot, t, op, env)
     }
 
     /// Queues the micro-ops implementing `op` for thread `t`.
-    fn interpret(&mut self, slot: usize, t: UtId, op: Op, env: &mut RtEnv<'_>) {
-        let c = env.cost;
-        let flag = self.flag_cost(c);
-        let acct = self.busy_acct(c);
+    /// Translates one thread operation into a leading segment (returned
+    /// for the caller to run immediately) plus follow-up steps queued on
+    /// the thread's continuation. Kernel-call ops queue everything and
+    /// return `None` (the syscall surfaces via the poll loop).
+    fn interpret(&mut self, slot: usize, t: UtId, op: Op, env: &mut RtEnv<'_>) -> Option<VpSeg> {
+        let cc = self.costs(env.cost);
         let fork_prio = match &op {
             Op::ForkPrio(_, prio) => Some(*prio),
             _ => None,
         };
         match op {
             Op::Compute(d) => {
-                let critical = self.tcbs[t.index()].locks_held > 0;
+                let critical = self.tcbs.hot[t.index()].locks_held > 0;
                 let s = seg(d, WorkKind::UserWork, cookie::Tag::User, Some(t), critical);
-                let q = &mut self.tcbs[t.index()].cont;
-                q.push_back(RtMicro::Seg(s));
-                q.push_back(RtMicro::Step(Step::OpDone(OpResult::Done)));
+                self.tcbs.cold[t.index()]
+                    .cont
+                    .push_back(RtMicro::Step(Step::OpDone(OpResult::Done)));
+                return Some(s);
             }
             Op::Acquire(l) => {
-                let d = c.test_and_set + c.ut_lock_fast + flag;
+                let d = cc.acquire;
                 let s = seg(
                     d,
                     WorkKind::RuntimeOverhead,
@@ -416,12 +513,12 @@ impl FastThreads {
                     Some(t),
                     true,
                 );
-                let q = &mut self.tcbs[t.index()].cont;
-                q.push_back(RtMicro::Seg(s));
+                let q = &mut self.tcbs.cold[t.index()].cont;
                 q.push_back(RtMicro::Step(Step::FinishAcquire(l)));
+                return Some(s);
             }
             Op::Release(l) => {
-                let d = c.ut_lock_fast + flag;
+                let d = cc.release;
                 let s = seg(
                     d,
                     WorkKind::RuntimeOverhead,
@@ -429,12 +526,12 @@ impl FastThreads {
                     Some(t),
                     true,
                 );
-                let q = &mut self.tcbs[t.index()].cont;
-                q.push_back(RtMicro::Seg(s));
+                let q = &mut self.tcbs.cold[t.index()].cont;
                 q.push_back(RtMicro::Step(Step::FinishRelease(l)));
+                return Some(s);
             }
             Op::Wait { cv, lock } => {
-                let d = c.ut_cv_op + flag + acct;
+                let d = cc.cv_op;
                 let s = seg(
                     d,
                     WorkKind::RuntimeOverhead,
@@ -442,12 +539,12 @@ impl FastThreads {
                     Some(t),
                     true,
                 );
-                let q = &mut self.tcbs[t.index()].cont;
-                q.push_back(RtMicro::Seg(s));
+                let q = &mut self.tcbs.cold[t.index()].cont;
                 q.push_back(RtMicro::Step(Step::FinishCvWait { cv, lock }));
+                return Some(s);
             }
             Op::Signal(cv) => {
-                let d = c.ut_cv_op + flag + acct;
+                let d = cc.cv_op;
                 let s = seg(
                     d,
                     WorkKind::RuntimeOverhead,
@@ -455,13 +552,13 @@ impl FastThreads {
                     Some(t),
                     true,
                 );
-                let q = &mut self.tcbs[t.index()].cont;
-                q.push_back(RtMicro::Seg(s));
+                let q = &mut self.tcbs.cold[t.index()].cont;
                 q.push_back(RtMicro::Step(Step::FinishCvSignal(cv)));
                 q.push_back(RtMicro::Step(Step::OpDone(OpResult::Done)));
+                return Some(s);
             }
             Op::Broadcast(cv) => {
-                let d = c.ut_cv_op + flag + acct;
+                let d = cc.cv_op;
                 let s = seg(
                     d,
                     WorkKind::RuntimeOverhead,
@@ -469,20 +566,20 @@ impl FastThreads {
                     Some(t),
                     true,
                 );
-                let q = &mut self.tcbs[t.index()].cont;
-                q.push_back(RtMicro::Seg(s));
+                let q = &mut self.tcbs.cold[t.index()].cont;
                 q.push_back(RtMicro::Step(Step::FinishCvBroadcast(cv)));
                 q.push_back(RtMicro::Step(Step::OpDone(OpResult::Done)));
+                return Some(s);
             }
             Op::Fork(body) | Op::ForkPrio(body, _) => {
                 self.stats.forks.inc();
                 let child = self.alloc_tcb(slot, body);
                 if let Some(prio) = fork_prio {
-                    self.tcbs[child.index()].prio = prio;
+                    self.tcbs.hot[child.index()].prio = prio;
                 }
                 // TCB free list + init + ready-list push: two critical
                 // sections plus the scheduler-activation busy accounting.
-                let d = c.ut_tcb_alloc + c.ut_tcb_init + c.ut_ready_enqueue + flag + flag + acct;
+                let d = cc.fork;
                 let s = seg(
                     d,
                     WorkKind::RuntimeOverhead,
@@ -490,16 +587,16 @@ impl FastThreads {
                     Some(t),
                     true,
                 );
-                let q = &mut self.tcbs[t.index()].cont;
-                q.push_back(RtMicro::Seg(s));
+                let q = &mut self.tcbs.cold[t.index()].cont;
                 q.push_back(RtMicro::Step(Step::FinishFork(child)));
                 q.push_back(RtMicro::Step(Step::OpDone(OpResult::Forked(
                     child.as_ref(),
                 ))));
+                return Some(s);
             }
             Op::Join(r) => {
                 let target = UtId::from_ref(r);
-                let d = c.ut_join;
+                let d = cc.join;
                 let s = seg(
                     d,
                     WorkKind::RuntimeOverhead,
@@ -507,13 +604,13 @@ impl FastThreads {
                     Some(t),
                     true,
                 );
-                let q = &mut self.tcbs[t.index()].cont;
-                q.push_back(RtMicro::Seg(s));
+                let q = &mut self.tcbs.cold[t.index()].cont;
                 q.push_back(RtMicro::Step(Step::FinishJoin(target)));
+                return Some(s);
             }
             Op::Exit => {
                 self.stats.exits.inc();
-                let d = c.ut_exit_cleanup + c.ut_tcb_free + flag + flag + acct;
+                let d = cc.exit;
                 let s = seg(
                     d,
                     WorkKind::RuntimeOverhead,
@@ -521,12 +618,12 @@ impl FastThreads {
                     Some(t),
                     true,
                 );
-                let q = &mut self.tcbs[t.index()].cont;
-                q.push_back(RtMicro::Seg(s));
+                let q = &mut self.tcbs.cold[t.index()].cont;
                 q.push_back(RtMicro::Step(Step::FinishExit));
+                return Some(s);
             }
             Op::Yield => {
-                let d = c.ut_ready_enqueue + flag;
+                let d = cc.enqueue;
                 let s = seg(
                     d,
                     WorkKind::RuntimeOverhead,
@@ -534,9 +631,9 @@ impl FastThreads {
                     Some(t),
                     true,
                 );
-                let q = &mut self.tcbs[t.index()].cont;
-                q.push_back(RtMicro::Seg(s));
+                let q = &mut self.tcbs.cold[t.index()].cont;
                 q.push_back(RtMicro::Step(Step::FinishYield));
+                return Some(s);
             }
             Op::Io(dur) => {
                 self.queue_thread_call(t, Syscall::Io { dur }, env);
@@ -551,12 +648,13 @@ impl FastThreads {
                 self.queue_thread_call(t, Syscall::KernelWait { chan }, env);
             }
         }
+        None
     }
 
     /// Queues a kernel call on behalf of the current thread.
     fn queue_thread_call(&mut self, t: UtId, call: Syscall, env: &mut RtEnv<'_>) {
-        let acct = self.busy_acct(env.cost);
-        let q = &mut self.tcbs[t.index()].cont;
+        let acct = self.costs(env.cost).acct;
+        let q = &mut self.tcbs.cold[t.index()].cont;
         if !acct.is_zero() {
             q.push_back(RtMicro::Seg(seg(
                 acct,
@@ -573,12 +671,12 @@ impl FastThreads {
     /// continuation.
     fn clear_spin_micros(&mut self, t: UtId) {
         loop {
-            match self.tcbs[t.index()].cont.front() {
+            match self.tcbs.cold[t.index()].cont.front() {
                 Some(RtMicro::Seg(s)) if matches!(s.kind, WorkKind::SpinWait) => {
-                    self.tcbs[t.index()].cont.pop_front();
+                    self.tcbs.cold[t.index()].cont.pop_front();
                 }
                 Some(RtMicro::SpinFor(_)) | Some(RtMicro::Step(Step::SpinExpired(_))) => {
-                    self.tcbs[t.index()].cont.pop_front();
+                    self.tcbs.cold[t.index()].cont.pop_front();
                 }
                 _ => break,
             }
@@ -592,7 +690,7 @@ impl FastThreads {
         match st {
             Step::FinishDispatch(t) => {
                 self.stats.dispatches.inc();
-                self.tcbs[t.index()].needs_resume_check = false;
+                self.tcbs.hot[t.index()].needs_resume_check = false;
                 self.slots[slot].hysteresis_done = false;
                 self.slots[slot].idle_hinted = false;
                 if self.slots[slot].current.is_some() {
@@ -600,16 +698,16 @@ impl FastThreads {
                     // the incumbent and requeue the newcomer.
                     self.ready_thread(slot, t, env);
                 } else {
-                    if let Some(since) = self.tcbs[t.index()].ready_since.take() {
+                    if let Some(since) = self.tcbs.hot[t.index()].ready_since.take() {
                         self.stats.ready_wait.record(env.now.since(since));
                     }
                     self.slots[slot].current = Some(t);
-                    self.tcbs[t.index()].state = UtState::Running;
+                    self.tcbs.hot[t.index()].state = UtState::Running;
                 }
             }
             Step::OpDone(r) => {
                 let t = self.slots[slot].current.expect("OpDone without thread");
-                self.tcbs[t.index()].next_result = r;
+                self.tcbs.cold[t.index()].next_result = r;
             }
             Step::FinishAcquire(l) => self.finish_acquire(slot, l, env),
             Step::FinishRelease(l) => self.finish_release(slot, l, env),
@@ -632,8 +730,8 @@ impl FastThreads {
                     .expect("yield without thread");
                 // A yielding thread goes to the *cold* end of the ready
                 // queue so every other runnable thread goes first.
-                self.tcbs[t.index()].state = UtState::Ready;
-                self.tcbs[t.index()].ready_since = Some(env.now);
+                self.tcbs.hot[t.index()].state = UtState::Ready;
+                self.tcbs.hot[t.index()].ready_since = Some(env.now);
                 self.ready.push_cold(slot, t);
                 self.kick_an_idler(env);
             }
@@ -651,7 +749,7 @@ impl FastThreads {
                 self.slots[slot].recovering = Some(t);
                 self.slots[slot].recovering_since = Some(env.now);
                 self.slots[slot].current = Some(t);
-                self.tcbs[t.index()].state = UtState::Running;
+                self.tcbs.hot[t.index()].state = UtState::Running;
             }
             Step::EndRecovery => {
                 let Some(t) = self.slots[slot].recovering.take() else {
@@ -678,19 +776,19 @@ impl FastThreads {
             None => {
                 lock.holder = Some(t);
                 self.stats.lock_fast.inc();
-                self.tcbs[t.index()].locks_held += 1;
-                self.tcbs[t.index()].spinning_on = None;
-                self.tcbs[t.index()].state = UtState::Running;
-                self.tcbs[t.index()]
+                self.tcbs.hot[t.index()].locks_held += 1;
+                self.tcbs.hot[t.index()].spinning_on = None;
+                self.tcbs.hot[t.index()].state = UtState::Running;
+                self.tcbs.cold[t.index()]
                     .cont
                     .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
             }
             Some(h) if h == t => {
                 // Handed off to us while we were spinning or blocked.
-                self.tcbs[t.index()].locks_held += 1;
-                self.tcbs[t.index()].spinning_on = None;
-                self.tcbs[t.index()].state = UtState::Running;
-                self.tcbs[t.index()]
+                self.tcbs.hot[t.index()].locks_held += 1;
+                self.tcbs.hot[t.index()].spinning_on = None;
+                self.tcbs.hot[t.index()].state = UtState::Running;
+                self.tcbs.cold[t.index()]
                     .cont
                     .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
             }
@@ -699,16 +797,16 @@ impl FastThreads {
                 match self.cfg.lock_policy {
                     SpinPolicy::SpinForever => {
                         lock.spinners.push_back((t, slot));
-                        self.tcbs[t.index()].state = UtState::Spinning;
-                        self.tcbs[t.index()].spinning_on = Some(l);
-                        self.tcbs[t.index()]
+                        self.tcbs.hot[t.index()].state = UtState::Spinning;
+                        self.tcbs.hot[t.index()].spinning_on = Some(l);
+                        self.tcbs.cold[t.index()]
                             .cont
                             .push_front(RtMicro::SpinFor(SpinCtx::Lock { t, lock: l }));
                     }
                     SpinPolicy::SpinThenBlock { spin } => {
                         lock.spinners.push_back((t, slot));
-                        self.tcbs[t.index()].state = UtState::Spinning;
-                        self.tcbs[t.index()].spinning_on = Some(l);
+                        self.tcbs.hot[t.index()].state = UtState::Spinning;
+                        self.tcbs.hot[t.index()].spinning_on = Some(l);
                         self.slots[slot].spin = Some(SpinCtx::Lock { t, lock: l });
                         let s = seg(
                             spin,
@@ -717,7 +815,7 @@ impl FastThreads {
                             Some(t),
                             false,
                         );
-                        let q = &mut self.tcbs[t.index()].cont;
+                        let q = &mut self.tcbs.cold[t.index()].cont;
                         q.push_front(RtMicro::Step(Step::SpinExpired(l)));
                         q.push_front(RtMicro::Seg(s));
                     }
@@ -733,13 +831,13 @@ impl FastThreads {
     fn spin_expired(&mut self, slot: usize, l: LockId) {
         self.slots[slot].spin = None;
         let t = self.slots[slot].current.expect("spin without thread");
-        self.tcbs[t.index()].spinning_on = None;
+        self.tcbs.hot[t.index()].spinning_on = None;
         let lock = Self::lock_slot(&mut self.locks, l);
         if lock.holder == Some(t) {
             // Granted at the last moment; take it.
-            self.tcbs[t.index()].locks_held += 1;
-            self.tcbs[t.index()].state = UtState::Running;
-            self.tcbs[t.index()]
+            self.tcbs.hot[t.index()].locks_held += 1;
+            self.tcbs.hot[t.index()].state = UtState::Running;
+            self.tcbs.cold[t.index()]
                 .cont
                 .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
             return;
@@ -751,7 +849,7 @@ impl FastThreads {
 
     fn block_on_lock(&mut self, slot: usize, t: UtId, l: LockId) {
         Self::lock_slot(&mut self.locks, l).waiters.push_back(t);
-        self.tcbs[t.index()].state = UtState::BlockedLock(l);
+        self.tcbs.hot[t.index()].state = UtState::BlockedLock(l);
         self.slots[slot].current = None;
         self.busy -= 1;
     }
@@ -759,7 +857,7 @@ impl FastThreads {
     fn finish_release(&mut self, slot: usize, l: LockId, env: &mut RtEnv<'_>) {
         let t = self.slots[slot].current.expect("release without thread");
         {
-            let held = &mut self.tcbs[t.index()].locks_held;
+            let held = &mut self.tcbs.hot[t.index()].locks_held;
             debug_assert!(*held > 0, "release while holding no locks");
             *held = held.saturating_sub(1);
         }
@@ -781,14 +879,14 @@ impl FastThreads {
             }
             HandOff::WakeRetry(w) => {
                 self.busy += 1;
-                self.tcbs[w.index()]
+                self.tcbs.cold[w.index()]
                     .cont
                     .push_front(RtMicro::Step(Step::FinishAcquire(l)));
                 self.ready_thread(slot, w, env);
                 self.note_busy_changed();
             }
         }
-        self.tcbs[t.index()]
+        self.tcbs.cold[t.index()]
             .cont
             .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
     }
@@ -800,13 +898,13 @@ impl FastThreads {
             // Equivalent to an immediate (spurious) wakeup; the lock is
             // kept. Mesa-style users re-check their predicate.
             c.banked -= 1;
-            self.tcbs[t.index()]
+            self.tcbs.cold[t.index()]
                 .cont
                 .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
             return;
         }
         c.waiters.push_back((t, lock));
-        self.tcbs[t.index()].state = UtState::BlockedCv(cv);
+        self.tcbs.hot[t.index()].state = UtState::BlockedCv(cv);
         self.slots[slot].current = None;
         self.busy -= 1;
         if lock != NO_LOCK {
@@ -819,7 +917,7 @@ impl FastThreads {
     /// blocked, so no OpDone is queued for it here).
     fn release_for_wait(&mut self, slot: usize, t: UtId, l: LockId, env: &mut RtEnv<'_>) {
         {
-            let held = &mut self.tcbs[t.index()].locks_held;
+            let held = &mut self.tcbs.hot[t.index()].locks_held;
             debug_assert!(*held > 0, "cv wait without holding the lock");
             *held -= 1;
         }
@@ -838,7 +936,7 @@ impl FastThreads {
             }
             HandOff::WakeRetry(w) => {
                 self.busy += 1;
-                self.tcbs[w.index()]
+                self.tcbs.cold[w.index()]
                     .cont
                     .push_front(RtMicro::Step(Step::FinishAcquire(l)));
                 self.ready_thread(slot, w, env);
@@ -876,15 +974,15 @@ impl FastThreads {
             let l = Self::lock_slot(&mut self.locks, lock);
             if l.holder.is_some() {
                 l.waiters.push_back(w);
-                self.tcbs[w.index()].state = UtState::BlockedLock(lock);
+                self.tcbs.hot[w.index()].state = UtState::BlockedLock(lock);
                 return;
             }
             l.holder = Some(w);
-            self.tcbs[w.index()].locks_held += 1;
+            self.tcbs.hot[w.index()].locks_held += 1;
         }
-        self.tcbs[w.index()].needs_resume_check = true;
+        self.tcbs.hot[w.index()].needs_resume_check = true;
         self.busy += 1;
-        self.tcbs[w.index()]
+        self.tcbs.cold[w.index()]
             .cont
             .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
         self.ready_thread(slot, w, env);
@@ -893,19 +991,19 @@ impl FastThreads {
 
     fn finish_join(&mut self, slot: usize, target: UtId) {
         let t = self.slots[slot].current.expect("join without thread");
-        if self.tcbs[target.index()].exited {
-            if self.tcbs[target.index()].state == UtState::Exited {
+        if self.tcbs.hot[target.index()].exited {
+            if self.tcbs.hot[target.index()].state == UtState::Exited {
                 // Reap: the control block can be reused now.
-                self.tcbs[target.index()].state = UtState::Free;
-                self.tcbs[target.index()].body = None;
+                self.tcbs.hot[target.index()].state = UtState::Free;
+                self.tcbs.cold[target.index()].body = None;
                 self.slots[slot].free_tcbs.push(target);
             }
-            self.tcbs[t.index()]
+            self.tcbs.cold[t.index()]
                 .cont
                 .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
         } else {
-            self.tcbs[target.index()].joiners.push(t);
-            self.tcbs[t.index()].state = UtState::BlockedJoin(target);
+            self.tcbs.cold[target.index()].joiners.push(t);
+            self.tcbs.hot[t.index()].state = UtState::BlockedJoin(target);
             self.slots[slot].current = None;
             self.busy -= 1;
         }
@@ -917,24 +1015,24 @@ impl FastThreads {
             .take()
             .expect("exit without thread");
         debug_assert_eq!(
-            self.tcbs[t.index()].locks_held,
+            self.tcbs.hot[t.index()].locks_held,
             0,
             "thread exited holding a lock"
         );
-        self.tcbs[t.index()].exited = true;
-        self.tcbs[t.index()].body = None;
+        self.tcbs.hot[t.index()].exited = true;
+        self.tcbs.cold[t.index()].body = None;
         self.live -= 1;
         self.busy -= 1;
-        let joiners = std::mem::take(&mut self.tcbs[t.index()].joiners);
+        let joiners = std::mem::take(&mut self.tcbs.cold[t.index()].joiners);
         if joiners.is_empty() {
-            self.tcbs[t.index()].state = UtState::Exited;
+            self.tcbs.hot[t.index()].state = UtState::Exited;
         } else {
             // Joined already: reap immediately.
-            self.tcbs[t.index()].state = UtState::Free;
+            self.tcbs.hot[t.index()].state = UtState::Free;
             self.slots[slot].free_tcbs.push(t);
             for j in joiners {
                 self.busy += 1;
-                self.tcbs[j.index()]
+                self.tcbs.cold[j.index()]
                     .cont
                     .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
                 self.ready_thread(slot, j, env);
@@ -959,22 +1057,22 @@ impl FastThreads {
             UpcallEvent::Blocked { vp } => {
                 let t = self.deactivate_slot(vp, slot);
                 if let Some(t) = t {
-                    debug_assert_ne!(self.tcbs[t.index()].state, UtState::Free);
+                    debug_assert_ne!(self.tcbs.hot[t.index()].state, UtState::Free);
                     let early = self.early_unblocks.get_mut(vp.index());
                     if let Some(n) = early.filter(|n| **n > 0) {
                         // The unblock notification overtook this event; the
                         // thread is already runnable again.
                         *n -= 1;
-                        self.tcbs[t.index()]
+                        self.tcbs.cold[t.index()]
                             .cont
                             .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
-                        let d = c.ut_ready_enqueue + self.flag_cost(c);
+                        let d = self.costs(c).enqueue;
                         let sgm = seg(d, WorkKind::UpcallWork, cookie::Tag::Upcall, None, true);
                         let q = &mut self.slots[slot].cont;
                         q.push_back(RtMicro::Seg(sgm));
                         q.push_back(RtMicro::Step(Step::ReadyThread(t)));
                     } else {
-                        self.tcbs[t.index()].state = UtState::BlockedKernel;
+                        self.tcbs.hot[t.index()].state = UtState::BlockedKernel;
                         self.busy -= 1;
                         self.act_queue(vp).push_back(t);
                     }
@@ -987,6 +1085,7 @@ impl FastThreads {
             } => {
                 self.stats.unblocks.inc();
                 self.discard_backlog += 1;
+                self.kernel_attention = true;
                 let next = self
                     .act_thread
                     .get_mut(vp.index())
@@ -997,12 +1096,12 @@ impl FastThreads {
                     *self.early_unblocks_mut(vp) += 1;
                     return;
                 };
-                debug_assert_eq!(self.tcbs[t.index()].state, UtState::BlockedKernel);
+                debug_assert_eq!(self.tcbs.hot[t.index()].state, UtState::BlockedKernel);
                 self.busy += 1;
-                self.tcbs[t.index()]
+                self.tcbs.cold[t.index()]
                     .cont
                     .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
-                let d = c.ut_ready_enqueue + self.flag_cost(c) + self.busy_acct(c);
+                let d = self.costs(c).enqueue_acct;
                 let s = seg(d, WorkKind::UpcallWork, cookie::Tag::Upcall, None, true);
                 let q = &mut self.slots[slot].cont;
                 q.push_back(RtMicro::Seg(s));
@@ -1012,6 +1111,7 @@ impl FastThreads {
             UpcallEvent::Preempted { vp, saved } => {
                 self.stats.preemptions_seen.inc();
                 self.discard_backlog += 1;
+                self.kernel_attention = true;
                 let t = self.deactivate_slot(vp, slot);
                 let Some(t) = t else {
                     // "If a preempted processor was in the idle loop, no
@@ -1033,12 +1133,12 @@ impl FastThreads {
         env: &mut RtEnv<'_>,
     ) {
         let c = env.cost;
-        match self.tcbs[t.index()].state {
+        match self.tcbs.hot[t.index()].state {
             UtState::Spinning => {
                 // Drop the spin; the thread re-attempts the acquire when
                 // it is resumed (a spinner's first action is always to
                 // re-read the lock word).
-                let lock = self.tcbs[t.index()]
+                let lock = self.tcbs.hot[t.index()]
                     .spinning_on
                     .take()
                     .expect("spinning thread without a target lock");
@@ -1046,15 +1146,15 @@ impl FastThreads {
                     l.remove_spinner(t);
                 }
                 self.clear_spin_micros(t);
-                self.tcbs[t.index()]
+                self.tcbs.cold[t.index()]
                     .cont
                     .push_front(RtMicro::Step(Step::FinishAcquire(lock)));
-                self.tcbs[t.index()].state = UtState::Preempted;
-                self.tcbs[t.index()].needs_resume_check = true;
+                self.tcbs.hot[t.index()].state = UtState::Preempted;
+                self.tcbs.hot[t.index()].needs_resume_check = true;
             }
             UtState::Running => {
-                self.tcbs[t.index()].state = UtState::Preempted;
-                self.tcbs[t.index()].needs_resume_check = true;
+                self.tcbs.hot[t.index()].state = UtState::Preempted;
+                self.tcbs.hot[t.index()].needs_resume_check = true;
                 // The kernel-saved register state: the unfinished segment.
                 let (_, owner, _crit) = cookie::unpack(saved.cookie);
                 if owner == Some(t) && !saved.remaining.is_zero() {
@@ -1065,14 +1165,14 @@ impl FastThreads {
                         Some(t),
                         cookie::unpack(saved.cookie).2,
                     );
-                    self.tcbs[t.index()].cont.push_front(RtMicro::Seg(rem));
+                    self.tcbs.cold[t.index()].cont.push_front(RtMicro::Seg(rem));
                 }
             }
             other => {
                 debug_assert!(false, "preempted thread {t} in unexpected state {other:?}");
             }
         }
-        let in_critical = cookie::unpack(saved.cookie).2 || self.tcbs[t.index()].locks_held > 0;
+        let in_critical = cookie::unpack(saved.cookie).2 || self.tcbs.hot[t.index()].locks_held > 0;
         if in_critical && self.cfg.critical != CriticalSectionMode::NoRecovery {
             // Continue the thread via a user-level context switch until it
             // leaves its critical section; it then relinquishes control
@@ -1083,7 +1183,7 @@ impl FastThreads {
             q.push_back(RtMicro::Seg(s));
             q.push_back(RtMicro::Step(Step::StartRecovery(t)));
         } else {
-            let d = c.ut_ready_enqueue + self.flag_cost(c);
+            let d = self.costs(c).enqueue;
             let s = seg(d, WorkKind::UpcallWork, cookie::Tag::Upcall, None, true);
             let q = &mut self.slots[slot].cont;
             q.push_back(RtMicro::Seg(s));
@@ -1094,6 +1194,46 @@ impl FastThreads {
     // ---- The fill decision --------------------------------------------
 
     /// Decides what this processor does next when all queued micro-work is
+    /// Services pending kernel notifications (Table 3 / recycling / §3.1
+    /// priority preemption), guarded by `kernel_attention` so the hot
+    /// path pays one flag check. Clears the flag once nothing is pending.
+    #[cold]
+    fn service_kernel_attention(&mut self, slot: usize) -> Option<VpAction> {
+        if self.is_sa() {
+            if let Some(vp) = self.preempt_request.take() {
+                // Don't interrupt ourselves; the high-priority thread will
+                // be picked by this slot's own next dispatch.
+                if self.slots[slot].active_vp != Some(vp) {
+                    self.slots[slot].awaiting = Some(Awaiting::Hint);
+                    return Some(VpAction::Syscall {
+                        call: Syscall::PreemptVp { vp },
+                    });
+                }
+            }
+            if self.hint_due {
+                self.hint_due = false;
+                self.notified_want_more = true;
+                self.stats.hints.inc();
+                self.slots[slot].awaiting = Some(Awaiting::Hint);
+                let total = self.busy.min(self.cfg.max_processors);
+                return Some(VpAction::Syscall {
+                    call: Syscall::SetDesiredProcessors { total },
+                });
+            }
+            if self.discard_backlog >= self.cfg.recycle_batch {
+                let count = self.discard_backlog;
+                self.discard_backlog = 0;
+                self.stats.recycles.inc();
+                self.slots[slot].awaiting = Some(Awaiting::Hint);
+                return Some(VpAction::Syscall {
+                    call: Syscall::RecycleActivations { count },
+                });
+            }
+        }
+        self.kernel_attention = false;
+        None
+    }
+
     /// exhausted. Pushes new micro-work and returns `None`, or returns a
     /// terminal action.
     fn fill(&mut self, slot: usize, env: &mut RtEnv<'_>) -> Option<VpAction> {
@@ -1115,19 +1255,18 @@ impl FastThreads {
                     None,
                     false,
                 );
-                self.slots[slot].cont.push_back(RtMicro::Seg(s));
-                return None;
+                return Some(VpAction::Run(s));
             }
-            if self.tcbs[r.index()].locks_held == 0 && self.tcbs[r.index()].cont.is_empty() {
+            if self.tcbs.hot[r.index()].locks_held == 0 && self.tcbs.cold[r.index()].cont.is_empty()
+            {
                 let d = c.ut_ctx_switch;
                 let s = seg(d, WorkKind::UpcallWork, cookie::Tag::Upcall, None, false);
-                let q = &mut self.slots[slot].cont;
-                q.push_back(RtMicro::Seg(s));
-                q.push_back(RtMicro::Step(Step::EndRecovery));
-                return None;
+                self.slots[slot]
+                    .cont
+                    .push_back(RtMicro::Step(Step::EndRecovery));
+                return Some(VpAction::Run(s));
             }
-            self.step_body(slot, r, env);
-            return None;
+            return self.step_body(slot, r, env).map(VpAction::Run);
         }
         // 1. Unprocessed upcall events.
         if let Some(ev) = self.slots[slot].tasks.pop_front() {
@@ -1136,47 +1275,21 @@ impl FastThreads {
         }
         // 2. Pending kernel notifications (Table 3 / recycling / §3.1
         //    priority preemption).
-        if self.is_sa() {
-            if let Some(vp) = self.preempt_request.take() {
-                // Don't interrupt ourselves; the high-priority thread will
-                // be picked by this slot's own next dispatch.
-                if self.slots[slot].active_vp != Some(vp) {
-                    self.slots[slot].awaiting = Some(Awaiting::Hint);
-                    return Some(VpAction::Syscall {
-                        call: Syscall::PreemptVp { vp },
-                    });
-                }
+        if self.kernel_attention {
+            if let Some(action) = self.service_kernel_attention(slot) {
+                return Some(action);
             }
-        }
-        if self.is_sa() && self.hint_due {
-            self.hint_due = false;
-            self.notified_want_more = true;
-            self.stats.hints.inc();
-            self.slots[slot].awaiting = Some(Awaiting::Hint);
-            let total = self.busy.min(self.cfg.max_processors);
-            return Some(VpAction::Syscall {
-                call: Syscall::SetDesiredProcessors { total },
-            });
-        }
-        if self.is_sa() && self.discard_backlog >= self.cfg.recycle_batch {
-            let count = self.discard_backlog;
-            self.discard_backlog = 0;
-            self.stats.recycles.inc();
-            self.slots[slot].awaiting = Some(Awaiting::Hint);
-            return Some(VpAction::Syscall {
-                call: Syscall::RecycleActivations { count },
-            });
         }
         // 3. A loaded thread: run its next operation.
         if let Some(t) = self.slots[slot].current {
-            self.step_body(slot, t, env);
-            return None;
+            return self.step_body(slot, t, env).map(VpAction::Run);
         }
         // 4. Dispatch: ask the ready policy for a thread (§2.1 — the
         //    discipline is the application's choice). The policy reports
         //    how it found the thread; the mechanism charges the costs.
         let pick = if self.cfg.priority_scheduling {
-            self.ready.pop_best(slot, &|t| self.tcbs[t.index()].prio)
+            self.ready
+                .pop_best(slot, &|t| self.tcbs.hot[t.index()].prio)
         } else {
             self.ready.pop(slot)
         };
@@ -1186,9 +1299,7 @@ impl FastThreads {
                 self.stats.steals.inc();
             }
             let d = c.ut_scan_step.saturating_mul(pick.scan_steps)
-                + c.ut_ready_dequeue
-                + c.ut_ctx_switch
-                + self.flag_cost(c)
+                + self.costs(c).dispatch
                 + self.resume_check_cost(t, c);
             let s = seg(
                 d,
@@ -1197,10 +1308,10 @@ impl FastThreads {
                 Some(t),
                 true,
             );
-            let q = &mut self.slots[slot].cont;
-            q.push_back(RtMicro::Seg(s));
-            q.push_back(RtMicro::Step(Step::FinishDispatch(t)));
-            return None;
+            self.slots[slot]
+                .cont
+                .push_back(RtMicro::Step(Step::FinishDispatch(t)));
+            return Some(VpAction::Run(s));
         }
         // 5. Nothing runnable.
         if self.live == 0 {
@@ -1219,8 +1330,7 @@ impl FastThreads {
                     None,
                     false,
                 );
-                self.slots[slot].cont.push_back(RtMicro::Seg(s));
-                return None;
+                return Some(VpAction::Run(s));
             }
             if !self.slots[slot].idle_hinted {
                 self.slots[slot].idle_hinted = true;
@@ -1256,9 +1366,8 @@ impl UserRuntime for FastThreads {
 
     fn set_main(&mut self, body: Box<dyn ThreadBody>) {
         debug_assert!(self.boot_thread.is_none(), "set_main called twice");
-        let id = UtId(self.tcbs.len() as u32);
-        self.tcbs.push(Utcb::new(id));
-        self.tcbs[id.index()].reinit(body);
+        let id = self.tcbs.push_free();
+        self.tcbs.reinit(id, body);
         self.live = 1;
         self.busy = 1;
         self.boot_thread = Some(id);
@@ -1277,7 +1386,7 @@ impl UserRuntime for FastThreads {
             PollReason::Fresh | PollReason::SegDone => {}
             PollReason::SyscallDone(_outcome) => match self.slots[slot].awaiting.take() {
                 Some(Awaiting::ThreadCall(t)) => {
-                    self.tcbs[t.index()]
+                    self.tcbs.cold[t.index()]
                         .cont
                         .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
                 }
@@ -1297,9 +1406,9 @@ impl UserRuntime for FastThreads {
                         self.clear_spin_micros(t);
                         let l = Self::lock_slot(&mut self.locks, lock);
                         l.remove_spinner(t);
-                        self.tcbs[t.index()].spinning_on = None;
-                        self.tcbs[t.index()].state = UtState::Running;
-                        self.tcbs[t.index()]
+                        self.tcbs.hot[t.index()].spinning_on = None;
+                        self.tcbs.hot[t.index()].state = UtState::Running;
+                        self.tcbs.cold[t.index()]
                             .cont
                             .push_front(RtMicro::Step(Step::FinishAcquire(lock)));
                     }
@@ -1316,7 +1425,7 @@ impl UserRuntime for FastThreads {
             let micro = if let Some(m) = self.slots[slot].cont.pop_front() {
                 Some(m)
             } else if let Some(t) = self.slots[slot].current {
-                self.tcbs[t.index()].cont.pop_front()
+                self.tcbs.cold[t.index()].cont.pop_front()
             } else {
                 None
             };
@@ -1371,11 +1480,19 @@ impl UserRuntime for FastThreads {
         self.stats.ready_wait.sum_ns() as u64
     }
 
+    fn tcb_slab_stats(&self) -> Option<sa_kernel::upcall::TcbSlabStats> {
+        Some(sa_kernel::upcall::TcbSlabStats {
+            rows: self.tcb_rows(),
+            hot_bytes: self.tcb_hot_bytes(),
+            total_bytes: self.tcb_bytes(),
+        })
+    }
+
     fn debug_dump(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         let mut by_state: std::collections::HashMap<String, u32> = Default::default();
-        for t in &self.tcbs {
+        for t in self.tcbs.hot.iter() {
             *by_state.entry(format!("{:?}", t.state)).or_default() += 1;
         }
         let mut states: Vec<_> = by_state.into_iter().collect();
@@ -1401,7 +1518,7 @@ impl UserRuntime for FastThreads {
                 out,
                 "lock {l}: holder={:?} (state {:?}) spinners={} waiters={}",
                 lk.holder,
-                lk.holder.map(|h| self.tcbs[h.index()].state),
+                lk.holder.map(|h| self.tcbs.hot[h.index()].state),
                 lk.spinners.len(),
                 lk.waiters.len()
             );
@@ -1417,7 +1534,8 @@ impl UserRuntime for FastThreads {
         let _ = writeln!(out, "ready totals: {}", self.ready.total());
         let _ = writeln!(out, "act_thread: {:?}", self.act_thread);
         let _ = writeln!(out, "early_unblocks: {:?}", self.early_unblocks);
-        for t in &self.tcbs {
+        for i in 0..self.tcbs.len() {
+            let t = &self.tcbs.hot[i];
             if matches!(
                 t.state,
                 UtState::BlockedKernel | UtState::Spinning | UtState::Preempted | UtState::Running
@@ -1425,9 +1543,9 @@ impl UserRuntime for FastThreads {
                 let _ = writeln!(
                     out,
                     "  {}: {:?} cont={} locks={} spin_on={:?}",
-                    t.id,
+                    UtId(i as u32),
                     t.state,
-                    t.cont.len(),
+                    self.tcbs.cold[i].cont.len(),
                     t.locks_held,
                     t.spinning_on
                 );

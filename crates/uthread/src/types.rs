@@ -143,16 +143,14 @@ pub(crate) enum Awaiting {
     Hint,
 }
 
-/// A user-level thread control block.
-pub(crate) struct Utcb {
-    pub id: UtId,
+/// The hot half of a user-level thread control block: the words the
+/// runtime's dispatch/ready path reads for *other* threads (state checks,
+/// priority scans, critical-section recovery probes). ~40 bytes, so a
+/// 4096-row page keeps preemption-victim scans and state transitions on
+/// dense cache lines even with 10⁶ live threads.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct UtHot {
     pub state: UtState,
-    pub body: Option<Box<dyn ThreadBody>>,
-    /// Result the next body step will observe.
-    pub next_result: OpResult,
-    /// Saved continuation: segments/steps still to run for the current op
-    /// (includes the preemption-saved remainder at its front).
-    pub cont: VecDeque<RtMicro>,
     /// Scheduling priority (higher wins; only consulted when
     /// `FtConfig::priority_scheduling` is on).
     pub prio: u8,
@@ -163,45 +161,87 @@ pub(crate) struct Utcb {
     /// The next dispatch must check for saved state to restore (set when
     /// the thread is woken from a condition wait or preemption).
     pub needs_resume_check: bool,
-    /// Threads joined on this one.
-    pub joiners: Vec<UtId>,
     pub exited: bool,
     /// When the thread last became ready (for the ready-wait histogram).
     pub ready_since: Option<SimTime>,
 }
 
-impl Utcb {
-    pub(crate) fn new(id: UtId) -> Self {
-        Utcb {
-            id,
+/// The cold half: the body box, saved continuation, and join bookkeeping
+/// — touched only when this thread itself runs or exits.
+pub(crate) struct UtCold {
+    pub body: Option<Box<dyn ThreadBody>>,
+    /// Result the next body step will observe.
+    pub next_result: OpResult,
+    /// Saved continuation: segments/steps still to run for the current op
+    /// (includes the preemption-saved remainder at its front).
+    pub cont: VecDeque<RtMicro>,
+    /// Threads joined on this one.
+    pub joiners: Vec<UtId>,
+}
+
+/// The TCB table: struct-of-arrays over paged slabs, indexed by dense
+/// [`UtId`] row numbers. Growth allocates whole pages (never moving live
+/// rows), and exited rows are recycled through the per-slot free lists,
+/// so 10⁶-thread churn runs in bounded memory.
+#[derive(Default)]
+pub(crate) struct TcbStore {
+    pub hot: sa_sim::PagedVec<UtHot, 4096>,
+    pub cold: sa_sim::PagedVec<UtCold, 1024>,
+}
+
+impl TcbStore {
+    pub(crate) fn len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Appends a fresh `Free` control block and returns its id.
+    pub(crate) fn push_free(&mut self) -> UtId {
+        let row = self.hot.push(UtHot {
             state: UtState::Free,
-            body: None,
-            next_result: OpResult::Start,
-            cont: VecDeque::new(),
             prio: 1,
             locks_held: 0,
             spinning_on: None,
             needs_resume_check: false,
-            joiners: Vec::new(),
             exited: false,
             ready_since: None,
-        }
+        });
+        let cold_row = self.cold.push(UtCold {
+            body: None,
+            next_result: OpResult::Start,
+            cont: VecDeque::new(),
+            joiners: Vec::new(),
+        });
+        debug_assert_eq!(row, cold_row);
+        UtId(row)
     }
 
-    /// Re-initializes a recycled control block for a new thread.
-    pub(crate) fn reinit(&mut self, body: Box<dyn ThreadBody>) {
-        debug_assert_eq!(self.state, UtState::Free);
-        self.state = UtState::Ready;
-        self.body = Some(body);
-        self.next_result = OpResult::Start;
-        self.cont.clear();
-        self.prio = 1;
-        self.locks_held = 0;
-        self.spinning_on = None;
-        self.needs_resume_check = false;
-        self.joiners.clear();
-        self.exited = false;
-        self.ready_since = None;
+    /// Re-initializes a free (new or recycled) control block for a thread.
+    pub(crate) fn reinit(&mut self, id: UtId, body: Box<dyn ThreadBody>) {
+        let h = &mut self.hot[id.index()];
+        debug_assert_eq!(h.state, UtState::Free);
+        h.state = UtState::Ready;
+        h.prio = 1;
+        h.locks_held = 0;
+        h.spinning_on = None;
+        h.needs_resume_check = false;
+        h.exited = false;
+        h.ready_since = None;
+        let c = &mut self.cold[id.index()];
+        c.body = Some(body);
+        c.next_result = OpResult::Start;
+        c.cont.clear();
+        c.joiners.clear();
+    }
+
+    /// Resident bytes of the hot slab alone — the per-thread footprint
+    /// the dispatch loop actually walks (`bytes_per_thread` bench).
+    pub(crate) fn hot_bytes_resident(&self) -> usize {
+        self.hot.bytes_resident()
+    }
+
+    /// Resident bytes of both slabs (excluding boxed bodies/continuations).
+    pub(crate) fn bytes_resident(&self) -> usize {
+        self.hot.bytes_resident() + self.cold.bytes_resident()
     }
 }
 
@@ -346,15 +386,22 @@ mod tests {
 
     #[test]
     fn tcb_reinit_resets() {
-        let mut t = Utcb::new(UtId(0));
-        t.locks_held = 3;
-        t.exited = true;
-        t.state = UtState::Free;
-        t.reinit(Box::new(sa_machine::ComputeBody::null()));
-        assert_eq!(t.state, UtState::Ready);
-        assert_eq!(t.locks_held, 0);
-        assert!(!t.exited);
-        assert!(t.body.is_some());
+        let mut tcbs = TcbStore::default();
+        let t = tcbs.push_free();
+        tcbs.hot[t.index()].locks_held = 3;
+        tcbs.hot[t.index()].exited = true;
+        tcbs.hot[t.index()].state = UtState::Free;
+        tcbs.reinit(t, Box::new(sa_machine::ComputeBody::null()));
+        assert_eq!(tcbs.hot[t.index()].state, UtState::Ready);
+        assert_eq!(tcbs.hot[t.index()].locks_held, 0);
+        assert!(!tcbs.hot[t.index()].exited);
+        assert!(tcbs.cold[t.index()].body.is_some());
+    }
+
+    #[test]
+    fn hot_rows_stay_small() {
+        // The ≤256-hot-bytes-per-thread budget with generous headroom.
+        assert!(core::mem::size_of::<UtHot>() <= 48);
     }
 
     #[test]

@@ -27,6 +27,43 @@ pub fn fork_join(n: usize, work: SimDuration) -> Box<dyn ThreadBody> {
     }))
 }
 
+/// A root body that churns through `total` short-lived children while
+/// never holding more than `window` alive at once: fork until the window
+/// fills, join the oldest to make room, repeat. Each child computes
+/// `work`, yields once (a ready-queue block/unblock round trip), and
+/// exits, so every child exercises the full TCB lifecycle —
+/// allocate, dispatch, requeue, exit, recycle. With `total` ≫ `window`
+/// this is the slab-recycling stress: memory must stay bounded by the
+/// window, not by the total spawn count.
+pub fn thread_churn(total: usize, window: usize, work: SimDuration) -> Box<dyn ThreadBody> {
+    assert!(window >= 1, "churn window must hold at least one thread");
+    let mut pending: std::collections::VecDeque<ThreadRef> = std::collections::VecDeque::new();
+    let mut spawned = 0usize;
+    let mut joined = 0usize;
+    Box::new(FnBody::new("thread-churn", move |env| {
+        if let OpResult::Forked(c) = env.last {
+            pending.push_back(c);
+        }
+        if spawned < total && spawned - joined < window {
+            spawned += 1;
+            let mut step = 0usize;
+            return Op::Fork(Box::new(FnBody::new("churn-child", move |_| {
+                step += 1;
+                match step {
+                    1 => Op::Compute(work),
+                    2 => Op::Yield,
+                    _ => Op::Exit,
+                }
+            })));
+        }
+        if let Some(c) = pending.pop_front() {
+            joined += 1;
+            return Op::Join(c);
+        }
+        Op::Exit
+    }))
+}
+
 /// A worker that repeatedly acquires a shared lock, computes inside the
 /// critical section, releases, then computes outside — the "lock ladder"
 /// used to probe critical-section behaviour under preemption (§3.3).
@@ -131,6 +168,38 @@ mod tests {
             Op::Join(ThreadRef(2))
         ));
         assert!(matches!(b.step(&env(OpResult::Done)), Op::Exit));
+    }
+
+    #[test]
+    fn thread_churn_bounds_live_children() {
+        // total 5, window 2: forks must never run more than 2 ahead of
+        // joins, and every child must eventually be joined.
+        let mut b = thread_churn(5, 2, SimDuration::from_micros(1));
+        let mut live = 0i64;
+        let mut forked = 0usize;
+        let mut joined = 0usize;
+        let mut last = OpResult::Start;
+        let mut next_ref = 1u64;
+        loop {
+            match b.step(&env(last)) {
+                Op::Fork(_) => {
+                    forked += 1;
+                    live += 1;
+                    assert!(live <= 2, "window exceeded");
+                    last = OpResult::Forked(ThreadRef(next_ref));
+                    next_ref += 1;
+                }
+                Op::Join(_) => {
+                    joined += 1;
+                    live -= 1;
+                    last = OpResult::Done;
+                }
+                Op::Exit => break,
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+        assert_eq!(forked, 5);
+        assert_eq!(joined, 5);
     }
 
     #[test]
