@@ -19,8 +19,9 @@ use sa_core::experiments::EngineThroughput;
 use sa_core::profile::{render_folded, render_json, render_table, run_profile};
 use sa_core::reporting::{write_bench_json_with_host, BenchLine, HostInfo, Table};
 use sa_core::scenario::{self, PolicyConfig};
+use sa_core::slo;
 use sa_core::sweeps::{fig1_grid_throughput, latency_rows, upcall_measurements};
-use sa_core::trace_export::{perfetto_json, text_log};
+use sa_core::trace_export::{perfetto_counters_json, perfetto_json, text_log};
 use sa_core::{AppSpec, SystemBuilder, ThreadApi};
 use sa_harness::{host_jobs, parse_jobs, PanickedJob};
 use sa_kernel::{AllocPolicy, AllocPolicyKind, AllocView, DaemonSpec, SpaceDemand, SpaceShareEven};
@@ -59,7 +60,11 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     ),
     (
         "profile",
-        "profile <fig1|fig2|table5> [--out F] [--format table|folded|json]",
+        "profile <scenario> [--out F] [--format table|folded|json]",
+    ),
+    (
+        "slo",
+        "slo <profile> [--requests N] [--out F] [--format table|csv|perfetto]",
     ),
     ("all", "every table and figure above"),
 ];
@@ -668,6 +673,64 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
         ),
     ));
 
+    // Open-loop SLO server: the `slo` subcommand's scheduler-activation
+    // cell at a reduced request count — request throughput of the
+    // sharded open-loop machinery with the production windowed ledger
+    // enabled. The companion line measures the windowed ledger itself:
+    // the identical run with metrics off, interleaved best-of-3 against
+    // the metrics-on run so host drift cannot skew the pairing. Its
+    // detail carries the on/off host-time overhead ratio, asserted
+    // <= 1.10 in CI: per-window accounting must stay under 10% of the
+    // whole run's cost.
+    const SLO_REQUESTS: usize = 20_000;
+    let slo_profile = slo::profiles()
+        .into_iter()
+        .next()
+        .expect("slo profiles exist");
+    let mut slo_on: Option<slo::SloBenchRun> = None;
+    let mut slo_off: Option<slo::SloBenchRun> = None;
+    for _ in 0..3 {
+        let on = slo::bench_run(&slo_profile, SLO_REQUESTS, true);
+        if slo_on
+            .as_ref()
+            .is_none_or(|b| on.host_seconds < b.host_seconds)
+        {
+            slo_on = Some(on);
+        }
+        let off = slo::bench_run(&slo_profile, SLO_REQUESTS, false);
+        if slo_off
+            .as_ref()
+            .is_none_or(|b| off.host_seconds < b.host_seconds)
+        {
+            slo_off = Some(off);
+        }
+    }
+    let (slo_on, slo_off) = (
+        slo_on.expect("three rounds ran"),
+        slo_off.expect("three rounds ran"),
+    );
+    let (on_rps, off_rps) = (
+        slo_on.requests as f64 / slo_on.host_seconds,
+        slo_off.requests as f64 / slo_off.host_seconds,
+    );
+    lines.push(BenchLine::new(
+        "server_slo_throughput",
+        on_rps,
+        format!(
+            "{} requests ({}) in {:.3}s; {} events; windowed ledger on",
+            slo_on.requests, slo_profile.name, slo_on.host_seconds, slo_on.sim_events
+        ),
+    ));
+    lines.push(BenchLine::new(
+        "slo_windowed_overhead",
+        off_rps,
+        format!(
+            "metrics-off {off_rps:.0} req/s vs on {on_rps:.0} req/s \
+             (overhead ratio {:.3}x; interleaved best-of-3)",
+            slo_on.host_seconds / slo_off.host_seconds
+        ),
+    ));
+
     // Host-parallel sweep: the whole Figure 1 grid (18 independent cells)
     // at one worker vs. `jobs` workers — the scaling number this harness
     // tracks over time. Virtual-time results are identical at any job
@@ -713,43 +776,37 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
 
 /// Runs a traced scenario and exports the result.
 ///
-/// Scenarios are fig1-shaped N-body runs on the six-processor Firefly
-/// under scheduler activations, scaled down (150 bodies, one step) so an
-/// *unbounded* trace of every segment stays a reasonable size:
-/// `fig1` runs one application, `table5` two (multiprogramming).
+/// Any registry scenario is traceable: the system runs the scenario's
+/// scaled-down [`scenario::traced_apps`] workload (150-body one-step
+/// N-body copies, the closed server, or the open-loop SLO generator at
+/// a reduced request count) under scheduler activations, so an
+/// *unbounded* trace of every segment stays a reasonable size.
 fn trace_cmd(scenario: &str, format: &str, out: Option<&str>) -> Result<(), PanickedJob> {
-    let cost = CostModel::firefly_prototype();
-    let cfg = NBodyConfig {
-        bodies: 150,
-        steps: 1,
-        ..NBodyConfig::default()
+    let Some(sc) = scenario::find(scenario) else {
+        let names: Vec<&str> = scenario::SCENARIOS.iter().map(|s| s.name).collect();
+        eprintln!(
+            "sa-experiments: unknown trace scenario '{scenario}' (expected {})",
+            names.join("|")
+        );
+        std::process::exit(2);
     };
-    let copies = match scenario {
-        "fig1" => 1,
-        "table5" => 2,
-        other => {
-            eprintln!("sa-experiments: unknown trace scenario '{other}' (expected fig1|table5)");
-            std::process::exit(2);
-        }
-    };
-    // Machine size from the scenario descriptor, not a local constant.
-    let cpus = scenario::find(scenario).expect("scenario exists").cpus;
+    // Machine size and workload shape from the scenario descriptor, not
+    // local constants.
+    let cpus = sc.cpus;
     let mut builder = SystemBuilder::new(cpus)
-        .cost(cost)
+        .cost(CostModel::firefly_prototype())
         .seed(0x5eed)
         .daemons(DaemonSpec::topaz_default_set())
         .trace(Trace::unbounded());
-    for i in 0..copies {
-        let mut ncfg = cfg.clone();
-        ncfg.seed = cfg.seed + i as u64;
-        let (body, _handle) = nbody_parallel(ncfg);
-        builder = builder.app(AppSpec::new(
-            format!("nbody-{i}"),
-            ThreadApi::SchedulerActivations {
-                max_processors: cpus as u32,
-            },
-            body,
-        ));
+    let mut app_names = Vec::new();
+    for app in scenario::traced_apps(
+        sc,
+        &ThreadApi::SchedulerActivations {
+            max_processors: cpus as u32,
+        },
+    ) {
+        app_names.push(app.name.clone());
+        builder = builder.app(app);
     }
     let mut sys = builder.build();
     let report = sys.run();
@@ -763,7 +820,7 @@ fn trace_cmd(scenario: &str, format: &str, out: Option<&str>) -> Result<(), Pani
                 .align_left(2);
             for (i, &app) in sys.apps().to_vec().iter().enumerate() {
                 let m = sys.metrics(app);
-                let name = format!("nbody-{i}");
+                let name = app_names[i].clone();
                 for kind in UpcallKind::ALL {
                     t.row(vec![
                         name.clone(),
@@ -844,22 +901,86 @@ fn profile_cmd(
     Ok(())
 }
 
+fn list_slo_profiles() {
+    for p in slo::profiles() {
+        println!(
+            "{:<12} {:>2} cpus  {} windows  {}",
+            p.name, p.cpus, p.window, p.about
+        );
+    }
+}
+
+/// The `slo` subcommand: run an SLO profile under the three systems and
+/// export the windowed series, tail attribution, and reconciliation.
+fn slo_cmd(
+    profile: &str,
+    format: &str,
+    out: Option<&str>,
+    requests: Option<usize>,
+    policies: PolicyConfig,
+    jobs: NonZeroUsize,
+) -> Result<(), PanickedJob> {
+    let Some(p) = slo::find(profile) else {
+        let names: Vec<&str> = slo::profiles().iter().map(|p| p.name).collect();
+        eprintln!(
+            "sa-experiments: unknown SLO profile '{profile}' (expected {})",
+            names.join("|")
+        );
+        std::process::exit(2);
+    };
+    let report = slo::run_slo(&p, policies, requests, jobs)?;
+    let output = match format {
+        "table" => slo::render_table(&report),
+        "csv" => slo::render_csv(&report),
+        "perfetto" => perfetto_counters_json(&slo::counter_series(&report)),
+        other => {
+            eprintln!("sa-experiments: unknown slo format '{other}' (expected table|csv|perfetto)");
+            std::process::exit(2);
+        }
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &output) {
+                eprintln!("sa-experiments: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+            let windows: usize = report.cells.iter().map(|c| c.windows.len()).sum();
+            println!(
+                "wrote {path} ({format}, {} systems, {windows} windows)",
+                report.cells.len()
+            );
+            // The report itself is deterministic and lands in the file;
+            // the host-side footprint line lets CI bound peak RSS
+            // without an external `time -v`.
+            if let Some(kb) = peak_rss_kb() {
+                println!("peak rss: {kb} kB");
+            }
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
 fn usage() -> String {
     let names: Vec<&str> = SUBCOMMANDS.iter().map(|(n, _)| *n).collect();
     format!(
         "usage: sa-experiments [--jobs N] [--list] [{}]\n\
          \u{20}      sa-experiments run <scenario> [--alloc=POLICY] [--ready=POLICY]\n\
          \u{20}      sa-experiments run --list\n\
-         \u{20}      sa-experiments trace <fig1|table5> [--out FILE] \
+         \u{20}      sa-experiments trace <scenario> [--out FILE] \
          [--format perfetto|log|histograms]\n\
-         \u{20}      sa-experiments profile <fig1|fig2|table5> [--out FILE] \
+         \u{20}      sa-experiments profile <scenario> [--out FILE] \
          [--format table|folded|json]\n\
+         \u{20}      sa-experiments slo <profile> [--requests N] [--out FILE] \
+         [--format table|csv|perfetto]\n\
+         \u{20}      sa-experiments slo --list\n\
          \n\
-         --jobs N   run sweep cells on N host threads (default: host cores,\n\
-         \u{20}           or the SA_JOBS environment variable); --jobs 1 is fully serial\n\
-         --alloc P  kernel processor-allocation policy (even|affinity|strict-priority)\n\
-         --ready P  user-level ready-queue discipline (local|global-fifo|global-lifo)\n\
-         --list     list subcommands (or, after 'run', scenarios) and exit",
+         --jobs N     run sweep cells on N host threads (default: host cores,\n\
+         \u{20}             or the SA_JOBS environment variable); --jobs 1 is fully serial\n\
+         --alloc P    kernel processor-allocation policy (even|affinity|strict-priority)\n\
+         --ready P    user-level ready-queue discipline (local|global-fifo|global-lifo)\n\
+         --requests N override the SLO profile's request count (quick runs)\n\
+         --list       list subcommands (or, after 'run'/'slo', scenarios) and exit",
         names.join("|")
     )
 }
@@ -873,7 +994,9 @@ struct Options {
     arg: Option<String>,
     out: Option<String>,
     format: Option<String>,
-    /// Policy pair for the `run` subcommand.
+    /// Request-count override for the `slo` subcommand.
+    requests: Option<usize>,
+    /// Policy pair for the `run` and `slo` subcommands.
     policies: PolicyConfig,
 }
 
@@ -883,6 +1006,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
     let mut arg2: Option<String> = None;
     let mut out: Option<String> = None;
     let mut format: Option<String> = None;
+    let mut requests: Option<usize> = None;
     let mut alloc: Option<AllocPolicyKind> = None;
     let mut ready: Option<ReadyPolicyKind> = None;
     let mut args = args.peekable();
@@ -890,12 +1014,21 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
         if arg == "--list" {
             if cmd.as_deref() == Some("run") {
                 list_scenarios();
+            } else if cmd.as_deref() == Some("slo") {
+                list_slo_profiles();
             } else {
                 for (name, blurb) in SUBCOMMANDS {
                     println!("{name:<14} {blurb}");
                 }
             }
             return Ok(None);
+        } else if arg == "--requests" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--requests requires a count (e.g. --requests 20000)".to_string())?;
+            requests = Some(parse_requests(&value)?);
+        } else if let Some(value) = arg.strip_prefix("--requests=") {
+            requests = Some(parse_requests(value)?);
         } else if arg == "--alloc" {
             let value = args
                 .next()
@@ -937,7 +1070,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
         } else if arg2.is_none()
             && matches!(
                 cmd.as_deref(),
-                Some("trace") | Some("profile") | Some("run")
+                Some("trace") | Some("profile") | Some("run") | Some("slo")
             )
         {
             arg2 = Some(arg);
@@ -946,14 +1079,22 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
         }
     }
     if (out.is_some() || format.is_some())
-        && !matches!(cmd.as_deref(), Some("trace") | Some("profile"))
+        && !matches!(
+            cmd.as_deref(),
+            Some("trace") | Some("profile") | Some("slo")
+        )
     {
         return Err(
-            "--out/--format only apply to the 'trace' and 'profile' subcommands".to_string(),
+            "--out/--format only apply to the 'trace', 'profile', and 'slo' subcommands"
+                .to_string(),
         );
     }
-    if (alloc.is_some() || ready.is_some()) && cmd.as_deref() != Some("run") {
-        return Err("--alloc/--ready only apply to the 'run' subcommand".to_string());
+    if (alloc.is_some() || ready.is_some()) && !matches!(cmd.as_deref(), Some("run") | Some("slo"))
+    {
+        return Err("--alloc/--ready only apply to the 'run' and 'slo' subcommands".to_string());
+    }
+    if requests.is_some() && cmd.as_deref() != Some("slo") {
+        return Err("--requests only applies to the 'slo' subcommand".to_string());
     }
     if cmd.as_deref() == Some("run") && arg2.is_none() {
         return Err("run requires a scenario name ('run --list' lists them)".to_string());
@@ -975,11 +1116,22 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
         arg: arg2,
         out,
         format,
+        requests,
         policies: PolicyConfig {
             alloc: alloc.unwrap_or_default(),
             ready: ready.unwrap_or_default(),
         },
     }))
+}
+
+fn parse_requests(v: &str) -> Result<usize, String> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| format!("--requests: '{v}' is not a count"))?;
+    if n == 0 {
+        return Err("--requests: must be at least 1".to_string());
+    }
+    Ok(n)
 }
 
 fn run(opts: &Options) -> Result<(), PanickedJob> {
@@ -1007,6 +1159,14 @@ fn run(opts: &Options) -> Result<(), PanickedJob> {
             opts.arg.as_deref().unwrap_or("fig1"),
             opts.format.as_deref().unwrap_or("table"),
             opts.out.as_deref(),
+            jobs,
+        ),
+        "slo" => slo_cmd(
+            opts.arg.as_deref().unwrap_or("slo_poisson"),
+            opts.format.as_deref().unwrap_or("table"),
+            opts.out.as_deref(),
+            opts.requests,
+            opts.policies,
             jobs,
         ),
         "all" => {

@@ -26,6 +26,7 @@ pub mod experiments;
 pub mod profile;
 pub mod reporting;
 pub mod scenario;
+pub mod slo;
 pub mod sweeps;
 pub mod system;
 pub mod trace_export;

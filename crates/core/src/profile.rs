@@ -17,8 +17,12 @@
 //! derived, so every rendering is byte-identical across hosts and job
 //! counts — CI diffs two invocations to prove it.
 //!
-//! Scenarios mirror the paper artifacts, scaled down (150 bodies, one
-//! step) so an unbounded trace of every segment stays a reasonable size:
+//! Any scenario in the [`crate::scenario`] registry is profilable; the
+//! workload each cell runs is the scenario descriptor's scaled-down
+//! [`TraceWorkload`] (150-body one-step N-body copies, the closed
+//! server, or the open-loop SLO generator at a reduced request count),
+//! so an unbounded trace of every segment stays a reasonable size.
+//! Highlights:
 //!
 //! - `fig1` — the three Figure 1 systems on the six-processor Firefly
 //!   at full memory;
@@ -29,31 +33,31 @@
 //!   thread models including Ultrix processes: the configuration where
 //!   the ledger mechanically shows blocked I/O and kernel overhead
 //!   eating the machine under kernel-level scheduling, and the critical
-//!   path shows scheduler activations reclaiming that time as user work.
+//!   path shows scheduler activations reclaiming that time as user work;
+//! - `slo_poisson` / `slo_bursty` / `slo_diurnal` — the open-loop
+//!   server scenarios behind the `slo` subcommand, traced at a reduced
+//!   request count.
 
 use crate::critical_path::{critical_path, CriticalPath};
 use crate::reporting::{json_escape, Table};
-use crate::scenario::PolicyConfig;
-use crate::{AppSpec, SystemBuilder, ThreadApi};
+use crate::scenario::{PolicyConfig, TraceWorkload};
+use crate::{SystemBuilder, ThreadApi};
 use sa_harness::{run_ordered, Job, PanickedJob};
 use sa_kernel::DaemonSpec;
 use sa_machine::CostModel;
 use sa_sim::{CpuState, SimDuration, SimTime, TimeLedger, Trace, WaitKind};
-use sa_workload::nbody::{nbody_parallel, NBodyConfig};
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
-
-/// The scenarios `run_profile` accepts, in display order.
-pub const SCENARIOS: &[&str] = &["fig1", "fig2", "table5"];
 
 /// One profiled run: a thread system under a workload configuration.
 #[derive(Debug, Clone)]
 struct CellSpec {
     label: String,
+    /// Registry key, for resolving the open-loop workload shapes.
+    scenario: String,
     api: ThreadApi,
     machine: u16,
-    copies: usize,
-    memory_fraction: f64,
+    workload: TraceWorkload,
 }
 
 /// Results of one profiled cell.
@@ -83,77 +87,63 @@ pub struct Profile {
     pub cells: Vec<ProfileCell>,
 }
 
-/// The scaled-down workload every profile cell runs (same shape as the
-/// `trace` subcommand, so traces stay small).
-fn profile_workload(memory_fraction: f64) -> NBodyConfig {
-    NBodyConfig {
-        bodies: 150,
-        steps: 1,
-        memory_fraction,
-        ..NBodyConfig::default()
-    }
-}
-
 fn cells_for(scenario: &str) -> Option<Vec<CellSpec>> {
-    // The machine size comes from the scenario descriptor (the registry
-    // is the single owner of "how many processors does fig1 mean").
-    let cpus = crate::scenario::find(scenario)?.cpus;
-    let fig_systems = |mem: f64, suffix: &str| -> Vec<CellSpec> {
-        crate::scenario::systems(cpus as u32)
-            .into_iter()
-            .map(|(name, api)| CellSpec {
-                label: format!("{name} / {suffix}"),
-                api,
-                machine: cpus,
-                copies: 1,
-                memory_fraction: mem,
-            })
-            .collect()
+    // The machine size and traced workload shape come from the scenario
+    // descriptor (the registry is the single owner of "how many
+    // processors does fig1 mean" — and now of "what does tracing the
+    // server scenarios run"). Any registry entry is profilable.
+    let sc = crate::scenario::find(scenario)?;
+    let cpus = sc.cpus;
+    // The original figure scenarios keep their historical cell labels
+    // (CI and the docs reference them); newer entries are labeled by
+    // registry key.
+    let suffix = match scenario {
+        "fig1" => format!("{cpus} cpus"),
+        "fig2" => format!("50% memory / {cpus} cpus"),
+        "table5" => format!("mp2 / {cpus} cpus"),
+        _ => format!("{scenario} / {cpus} cpus"),
     };
-    match scenario {
-        "fig1" => Some(fig_systems(1.0, &format!("{cpus} cpus"))),
-        "fig2" => Some(fig_systems(0.5, &format!("50% memory / {cpus} cpus"))),
-        "table5" => {
-            let mut cells: Vec<CellSpec> = crate::scenario::systems(cpus as u32)
-                .into_iter()
-                .map(|(name, api)| CellSpec {
-                    label: format!("{name} / mp2 / {cpus} cpus"),
-                    api,
-                    machine: cpus,
-                    copies: 2,
-                    memory_fraction: 1.0,
-                })
-                .collect();
-            // The diagnostic column: one processor, half the memory — the
-            // regime where what a thread system does while its threads
-            // wait for the disk decides everything.
-            let io_models: [(&str, ThreadApi); 4] = [
-                ("Ultrix processes", ThreadApi::UltrixProcesses),
-                ("Topaz threads", ThreadApi::TopazThreads),
-                ("orig FastThrds", ThreadApi::OrigFastThreads { vps: 1 }),
-                (
-                    "new FastThrds",
-                    ThreadApi::SchedulerActivations { max_processors: 1 },
-                ),
-            ];
-            cells.extend(io_models.into_iter().map(|(name, api)| CellSpec {
-                label: format!("{name} / io-bound / 1 cpu"),
-                api,
-                machine: 1,
+    let mut cells: Vec<CellSpec> = crate::scenario::systems(cpus as u32)
+        .into_iter()
+        .map(|(name, api)| CellSpec {
+            label: format!("{name} / {suffix}"),
+            scenario: scenario.to_string(),
+            api,
+            machine: cpus,
+            workload: sc.traced,
+        })
+        .collect();
+    if scenario == "table5" {
+        // The diagnostic column: one processor, half the memory — the
+        // regime where what a thread system does while its threads
+        // wait for the disk decides everything.
+        let io_models: [(&str, ThreadApi); 4] = [
+            ("Ultrix processes", ThreadApi::UltrixProcesses),
+            ("Topaz threads", ThreadApi::TopazThreads),
+            ("orig FastThrds", ThreadApi::OrigFastThreads { vps: 1 }),
+            (
+                "new FastThrds",
+                ThreadApi::SchedulerActivations { max_processors: 1 },
+            ),
+        ];
+        cells.extend(io_models.into_iter().map(|(name, api)| CellSpec {
+            label: format!("{name} / io-bound / 1 cpu"),
+            scenario: scenario.to_string(),
+            api,
+            machine: 1,
+            workload: TraceWorkload::NBody {
                 copies: 1,
                 memory_fraction: 0.5,
-            }));
-            Some(cells)
-        }
-        _ => None,
+            },
+        }));
     }
+    Some(cells)
 }
 
 /// Runs one cell: traced simulation, ledger snapshot (conservation
 /// verified), critical-path walk.
 fn run_cell(spec: CellSpec, policies: PolicyConfig) -> ProfileCell {
     let cost = CostModel::firefly_prototype();
-    let cfg = profile_workload(spec.memory_fraction);
     let mut builder = SystemBuilder::new(spec.machine)
         .cost(cost)
         .seed(0x5eed)
@@ -161,11 +151,7 @@ fn run_cell(spec: CellSpec, policies: PolicyConfig) -> ProfileCell {
         .daemons(DaemonSpec::topaz_default_set())
         .run_limit(SimTime::from_millis(3_600_000))
         .trace(Trace::unbounded());
-    for i in 0..spec.copies {
-        let mut ncfg = cfg.clone();
-        ncfg.seed = cfg.seed + i as u64;
-        let (body, _handle) = nbody_parallel(ncfg);
-        let mut app = AppSpec::new(format!("nbody-{i}"), spec.api.clone(), body);
+    for mut app in crate::scenario::traced_apps_for(&spec.scenario, spec.workload, &spec.api) {
         app.ready_policy = policies.ready;
         builder = builder.app(app);
     }
@@ -214,9 +200,10 @@ pub fn run_profile_with(
     jobs: NonZeroUsize,
 ) -> Result<Profile, String> {
     let specs = cells_for(scenario).ok_or_else(|| {
+        let names: Vec<&str> = crate::scenario::SCENARIOS.iter().map(|s| s.name).collect();
         format!(
             "unknown profile scenario '{scenario}' (expected {})",
-            SCENARIOS.join("|")
+            names.join("|")
         )
     })?;
     let tasks: Vec<Job<'_, ProfileCell>> = specs

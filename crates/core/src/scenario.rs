@@ -29,11 +29,15 @@ use crate::{AppSpec, SystemBuilder, ThreadApi};
 use sa_harness::{run_ordered, Job, PanickedJob};
 use sa_kernel::{AllocPolicyKind, DaemonSpec};
 use sa_machine::CostModel;
+use sa_sim::span::SpanBook;
 use sa_uthread::ReadyPolicyKind;
-use sa_workload::nbody::NBodyConfig;
+use sa_workload::nbody::{nbody_parallel, NBodyConfig};
+use sa_workload::openloop::shard_listener;
 use sa_workload::server::{server, ServerConfig};
+use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
+use std::rc::Rc;
 
 /// The policy pair a scenario runs under: the kernel's processor
 /// allocation (§4.1/§4.2) × the runtime's ready-queue discipline (§2.1).
@@ -87,6 +91,31 @@ pub fn systems(cpus: u32) -> [(&'static str, ThreadApi); 3] {
 
 type Runner = fn(&Scenario, PolicyConfig, NonZeroUsize) -> Result<String, PanickedJob>;
 
+/// The scaled-down workload shape the `trace` and `profile` subcommands
+/// build for a scenario — small enough that an *unbounded* trace of
+/// every segment stays a reasonable size, but the same code paths as the
+/// full experiment. Part of the scenario descriptor so every registry
+/// entry is traceable and profilable, not just the figure aliases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceWorkload {
+    /// `copies` N-body applications (150 bodies, one step) at a buffer
+    /// cache `memory_fraction`.
+    NBody {
+        /// Multiprogramming level.
+        copies: usize,
+        /// Available buffer-cache fraction (1.0 = everything resident).
+        memory_fraction: f64,
+    },
+    /// The closed request/response server workload.
+    Server,
+    /// The open-loop SLO generator (the scenario's [`crate::slo`]
+    /// profile with the request count scaled down to `requests`).
+    OpenLoop {
+        /// Scaled-down request count across all shards.
+        requests: usize,
+    },
+}
+
 /// One runnable experiment: a workload shape on a machine size.
 pub struct Scenario {
     /// Registry key (`sa-experiments run <name>`).
@@ -97,6 +126,8 @@ pub struct Scenario {
     /// the sweeps, profiler, and trace exporter read instead of
     /// hard-coding the Firefly's six.
     pub cpus: u16,
+    /// The scaled-down shape `trace`/`profile` run (see [`traced_apps`]).
+    pub traced: TraceWorkload,
     runner: Runner,
 }
 
@@ -110,49 +141,170 @@ impl Scenario {
     }
 }
 
+/// The scaled-down open-loop request count `trace`/`profile` use for the
+/// SLO scenarios (the full profiles run 120k requests; an unbounded
+/// per-segment trace of that would be enormous).
+const SLO_TRACE_REQUESTS: usize = 2_000;
+
 /// The registry, in display order.
 pub const SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "fig1",
         about: "N-body speedup vs processors, three systems",
         cpus: 6,
+        traced: TraceWorkload::NBody {
+            copies: 1,
+            memory_fraction: 1.0,
+        },
         runner: run_fig1,
     },
     Scenario {
         name: "fig2",
         about: "N-body time vs available memory, three systems",
         cpus: 6,
+        traced: TraceWorkload::NBody {
+            copies: 1,
+            memory_fraction: 0.5,
+        },
         runner: run_fig2,
     },
     Scenario {
         name: "table5",
         about: "multiprogramming level 2: two N-body copies",
         cpus: 6,
+        traced: TraceWorkload::NBody {
+            copies: 2,
+            memory_fraction: 1.0,
+        },
         runner: run_table5,
     },
     Scenario {
         name: "nbody",
         about: "one N-body row: elapsed/speedup/misses per system",
         cpus: 6,
+        traced: TraceWorkload::NBody {
+            copies: 1,
+            memory_fraction: 1.0,
+        },
         runner: run_nbody,
     },
     Scenario {
         name: "server",
         about: "request latency distribution per system",
         cpus: 4,
+        traced: TraceWorkload::Server,
         runner: run_server,
     },
     Scenario {
         name: "bufcache",
         about: "buffer-cache misses vs memory per system",
         cpus: 6,
+        traced: TraceWorkload::NBody {
+            copies: 1,
+            memory_fraction: 0.5,
+        },
         runner: run_bufcache,
+    },
+    Scenario {
+        name: "slo_poisson",
+        about: "SLO report: open-loop Poisson arrivals ('slo' subcommand)",
+        cpus: 8,
+        traced: TraceWorkload::OpenLoop {
+            requests: SLO_TRACE_REQUESTS,
+        },
+        runner: run_slo_scenario,
+    },
+    Scenario {
+        name: "slo_bursty",
+        about: "SLO report: clumped open-loop arrivals ('slo' subcommand)",
+        cpus: 8,
+        traced: TraceWorkload::OpenLoop {
+            requests: SLO_TRACE_REQUESTS,
+        },
+        runner: run_slo_scenario,
+    },
+    Scenario {
+        name: "slo_diurnal",
+        about: "SLO report: diurnal rate-swing arrivals ('slo' subcommand)",
+        cpus: 8,
+        traced: TraceWorkload::OpenLoop {
+            requests: SLO_TRACE_REQUESTS,
+        },
+        runner: run_slo_scenario,
     },
 ];
 
 /// Looks up a scenario by registry key.
 pub fn find(name: &str) -> Option<&'static Scenario> {
     SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// Builds the scaled-down application set the `trace` and `profile`
+/// subcommands run for `sc` under one thread system: every application
+/// body, named, in shard order. Bodies hold `Rc` state, so call this
+/// inside the job that will run the system, never across threads.
+pub fn traced_apps(sc: &Scenario, api: &ThreadApi) -> Vec<AppSpec> {
+    traced_apps_for(sc.name, sc.traced, api)
+}
+
+/// As [`traced_apps`], from the registry key and workload shape directly
+/// (the profiler's diagnostic cells vary the shape away from the
+/// registry entry). `name` resolves [`TraceWorkload::OpenLoop`] against
+/// the SLO profile registry and is otherwise unused.
+pub fn traced_apps_for(name: &str, traced: TraceWorkload, api: &ThreadApi) -> Vec<AppSpec> {
+    match traced {
+        TraceWorkload::NBody {
+            copies,
+            memory_fraction,
+        } => {
+            let cfg = NBodyConfig {
+                bodies: 150,
+                steps: 1,
+                memory_fraction,
+                ..NBodyConfig::default()
+            };
+            (0..copies)
+                .map(|i| {
+                    let mut ncfg = cfg.clone();
+                    ncfg.seed = cfg.seed + i as u64;
+                    let (body, _handle) = nbody_parallel(ncfg);
+                    AppSpec::new(format!("nbody-{i}"), api.clone(), body)
+                })
+                .collect()
+        }
+        TraceWorkload::Server => {
+            let (body, _stats) = server(ServerConfig::default());
+            vec![AppSpec::new("server", api.clone(), body)]
+        }
+        TraceWorkload::OpenLoop { requests } => {
+            let profile = crate::slo::find(name)
+                .expect("every open-loop scenario has a matching slo profile");
+            let mut cfg = profile.cfg.clone();
+            cfg.requests = requests;
+            let book = Rc::new(RefCell::new(SpanBook::with_capacity(requests)));
+            (0..cfg.shards)
+                .map(|shard| {
+                    AppSpec::new(
+                        format!("slo{shard}"),
+                        api.clone(),
+                        shard_listener(&cfg, shard, Rc::clone(&book)),
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+/// Runner for the `slo_*` registry entries: the full SLO report (the
+/// `slo` subcommand's table rendering) under the requested policy pair.
+fn run_slo_scenario(
+    sc: &Scenario,
+    policies: PolicyConfig,
+    jobs: NonZeroUsize,
+) -> Result<String, PanickedJob> {
+    let profile = crate::slo::find(sc.name).expect("slo scenario registered in both registries");
+    let report = crate::slo::run_slo(&profile, policies, None, jobs)?;
+    Ok(crate::slo::render_table(&report))
 }
 
 fn run_fig1(
@@ -424,6 +576,43 @@ mod tests {
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(a, b);
+            }
+        }
+    }
+
+    /// The `slo_*` registry entries are views of the SLO profile
+    /// registry: both must agree on the machine size, and every
+    /// open-loop traced workload must resolve to a profile.
+    #[test]
+    fn slo_scenarios_mirror_the_slo_profile_registry() {
+        let mut open_loop = 0;
+        for sc in SCENARIOS {
+            if let TraceWorkload::OpenLoop { requests } = sc.traced {
+                open_loop += 1;
+                assert!(requests > 0);
+                let p = crate::slo::find(sc.name)
+                    .unwrap_or_else(|| panic!("{}: no slo profile", sc.name));
+                assert_eq!(sc.cpus, p.cpus, "{}: machine size disagrees", sc.name);
+            }
+        }
+        assert_eq!(open_loop, crate::slo::profiles().len());
+    }
+
+    /// Every scenario's traced workload builds a non-empty app set (the
+    /// `trace`/`profile` generalization: no registry entry is left
+    /// behind by the exporters).
+    #[test]
+    fn every_scenario_builds_traced_apps() {
+        for sc in SCENARIOS {
+            let apps = traced_apps(
+                sc,
+                &ThreadApi::SchedulerActivations {
+                    max_processors: sc.cpus as u32,
+                },
+            );
+            assert!(!apps.is_empty(), "{}: no traced apps", sc.name);
+            for app in &apps {
+                assert!(!app.name.is_empty());
             }
         }
     }

@@ -92,6 +92,7 @@ pub struct SystemBuilder {
     dyn_policies: bool,
     run_limit: SimTime,
     trace: Option<Trace>,
+    windowed: Option<SimDuration>,
     apps: Vec<AppSpec>,
 }
 
@@ -111,6 +112,7 @@ impl SystemBuilder {
             dyn_policies: false,
             run_limit: SimTime::from_millis(600_000),
             trace: None,
+            windowed: None,
             apps: Vec::new(),
         }
     }
@@ -174,6 +176,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Turns on the windowed metrics rollup with the given window width
+    /// (time series of ledger-state shares and wait backlogs; see
+    /// [`sa_sim::WindowedLedger`]). Off by default — the flat ledger is
+    /// always on, the windowed rollup only when a report needs it.
+    pub fn windowed_metrics(mut self, width: SimDuration) -> Self {
+        self.windowed = Some(width);
+        self
+    }
+
     /// Routes the allocation and ready policies through their original
     /// `Box<dyn>` trait objects instead of the enum-dispatched fast path.
     /// Observationally equivalent by construction; differential tests run
@@ -219,6 +230,9 @@ impl SystemBuilder {
         }
         if let Some(trace) = self.trace {
             kernel.set_trace(trace);
+        }
+        if let Some(width) = self.windowed {
+            kernel.enable_windowed_ledger(width);
         }
         let mut ids = Vec::new();
         for app in self.apps {
@@ -348,6 +362,13 @@ impl System {
     /// current virtual time (see [`sa_sim::TimeLedger`]).
     pub fn time_ledger(&self) -> sa_sim::TimeLedger {
         self.kernel.time_ledger()
+    }
+
+    /// The windowed metrics rollup, if enabled via
+    /// [`SystemBuilder::windowed_metrics`], with open intervals closed
+    /// so per-window conservation holds.
+    pub fn windowed_ledger(&self) -> Option<sa_sim::WindowedLedger> {
+        self.kernel.windowed_ledger()
     }
 
     /// Total user-runtime ready-wait for an application (ready → running

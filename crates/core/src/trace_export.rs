@@ -18,6 +18,8 @@ use std::fmt::Write as _;
 const PID_CPUS: u32 = 1;
 /// Synthetic pid grouping the per-address-space tracks.
 const PID_SPACES: u32 = 2;
+/// Synthetic pid grouping the windowed-metrics counter tracks.
+const PID_COUNTERS: u32 = 3;
 
 /// Virtual time as the trace-event `ts` field (microseconds, fractional).
 fn ts_us(at: SimTime) -> f64 {
@@ -83,7 +85,8 @@ pub fn perfetto_json(trace: &Tracer, cpus: u16) -> String {
             | TraceEvent::ActStop { space, .. }
             | TraceEvent::Grant { space, .. }
             | TraceEvent::DebugStop { space, .. }
-            | TraceEvent::DebugResume { space, .. } => note_space(&mut spaces, *space),
+            | TraceEvent::DebugResume { space, .. }
+            | TraceEvent::SpanBind { space, .. } => note_space(&mut spaces, *space),
             TraceEvent::Dispatch { space, .. } | TraceEvent::SegRun { space, .. } => {
                 if let Some(space) = space {
                     note_space(&mut spaces, *space);
@@ -219,6 +222,10 @@ pub fn perfetto_json(trace: &Tracer, cpus: u16) -> String {
                 let args = format!(r#", "args": {{"daemon": {daemon}}}"#);
                 push_instant(&mut out, PID_SPACES, 0, ts, "daemon_wake", &args);
             }
+            TraceEvent::SpanBind { req, space, thread } => {
+                let args = format!(r#", "args": {{"req": {req}, "thread": {thread}}}"#);
+                push_instant(&mut out, PID_SPACES, *space, ts, "span_bind", &args);
+            }
             TraceEvent::Custom(tag, detail) => {
                 let args = format!(r#", "args": {{"detail": "{}"}}"#, json_escape(detail));
                 push_instant(&mut out, PID_CPUS, 0, ts, tag, &args);
@@ -226,6 +233,41 @@ pub fn perfetto_json(trace: &Tracer, cpus: u16) -> String {
         }
     }
     // Trailing-comma cleanup: the loop writes "},\n" after every event.
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"displayTimeUnit\": \"ms\"\n}\n");
+    out
+}
+
+/// A named time series destined for a Perfetto counter track: one sampled
+/// value per simulated-time point (typically one per metrics window).
+pub struct CounterSeries {
+    /// Track name as shown in the Perfetto UI (e.g. `"p99 response (us)"`).
+    pub name: String,
+    /// `(sample time, value)` points, in nondecreasing time order.
+    pub points: Vec<(SimTime, f64)>,
+}
+
+/// Renders counter series as a Chrome trace-event / Perfetto JSON document
+/// of `"C"` (counter) events, one track per series under a dedicated pid.
+/// Counter values render with enough precision for ns-derived rates while
+/// staying locale-free and deterministic.
+pub fn perfetto_counters_json(series: &[CounterSeries]) -> String {
+    let mut out = String::from("{\n  \"traceEvents\": [\n");
+    push_meta(&mut out, PID_COUNTERS, None, "slo windows");
+    for s in series {
+        for (at, value) in &s.points {
+            let _ = writeln!(
+                out,
+                r#"    {{"name": "{}", "ph": "C", "pid": {PID_COUNTERS}, "tid": 0, "ts": {:.3}, "args": {{"value": {:.6}}}}},"#,
+                json_escape(&s.name),
+                ts_us(*at),
+                value
+            );
+        }
+    }
     if out.ends_with(",\n") {
         out.truncate(out.len() - 2);
         out.push('\n');
@@ -307,6 +349,35 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("[1.000us] kernel.space_start: as1"));
         assert!(lines[2].contains("kernel.upcall: preempted -> act4 on cpu1 for as1 (vp2)"));
+    }
+
+    #[test]
+    fn counter_json_emits_counter_events_per_point() {
+        let series = vec![
+            CounterSeries {
+                name: "throughput (req/s)".into(),
+                points: vec![
+                    (SimTime::from_micros(0), 1000.0),
+                    (SimTime::from_micros(50_000), 1250.5),
+                ],
+            },
+            CounterSeries {
+                name: "p99 response (us)".into(),
+                points: vec![(SimTime::from_micros(0), 42.0)],
+            },
+        ];
+        let json = perfetto_counters_json(&series);
+        assert_eq!(json.matches(r#""ph": "C""#).count(), 3);
+        assert!(json.contains(r#""name": "throughput (req/s)""#));
+        assert!(json.contains(r#""ts": 50000.000"#), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn empty_counter_json_is_well_formed() {
+        let json = perfetto_counters_json(&[]);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("slo windows"));
     }
 
     #[test]

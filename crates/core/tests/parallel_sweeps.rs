@@ -174,7 +174,7 @@ fn trace_record_streams_are_identical_across_job_counts() {
 
 /// A histogram cell's result: raw log2 buckets plus the rendered
 /// summary strings.
-type HistCell = (Vec<[u64; 64]>, Vec<String>);
+type HistCell = (Vec<Vec<u64>>, Vec<String>);
 
 /// One histogram-bearing cell: the same run as [`traced_cell`], but its
 /// result is the latency histograms (raw log2 buckets *and* the rendered
@@ -203,7 +203,10 @@ fn histogram_cell(seed: u64, policies: PolicyConfig) -> HistCell {
     assert!(report.all_done(), "{:?}", report.outcome);
     let app = sys.apps()[0];
     let m = sys.metrics(app);
-    let buckets = vec![*m.upcall_delivery.buckets(), *m.block_unblock.buckets()];
+    let buckets = vec![
+        m.upcall_delivery.buckets().to_vec(),
+        m.block_unblock.buckets().to_vec(),
+    ];
     let rendered = vec![
         m.upcall_delivery.summary(),
         m.block_unblock.summary(),

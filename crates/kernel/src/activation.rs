@@ -54,6 +54,15 @@ pub(crate) struct Activation {
     /// When the activation blocked in the kernel (feeds the per-space
     /// block→unblock histogram).
     pub blocked_at: Option<sa_sim::SimTime>,
+    /// Sequence number of the `Blocked` notification for the current
+    /// blocking episode. Activation ids are recycled (§4.3), so the
+    /// `Blocked`/`Unblocked` notification pair is keyed by this sequence
+    /// number rather than by activation id.
+    pub block_seq: u64,
+    /// Sequence number of the notification whose processing releases this
+    /// husk for recycling (its `Preempted` or `Unblocked` event); 0 when
+    /// no notification is outstanding (voluntary give-up).
+    pub release_seq: u64,
     /// The activation has told the kernel its processor is idle
     /// (Table 3 hint); preferred as a preemption victim.
     pub idle_hint: bool,
@@ -73,6 +82,8 @@ impl Activation {
             upcall: None,
             blocked_outcome: None,
             blocked_at: None,
+            block_seq: 0,
+            release_seq: 0,
             idle_hint: false,
             in_upcall: false,
         }

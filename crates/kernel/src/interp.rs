@@ -284,12 +284,21 @@ impl Kernel {
             .pending_child
             .take()
             .expect("SpawnChild without a stashed body");
+        let span = body.span_id();
         let space = self.kts.hot[kt.index()].space;
         let prio = self.kts.cold[kt.index()]
             .pending_child_prio
             .take()
             .unwrap_or(self.kts.hot[kt.index()].prio);
         let child = self.new_kthread(space, prio, KtFlavor::AppBody);
+        if let Some(req) = span {
+            let now = self.q.now();
+            self.trace.event(now, || sa_sim::TraceEvent::SpanBind {
+                req,
+                space: space.0,
+                thread: child.0,
+            });
+        }
         let dc = self.direct_costs(space);
         {
             let c = &mut self.kts.cold[child.index()];

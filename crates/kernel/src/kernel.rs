@@ -140,6 +140,10 @@ pub struct Kernel {
     pub(crate) ledger: TimeLedger,
     /// Per-CPU charge accumulators in front of `ledger` (see [`ChargeAcc`]).
     pending_charges: Vec<ChargeAcc>,
+    /// Optional windowed rollup of the same charge stream (off by
+    /// default; the SLO pipeline turns it on). Boxed so the disabled
+    /// case costs one branch per charge.
+    windowed: Option<Box<sa_sim::WindowedLedger>>,
     /// Rotation counter for remainder processors (§4.1 time-slicing).
     pub(crate) share_rotation: u32,
     /// A `RotateShares` event is outstanding.
@@ -202,6 +206,7 @@ impl Kernel {
             metrics: KernelMetrics::default(),
             ledger: TimeLedger::new(n_cpus),
             pending_charges: vec![ChargeAcc::new(); n_cpus],
+            windowed: None,
             share_rotation: 0,
             rotation_armed: false,
             app_spaces: 0,
@@ -613,6 +618,9 @@ impl Kernel {
         // Any threads still on the gauges are being destroyed, not served:
         // stop the wait clocks.
         self.ledger.clear_waits(id.index(), now);
+        if let Some(w) = &mut self.windowed {
+            w.clear_space(id.index(), now);
+        }
         // Tear down whatever is still dispatched for this space.
         for cpu in 0..self.cpus.len() {
             let belongs = match self.cpus[cpu].running {
@@ -696,6 +704,11 @@ impl Kernel {
             acc.key = key;
         }
         acc.ns[state as usize] += dur.as_nanos();
+        // Every charge site passes an interval ending now, so the
+        // windowed rollup can split it across window boundaries exactly.
+        if let Some(w) = &mut self.windowed {
+            w.charge(state, self.q.now(), dur);
+        }
     }
 
     /// Cancels the in-flight segment on `cpu` without charging the partial
@@ -727,12 +740,18 @@ impl Kernel {
         let space = self.kts.hot[kt.index()].space;
         self.ledger
             .note_wait(space.index(), WaitKind::Ready, self.q.now(), delta);
+        if let Some(w) = &mut self.windowed {
+            w.note_wait(space.index(), WaitKind::Ready, self.q.now(), delta);
+        }
     }
 
     /// Adjusts a blocked-wait gauge of `space` by `delta` threads.
     pub(crate) fn note_blocked_wait(&mut self, space: AsId, kind: WaitKind, delta: i64) {
         self.ledger
             .note_wait(space.index(), kind, self.q.now(), delta);
+        if let Some(w) = &mut self.windowed {
+            w.note_wait(space.index(), kind, self.q.now(), delta);
+        }
     }
 
     /// A snapshot of the time-attribution ledger with every open interval
@@ -754,6 +773,33 @@ impl Kernel {
             }
         }
         ledger
+    }
+
+    /// Turns on the windowed rollup of the charge stream (SLO pipeline).
+    /// Must be called before the run starts so window 0 is complete.
+    pub fn enable_windowed_ledger(&mut self, width: sa_sim::SimDuration) {
+        self.windowed = Some(Box::new(sa_sim::WindowedLedger::new(
+            width,
+            self.cpus.len() as u32,
+        )));
+    }
+
+    /// A snapshot of the windowed ledger (if enabled) with every open
+    /// interval closed and every wait gauge integrated up to now, so
+    /// per-window conservation holds exactly (see
+    /// [`WindowedLedger::verify`](sa_sim::WindowedLedger::verify)).
+    pub fn windowed_ledger(&self) -> Option<sa_sim::WindowedLedger> {
+        let mut w = self.windowed.as_deref().cloned()?;
+        let now = self.q.now();
+        for cpu in 0..self.cpus.len() {
+            if let Some(inf) = &self.cpus[cpu].inflight {
+                w.charge(inf.seg.ledger_state(), now, now.since(inf.started));
+            } else if let Some(since) = self.cpus[cpu].idle_since {
+                w.charge(CpuState::Idle, now, now.since(since));
+            }
+        }
+        w.seal(now);
+        Some(w)
     }
 
     /// Invalidates all outstanding per-CPU events.

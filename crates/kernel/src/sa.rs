@@ -210,18 +210,23 @@ impl Kernel {
                     });
                 self.rebalance();
             }
-            Syscall::RecycleActivations { count } => {
-                // Oldest husks first: their notifications were delivered
-                // longest ago, minimizing the reuse-while-pending window.
-                let sa = &mut self.spaces[space.index()].sa;
-                for _ in 0..count {
-                    if sa.discarded.is_empty() {
-                        break;
+            Syscall::RecycleActivations { upto } => {
+                // Return exactly the husks whose releasing notification the
+                // runtime has processed (`release_seq <= upto`). A husk
+                // whose `Preempted`/`Unblocked` event is still in flight
+                // stays discarded, so its id cannot be re-dispatched while
+                // an earlier notification about it is unprocessed.
+                let discarded = std::mem::take(&mut self.spaces[space.index()].sa.discarded);
+                let mut kept = Vec::new();
+                for husk in discarded {
+                    if self.acts[husk.index()].release_seq <= upto {
+                        self.spaces[space.index()].sa.cached.push(husk);
+                        self.acts[husk.index()].state = ActState::Cached;
+                    } else {
+                        kept.push(husk);
                     }
-                    let husk = sa.discarded.remove(0);
-                    sa.cached.push(husk);
-                    self.acts[husk.index()].state = ActState::Cached;
                 }
+                self.spaces[space.index()].sa.discarded = kept;
                 let p = &mut self.acts[a.index()].pipeline;
                 p.push_back(Micro::Seg(Seg::kernel(c.act_recycle_call)));
                 p.push_back(Micro::Seg(ret));
@@ -264,6 +269,9 @@ impl Kernel {
         self.acts[a.index()].blocked_at = Some(self.q.now());
         self.acts[a.index()].pipeline.clear();
         let sa = &mut self.spaces[space.index()].sa;
+        let seq = sa.next_seq();
+        self.acts[a.index()].block_seq = seq;
+        let sa = &mut self.spaces[space.index()].sa;
         sa.running.retain(|&x| x != a);
         sa.blocked.push(a);
         self.set_idle(cpu);
@@ -271,13 +279,20 @@ impl Kernel {
         // "The kernel uses a fresh scheduler activation to notify the
         // user-level thread system of the event, thus allowing the
         // processor to be used to run other user-level threads." (§3.1)
-        self.deliver_upcall_on_cpu(cpu, space, vec![UpcallEvent::Blocked { vp: VpId(a.0) }]);
+        self.deliver_upcall_on_cpu(
+            cpu,
+            space,
+            vec![UpcallEvent::Blocked { vp: VpId(a.0), seq }],
+        );
     }
 
     /// An activation voluntarily returns its processor (runtime finished).
     pub(crate) fn act_give_up(&mut self, cpu: usize, a: ActId) {
         let space = self.acts[a.index()].space;
         self.acts[a.index()].state = ActState::Discarded;
+        // No notification references this husk; it is safe to recycle at
+        // the runtime's next bulk return regardless of the floor.
+        self.acts[a.index()].release_seq = 0;
         self.acts[a.index()].pipeline.clear();
         let sa = &mut self.spaces[space.index()].sa;
         sa.running.retain(|&x| x != a);
@@ -316,9 +331,13 @@ impl Kernel {
         sa.blocked.retain(|&x| x != a);
         self.quiesce_dirty = true;
         sa.discarded.push(a);
+        let seq = self.spaces[space.index()].sa.next_seq();
         self.acts[a.index()].state = ActState::Discarded;
+        self.acts[a.index()].release_seq = seq;
         let ev = UpcallEvent::Unblocked {
             vp: VpId(a.0),
+            blocked_seq: self.acts[a.index()].block_seq,
+            seq,
             saved: SavedContext::empty(),
             outcome,
         };
@@ -512,6 +531,8 @@ impl Kernel {
         let sa = &mut self.spaces[space.index()].sa;
         sa.running.retain(|&x| x != a);
         sa.discarded.push(a);
+        let seq = self.spaces[space.index()].sa.next_seq();
+        self.acts[a.index()].release_seq = seq;
         self.set_idle(cpu);
         self.trace.event(self.q.now(), || TraceEvent::ActStop {
             space: space.0,
@@ -522,6 +543,7 @@ impl Kernel {
         UpcallEvent::Preempted {
             vp: VpId(a.0),
             saved,
+            seq,
         }
     }
 

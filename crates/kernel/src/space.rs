@@ -98,6 +98,18 @@ pub(crate) struct SaState {
     /// Upcalls whose delivery is waiting for the thread manager's page to
     /// be faulted back in (§3.1's upcall-page-fault rule).
     pub deferred_upcalls: u32,
+    /// Per-space notification sequence source: every
+    /// `Blocked`/`Preempted`/`Unblocked` event takes the next value (see
+    /// [`crate::upcall::UpcallEvent::seq`]).
+    pub notify_seq: u64,
+}
+
+impl SaState {
+    /// Takes the next notification sequence number.
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        self.notify_seq += 1;
+        self.notify_seq
+    }
 }
 
 /// One address space.

@@ -68,12 +68,22 @@ pub enum UpcallEvent {
         vp: VpId,
         /// The user-level machine state it was running.
         saved: SavedContext,
+        /// Per-space notification sequence number (see
+        /// [`UpcallEvent::seq`]). Processing this event is what makes the
+        /// stopped activation's husk safe to recycle.
+        seq: u64,
     },
     /// "Scheduler activation has blocked (blocked activation #): the
     /// blocked scheduler activation is no longer using its processor."
     Blocked {
         /// The activation that blocked.
         vp: VpId,
+        /// Per-space notification sequence number; also the unique id of
+        /// this blocking episode, echoed by the matching `Unblocked` as
+        /// `blocked_seq`. Activation ids are recycled (§4.3) and the two
+        /// notifications can be observed out of order across processors,
+        /// so the pair is keyed by episode, not by activation.
+        seq: u64,
     },
     /// "Scheduler activation has unblocked (unblocked activation # and its
     /// machine state): return to the ready list the user-level thread that
@@ -84,6 +94,12 @@ pub enum UpcallEvent {
     Unblocked {
         /// The activation whose kernel operation completed.
         vp: VpId,
+        /// The blocking episode this completion belongs to (the `seq` of
+        /// the matching [`UpcallEvent::Blocked`]).
+        blocked_seq: u64,
+        /// This notification's own per-space sequence number (see
+        /// [`UpcallEvent::seq`]).
+        seq: u64,
         /// The thread's saved user-level machine state.
         saved: SavedContext,
         /// Result of the kernel operation the thread was blocked in.
@@ -109,8 +125,26 @@ impl UpcallEvent {
         match self {
             UpcallEvent::AddProcessor => None,
             UpcallEvent::Preempted { vp, .. }
-            | UpcallEvent::Blocked { vp }
+            | UpcallEvent::Blocked { vp, .. }
             | UpcallEvent::Unblocked { vp, .. } => Some(*vp),
+        }
+    }
+
+    /// The event's per-space notification sequence number, when it has
+    /// one. The kernel numbers every `Blocked`/`Preempted`/`Unblocked`
+    /// notification for a space consecutively from 1. The runtime reports
+    /// the largest `n` such that it has processed every notification with
+    /// `seq <= n` back to the kernel in
+    /// [`Syscall::RecycleActivations`]; the kernel recycles an
+    /// activation id only once the notification that released it is below
+    /// that floor, so a recycled id can never be re-dispatched while one
+    /// of its earlier notifications is still unprocessed.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            UpcallEvent::AddProcessor => None,
+            UpcallEvent::Preempted { seq, .. }
+            | UpcallEvent::Blocked { seq, .. }
+            | UpcallEvent::Unblocked { seq, .. } => Some(*seq),
         }
     }
 }
@@ -244,10 +278,13 @@ pub enum Syscall {
     /// address space needs it." A hint; the call returns and the VP keeps
     /// spinning until the kernel actually takes the processor.
     ProcessorIdle,
-    /// Return `count` discarded activations to the kernel in bulk (§4.3).
+    /// Return discarded activations to the kernel in bulk (§4.3). The
+    /// runtime acknowledges the contiguous prefix of notifications it has
+    /// processed; the kernel re-caches every husk whose releasing
+    /// notification falls inside that prefix (see [`UpcallEvent::seq`]).
     RecycleActivations {
-        /// How many husks to return.
-        count: u32,
+        /// Every notification with `seq <= upto` has been processed.
+        upto: u64,
     },
     /// §3.1 priority preemption: ask the kernel to interrupt one of this
     /// space's own processors so its thread can be rescheduled.
@@ -426,9 +463,14 @@ mod tests {
     fn upcall_events_map_to_kinds() {
         assert_eq!(UpcallEvent::AddProcessor.kind(), UpcallKind::AddProcessor);
         assert_eq!(UpcallEvent::AddProcessor.vp(), None);
-        let ev = UpcallEvent::Blocked { vp: VpId(4) };
+        let ev = UpcallEvent::Blocked {
+            vp: VpId(4),
+            seq: 7,
+        };
         assert_eq!(ev.kind(), UpcallKind::Blocked);
         assert_eq!(ev.vp(), Some(VpId(4)));
+        assert_eq!(ev.seq(), Some(7));
+        assert_eq!(UpcallEvent::AddProcessor.seq(), None);
     }
 
     #[test]

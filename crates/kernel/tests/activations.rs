@@ -201,14 +201,21 @@ fn blocking_call_triggers_blocked_then_unblocked() {
         .collect();
     assert_eq!(blocked.len(), 1);
     assert_eq!(unblocked.len(), 1);
-    // The Blocked and Unblocked events name the same activation.
-    let UpcallEvent::Blocked { vp: b } = blocked[0] else {
+    // The Blocked and Unblocked events name the same activation and the
+    // same blocking episode.
+    let UpcallEvent::Blocked { vp: b, seq: bs } = blocked[0] else {
         unreachable!()
     };
-    let UpcallEvent::Unblocked { vp: u, .. } = unblocked[0] else {
+    let UpcallEvent::Unblocked {
+        vp: u,
+        blocked_seq: us,
+        ..
+    } = unblocked[0]
+    else {
         unreachable!()
     };
     assert_eq!(b, u);
+    assert_eq!(bs, us);
 }
 
 #[test]
@@ -370,7 +377,7 @@ fn recycled_activations_are_reused() {
             dur: SimDuration::from_millis(2),
         }));
     }
-    script.push(Act::Call(Syscall::RecycleActivations { count: 16 }));
+    script.push(Act::Call(Syscall::RecycleActivations { upto: u64::MAX }));
     for _ in 0..6 {
         script.push(Act::Call(Syscall::Io {
             dur: SimDuration::from_millis(2),

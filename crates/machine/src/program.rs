@@ -145,6 +145,16 @@ pub trait ThreadBody {
     fn name(&self) -> &'static str {
         "thread"
     }
+
+    /// Stable request id when this body serves one tracked request.
+    ///
+    /// Runtimes read this at fork time and emit a `span.bind` trace
+    /// event tying the request id to the thread id, so request spans
+    /// join against every later thread-keyed trace event. Bodies that
+    /// are not request handlers keep the `None` default.
+    fn span_id(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A body driven by a closure; the easiest way to write small workloads.

@@ -73,7 +73,7 @@ impl CpuState {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             CpuState::User => 0,
             CpuState::Overhead => 1,
@@ -114,7 +114,7 @@ impl WaitKind {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             WaitKind::Ready => 0,
             WaitKind::BlockedIo => 1,

@@ -14,13 +14,17 @@ pub mod event;
 pub mod ledger;
 pub mod paged;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod window;
 
 pub use event::{BatchStart, EventCore, EventQueue, EventToken, PopNext};
 pub use ledger::{CpuState, TimeLedger, WaitKind};
 pub use paged::PagedVec;
 pub use rng::SimRng;
+pub use span::{Span, SpanBook, SpanPhase};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceRecord, Tracer, UpcallKind};
+pub use window::WindowedLedger;

@@ -107,15 +107,28 @@ impl TimeWeighted {
     }
 }
 
-/// A latency histogram with power-of-two buckets plus exact extrema and sum.
+/// A latency histogram with logarithmic buckets plus exact extrema and sum.
+///
+/// Two bucket layouts share the implementation, selected at construction:
+///
+/// * [`Histogram::new`] — 64 power-of-two buckets (`sub_bits == 0`), the
+///   original layout. Cheap, but the bucket upper bound can overstate a
+///   tail quantile by up to 2×.
+/// * [`Histogram::log_linear`] — each power-of-two octave is split into
+///   `2^sub_bits` linear sub-buckets (HDR-histogram style), bounding the
+///   relative quantile error by `2^-sub_bits` (~3% at the default 5 bits).
+///   The SLO report uses this for p999/p9999-grade response times.
 ///
 /// Comparable (`PartialEq`) so determinism tests can assert byte-identical
 /// buckets across runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    /// `buckets[i]` counts samples with `2^i <= ns < 2^(i+1)` (bucket 0 also
-    /// holds zero-valued samples).
-    buckets: [u64; 64],
+    /// With `sub_bits == 0`, `buckets[i]` counts samples with
+    /// `2^i <= ns < 2^(i+1)` (bucket 0 also holds zero-valued samples).
+    /// With `sub_bits == b > 0`, octave `o` is split into `2^b` equal
+    /// sub-buckets at indices `o*2^b ..= o*2^b + 2^b - 1`.
+    buckets: Vec<u64>,
+    sub_bits: u8,
     count: u64,
     sum_ns: u128,
     min_ns: u64,
@@ -129,10 +142,28 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Creates an empty histogram.
+    /// Linear sub-bucket bits per octave used by [`Histogram::log_linear`].
+    pub const TAIL_SUB_BITS: u8 = 5;
+
+    /// Creates an empty histogram with the coarse power-of-two layout.
     pub fn new() -> Self {
+        Self::with_sub_bits(0)
+    }
+
+    /// Creates an empty high-resolution histogram: each octave split into
+    /// `2^TAIL_SUB_BITS` linear sub-buckets (~3% worst-case quantile
+    /// error), for tail-grade quantiles (p999/p9999).
+    pub fn log_linear() -> Self {
+        Self::with_sub_bits(Self::TAIL_SUB_BITS)
+    }
+
+    /// Creates an empty histogram with `2^bits` linear sub-buckets per
+    /// power-of-two octave (`bits == 0` is the coarse legacy layout).
+    pub fn with_sub_bits(bits: u8) -> Self {
+        assert!(bits <= 8, "sub_bits {bits} too large (max 8)");
         Histogram {
-            buckets: [0; 64],
+            buckets: vec![0; 64 << bits],
+            sub_bits: bits,
             count: 0,
             sum_ns: 0,
             min_ns: u64::MAX,
@@ -140,14 +171,51 @@ impl Histogram {
         }
     }
 
-    /// Records one duration sample.
-    pub fn record(&mut self, d: SimDuration) {
-        let ns = d.as_nanos();
-        let idx = if ns == 0 {
+    /// Bucket index for a sample, under this histogram's layout.
+    fn index(&self, ns: u64) -> usize {
+        let octave = if ns == 0 {
             0
         } else {
             63 - ns.leading_zeros() as usize
         };
+        if self.sub_bits == 0 {
+            return octave;
+        }
+        let b = self.sub_bits as usize;
+        let sub = if octave >= b {
+            // Top `b` bits below the leading bit.
+            ((ns >> (octave - b)) & ((1u64 << b) - 1)) as usize
+        } else {
+            // Octave narrower than 2^b: width-1 sub-buckets.
+            (ns & ((1u64 << octave) - 1)) as usize
+        };
+        (octave << b) | sub
+    }
+
+    /// Largest value the bucket can hold (quantiles report this bound).
+    fn bucket_upper(&self, idx: usize) -> u64 {
+        if self.sub_bits == 0 {
+            return if idx >= 63 {
+                u64::MAX
+            } else {
+                (1u64 << (idx + 1)) - 1
+            };
+        }
+        let b = self.sub_bits as usize;
+        let octave = idx >> b;
+        let sub = (idx & ((1 << b) - 1)) as u64;
+        if octave >= b {
+            let width = 1u64 << (octave - b);
+            (1u64 << octave) + (sub << (octave - b)) + (width - 1)
+        } else {
+            (1u64 << octave) + sub
+        }
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        let idx = self.index(ns);
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum_ns += ns as u128;
@@ -157,11 +225,15 @@ impl Histogram {
 
     /// Folds `other`'s samples into `self` (profiler rollups across
     /// spaces/CPUs). Exact: buckets, count, and sum add; extrema take the
-    /// min/max of the two sides.
+    /// min/max of the two sides. Both sides must share a bucket layout.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
             return;
         }
+        assert_eq!(
+            self.sub_bits, other.sub_bits,
+            "merging histograms with different bucket layouts"
+        );
         for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *b += ob;
         }
@@ -181,9 +253,8 @@ impl Histogram {
         self.sum_ns
     }
 
-    /// The raw power-of-two buckets (`buckets[i]` counts samples with
-    /// `2^i <= ns < 2^(i+1)`; bucket 0 also holds zeros).
-    pub fn buckets(&self) -> &[u64; 64] {
+    /// The raw buckets (see the field docs for the layout).
+    pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
 
@@ -238,15 +309,38 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                let upper = if i >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
+                let upper = self.bucket_upper(i);
                 return SimDuration::from_nanos(upper.min(self.max_ns));
             }
         }
         SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// 99.9th-percentile sample (bucket upper bound).
+    pub fn p999(&self) -> SimDuration {
+        self.quantile(0.999)
+    }
+
+    /// 99.99th-percentile sample (bucket upper bound).
+    pub fn p9999(&self) -> SimDuration {
+        self.quantile(0.9999)
+    }
+
+    /// One-line tail-focused summary (`p99`/`p999`/`p9999` instead of the
+    /// body quantiles of [`Histogram::summary`]); used by the SLO report.
+    pub fn summary_tail(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} mean={} p99={} p999={} p9999={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.99),
+            self.p999(),
+            self.p9999(),
+            self.max()
+        )
     }
 }
 
@@ -392,6 +486,110 @@ mod tests {
         let mut empty = Histogram::new();
         empty.merge(&before);
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn log_linear_tightens_tail_quantiles() {
+        // 1000 samples spread over one octave: [1024, 2047] us. The coarse
+        // histogram puts them all in one bucket, so every quantile reports
+        // the octave upper bound; log-linear resolves within the octave.
+        let mut coarse = Histogram::new();
+        let mut fine = Histogram::log_linear();
+        for i in 0..1000u64 {
+            let d = SimDuration::from_micros(1024 + i);
+            coarse.record(d);
+            fine.record(d);
+        }
+        let exact_p50_ns = 1_524_000u64; // 500th sample of 1000
+        let coarse_err = coarse.quantile(0.5).as_nanos() as f64 / exact_p50_ns as f64;
+        let fine_err = fine.quantile(0.5).as_nanos() as f64 / exact_p50_ns as f64;
+        assert!(
+            coarse_err > 1.3,
+            "coarse p50 should overshoot: {coarse_err}"
+        );
+        assert!(fine_err < 1.04, "log-linear p50 within ~3%: {fine_err}");
+        // Worst-case relative error of any bucket bound is 2^-sub_bits.
+        let p999 = fine.p999().as_nanos();
+        assert!((2_021_000..=2_047_000 + 64_000).contains(&p999), "{p999}");
+    }
+
+    #[test]
+    fn log_linear_quantiles_monotone_and_clamped() {
+        let mut h = Histogram::log_linear();
+        for us in 1..=10_000u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+        assert!(h.quantile(0.99) <= h.p999());
+        assert!(h.p999() <= h.p9999());
+        assert!(h.p9999() <= h.max());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn log_linear_small_values_land_in_range() {
+        // Octaves narrower than 2^sub_bits use width-1 sub-buckets; make
+        // sure tiny samples index in bounds and quantile sanely.
+        let mut h = Histogram::log_linear();
+        for ns in 0..64u64 {
+            h.record(SimDuration::from_nanos(ns));
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.quantile(1.0).as_nanos(), 63);
+    }
+
+    #[test]
+    fn merge_requires_matching_layout() {
+        let mut a = Histogram::log_linear();
+        let mut b = Histogram::log_linear();
+        for us in [3u64, 900, 1500] {
+            a.record(SimDuration::from_micros(us));
+            b.record(SimDuration::from_micros(us));
+        }
+        let mut whole = a.clone();
+        whole.merge(&b);
+        assert_eq!(whole.count(), 6);
+        assert_eq!(whole.max(), a.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket layouts")]
+    fn merge_mixed_layouts_panics() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::log_linear();
+        b.record(SimDuration::from_micros(1));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn summary_tail_renders_tail_quantiles() {
+        assert_eq!(Histogram::new().summary_tail(), "n=0");
+        let mut h = Histogram::log_linear();
+        for us in [10u64, 20, 30, 40] {
+            h.record(SimDuration::from_micros(us));
+        }
+        let s = h.summary_tail();
+        assert!(s.starts_with("n=4 mean=25.000us "), "{s}");
+        assert!(s.contains("p999="), "{s}");
+        assert!(s.contains("p9999="), "{s}");
+    }
+
+    #[test]
+    fn coarse_layout_matches_legacy_buckets() {
+        // sub_bits == 0 must be bit-identical to the original layout:
+        // bucket i counts 2^i <= ns < 2^(i+1), bucket 0 also holds zeros.
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration::from_nanos(1));
+        h.record(SimDuration::from_nanos(2));
+        h.record(SimDuration::from_nanos(1023));
+        h.record(SimDuration::from_nanos(1024));
+        let b = h.buckets();
+        assert_eq!(b.len(), 64);
+        assert_eq!(b[0], 2);
+        assert_eq!(b[1], 1);
+        assert_eq!(b[9], 1);
+        assert_eq!(b[10], 1);
     }
 
     #[test]

@@ -153,6 +153,16 @@ pub enum TraceEvent {
     DebugStop { space: u32, cpu: u32, act: u32 },
     /// Debugger resumed a stopped activation.
     DebugResume { space: u32, cpu: u32, act: u32 },
+    /// A request span was bound to the thread forked to serve it, so
+    /// per-request ids join against every later thread-keyed event
+    /// (dispatches, blocks, segments) of that thread.
+    SpanBind {
+        /// Stable request id from the workload's span book.
+        req: u64,
+        space: u32,
+        /// Kernel-thread or user-thread id, per the space's substrate.
+        thread: u32,
+    },
     /// Ad-hoc emission: the legacy `(tag, detail)` shape.
     Custom(&'static str, String),
 }
@@ -184,6 +194,7 @@ impl TraceEvent {
             TraceEvent::SpinStop { .. } => "uthread.spin_stop",
             TraceEvent::DebugStop { .. } => "kernel.debug_stop",
             TraceEvent::DebugResume { .. } => "kernel.debug_resume",
+            TraceEvent::SpanBind { .. } => "span.bind",
             TraceEvent::Custom(tag, _) => tag,
         }
     }
@@ -268,6 +279,9 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::DebugResume { space, cpu, act } => {
                 write!(f, "act{act} on cpu{cpu} for as{space}")
+            }
+            TraceEvent::SpanBind { req, space, thread } => {
+                write!(f, "req{req} -> t{thread} for as{space}")
             }
             TraceEvent::Custom(_, detail) => f.write_str(detail),
         }

@@ -50,18 +50,25 @@ pub struct FastThreads {
     /// or activation ids) are dense — the kernel allocates activation ids
     /// from a compact table and recycles them (§4.3).
     vp_slot: Vec<Option<u32>>,
-    /// Blocked activation → the user threads it carried into the kernel,
-    /// in block order, slab-indexed by activation id. A queue rather than
-    /// a single slot: a recycled activation id can block again before its
-    /// previous notifications have been processed (events are observed out
-    /// of order when a preempted processor's unprocessed events migrate,
-    /// §3.1). Queues are reused across activations, so the steady state
-    /// allocates nothing.
-    act_thread: Vec<std::collections::VecDeque<UtId>>,
-    /// Per-activation count of unblock notifications that arrived before
-    /// their matching Blocked event was processed, slab-indexed by
-    /// activation id.
-    early_unblocks: Vec<u32>,
+    /// Blocking episode (`Blocked.seq`) → the user thread that episode
+    /// carried into the kernel. Keyed by the kernel's per-episode sequence
+    /// number, not by activation id: activation ids are recycled (§4.3)
+    /// and a recycled id's events can be observed out of order when a
+    /// preempted processor's unprocessed events migrate (§3.1), so pairing
+    /// by id can hand thread A's wakeup to thread B. A `BTreeMap` keeps
+    /// iteration (and hence any diagnostics) deterministic.
+    blocked_threads: std::collections::BTreeMap<u64, UtId>,
+    /// Episodes whose `Unblocked` notification was processed before the
+    /// matching `Blocked` event.
+    early_unblocks: std::collections::BTreeSet<u64>,
+    /// Largest `n` such that every kernel notification with `seq <= n`
+    /// has been processed; reported to the kernel in the bulk-recycle
+    /// call so husks are never reused while a notification about them is
+    /// still in flight (see `UpcallEvent::seq`).
+    notify_floor: u64,
+    /// Processed notification seqs above `notify_floor` (out-of-order
+    /// arrivals waiting for the gap below them to fill).
+    notify_seen: std::collections::BTreeSet<u64>,
     /// Reusable buffer for migrating slot continuations (see
     /// [`FastThreads::deactivate_slot`]); empty between calls.
     scratch_cont: Vec<RtMicro>,
@@ -152,8 +159,10 @@ impl FastThreads {
             slots,
             ready,
             vp_slot: Vec::new(),
-            act_thread: Vec::new(),
-            early_unblocks: Vec::new(),
+            blocked_threads: std::collections::BTreeMap::new(),
+            early_unblocks: std::collections::BTreeSet::new(),
+            notify_floor: 0,
+            notify_seen: std::collections::BTreeSet::new(),
             scratch_cont: Vec::new(),
             scratch_tasks: Vec::new(),
             scratch_cv: Vec::new(),
@@ -346,24 +355,6 @@ impl FastThreads {
 
     fn active_slot_count(&self) -> usize {
         self.slots.iter().filter(|s| s.active_vp.is_some()).count()
-    }
-
-    /// Blocked-thread queue for an activation, growing the slab on first
-    /// sight of a new activation id.
-    fn act_queue(&mut self, vp: VpId) -> &mut std::collections::VecDeque<UtId> {
-        if self.act_thread.len() <= vp.index() {
-            self.act_thread
-                .resize_with(vp.index() + 1, Default::default);
-        }
-        &mut self.act_thread[vp.index()]
-    }
-
-    /// Early-unblock counter for an activation (see `early_unblocks`).
-    fn early_unblocks_mut(&mut self, vp: VpId) -> &mut u32 {
-        if self.early_unblocks.len() <= vp.index() {
-            self.early_unblocks.resize(vp.index() + 1, 0);
-        }
-        &mut self.early_unblocks[vp.index()]
     }
 
     /// The lock's state in `locks`, created empty on first use. A free
@@ -573,9 +564,17 @@ impl FastThreads {
             }
             Op::Fork(body) | Op::ForkPrio(body, _) => {
                 self.stats.forks.inc();
+                let span = body.span_id();
                 let child = self.alloc_tcb(slot, body);
                 if let Some(prio) = fork_prio {
                     self.tcbs.hot[child.index()].prio = prio;
+                }
+                if let Some(req) = span {
+                    env.trace.event(env.now, || sa_sim::TraceEvent::SpanBind {
+                        req,
+                        space: env.space,
+                        thread: child.0,
+                    });
                 }
                 // TCB free list + init + ready-list push: two critical
                 // sections plus the scheduler-activation busy accounting.
@@ -1043,10 +1042,28 @@ impl FastThreads {
 
     // ---- Upcall event processing (scheduler activations) ---------------
 
+    /// Records that the notification numbered `seq` has been processed,
+    /// advancing the contiguous floor reported to the kernel at the next
+    /// bulk recycle (see `notify_floor`).
+    fn note_seq(&mut self, seq: u64) {
+        if seq == self.notify_floor + 1 {
+            self.notify_floor = seq;
+            while self.notify_seen.remove(&(self.notify_floor + 1)) {
+                self.notify_floor += 1;
+            }
+        } else {
+            debug_assert!(seq > self.notify_floor, "notification seq {seq} replayed");
+            self.notify_seen.insert(seq);
+        }
+    }
+
     /// Processes one Table 2 event, pushing any follow-up micro-work onto
     /// the slot's continuation.
     fn process_task(&mut self, slot: usize, ev: UpcallEvent, env: &mut RtEnv<'_>) {
         let c = env.cost;
+        if let Some(seq) = ev.seq() {
+            self.note_seq(seq);
+        }
         match ev {
             UpcallEvent::AddProcessor => {
                 // The processor is the one we are running on; nothing to
@@ -1054,15 +1071,13 @@ impl FastThreads {
                 self.notified_want_more = false;
                 self.note_busy_changed();
             }
-            UpcallEvent::Blocked { vp } => {
+            UpcallEvent::Blocked { vp, seq } => {
                 let t = self.deactivate_slot(vp, slot);
                 if let Some(t) = t {
                     debug_assert_ne!(self.tcbs.hot[t.index()].state, UtState::Free);
-                    let early = self.early_unblocks.get_mut(vp.index());
-                    if let Some(n) = early.filter(|n| **n > 0) {
+                    if self.early_unblocks.remove(&seq) {
                         // The unblock notification overtook this event; the
                         // thread is already runnable again.
-                        *n -= 1;
                         self.tcbs.cold[t.index()]
                             .cont
                             .push_front(RtMicro::Step(Step::OpDone(OpResult::Done)));
@@ -1074,26 +1089,25 @@ impl FastThreads {
                     } else {
                         self.tcbs.hot[t.index()].state = UtState::BlockedKernel;
                         self.busy -= 1;
-                        self.act_queue(vp).push_back(t);
+                        let prev = self.blocked_threads.insert(seq, t);
+                        debug_assert!(prev.is_none(), "duplicate block episode {seq}");
                     }
                 }
             }
             UpcallEvent::Unblocked {
-                vp,
+                vp: _,
+                blocked_seq,
+                seq: _,
                 outcome: _,
                 saved: _,
             } => {
                 self.stats.unblocks.inc();
                 self.discard_backlog += 1;
                 self.kernel_attention = true;
-                let next = self
-                    .act_thread
-                    .get_mut(vp.index())
-                    .and_then(|q| q.pop_front());
-                let Some(t) = next else {
+                let Some(t) = self.blocked_threads.remove(&blocked_seq) else {
                     // Arrived before the matching Blocked event (§3.1
-                    // migration reordering); remember it.
-                    *self.early_unblocks_mut(vp) += 1;
+                    // migration reordering); remember the episode.
+                    self.early_unblocks.insert(blocked_seq);
                     return;
                 };
                 debug_assert_eq!(self.tcbs.hot[t.index()].state, UtState::BlockedKernel);
@@ -1108,12 +1122,20 @@ impl FastThreads {
                 q.push_back(RtMicro::Step(Step::ReadyThread(t)));
                 self.note_busy_changed();
             }
-            UpcallEvent::Preempted { vp, saved } => {
+            UpcallEvent::Preempted { vp, saved, seq: _ } => {
                 self.stats.preemptions_seen.inc();
                 self.discard_backlog += 1;
                 self.kernel_attention = true;
                 let t = self.deactivate_slot(vp, slot);
                 let Some(t) = t else {
+                    // The recycle floor guarantees the binding for `vp` is
+                    // live (a stale one cannot survive a reuse), so an
+                    // unbound vp really was in the idle loop and carries no
+                    // thread state to recover.
+                    debug_assert!(
+                        saved.remaining.is_zero() || !matches!(saved.kind, WorkKind::UserWork),
+                        "preempted idle vp {vp} carried a user remainder"
+                    );
                     // "If a preempted processor was in the idle loop, no
                     // action is necessary." (§3.1)
                     return;
@@ -1157,6 +1179,12 @@ impl FastThreads {
                 self.tcbs.hot[t.index()].needs_resume_check = true;
                 // The kernel-saved register state: the unfinished segment.
                 let (_, owner, _crit) = cookie::unpack(saved.cookie);
+                debug_assert!(
+                    owner == Some(t)
+                        || saved.remaining.is_zero()
+                        || !matches!(saved.kind, WorkKind::UserWork),
+                    "preempted {t}'s saved user remainder belongs to {owner:?}"
+                );
                 if owner == Some(t) && !saved.remaining.is_zero() {
                     let rem = seg(
                         saved.remaining,
@@ -1221,12 +1249,13 @@ impl FastThreads {
                 });
             }
             if self.discard_backlog >= self.cfg.recycle_batch {
-                let count = self.discard_backlog;
                 self.discard_backlog = 0;
                 self.stats.recycles.inc();
                 self.slots[slot].awaiting = Some(Awaiting::Hint);
                 return Some(VpAction::Syscall {
-                    call: Syscall::RecycleActivations { count },
+                    call: Syscall::RecycleActivations {
+                        upto: self.notify_floor,
+                    },
                 });
             }
         }
@@ -1532,7 +1561,7 @@ impl UserRuntime for FastThreads {
             );
         }
         let _ = writeln!(out, "ready totals: {}", self.ready.total());
-        let _ = writeln!(out, "act_thread: {:?}", self.act_thread);
+        let _ = writeln!(out, "blocked_threads: {:?}", self.blocked_threads);
         let _ = writeln!(out, "early_unblocks: {:?}", self.early_unblocks);
         for i in 0..self.tcbs.len() {
             let t = &self.tcbs.hot[i];

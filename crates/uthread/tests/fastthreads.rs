@@ -145,7 +145,13 @@ fn io_emits_syscall_and_blocked_unblocked_round_trip() {
     assert!(!d.rt.quiescent(), "quiescent with a thread entering I/O");
     // Activation 0 blocks in the kernel; a fresh activation 1 carries the
     // notification.
-    d.deliver(1, &[UpcallEvent::Blocked { vp: VpId(0) }]);
+    d.deliver(
+        1,
+        &[UpcallEvent::Blocked {
+            vp: VpId(0),
+            seq: 1,
+        }],
+    );
     let (idle, _) = d.drain(1, PollReason::Fresh);
     // No other threads: the runtime idles (hysteresis spin, hint, or spin).
     assert!(
@@ -160,12 +166,15 @@ fn io_emits_syscall_and_blocked_unblocked_round_trip() {
         &[
             UpcallEvent::Unblocked {
                 vp: VpId(0),
+                blocked_seq: 1,
+                seq: 2,
                 saved: SavedContext::empty(),
                 outcome: SyscallOutcome::IoDone,
             },
             UpcallEvent::Preempted {
                 vp: VpId(1),
                 saved: SavedContext::empty(),
+                seq: 3,
             },
         ],
     );
@@ -199,7 +208,14 @@ fn preempted_compute_resumes_with_saved_remainder() {
         remaining: SimDuration::from_millis(6),
         kind: WorkKind::UserWork,
     };
-    d.deliver(1, &[UpcallEvent::Preempted { vp: VpId(0), saved }]);
+    d.deliver(
+        1,
+        &[UpcallEvent::Preempted {
+            vp: VpId(0),
+            saved,
+            seq: 1,
+        }],
+    );
     // The runtime processes the event, re-dispatches the thread, and the
     // very next user segment must be the 6 ms remainder.
     let mut reason = PollReason::Fresh;
@@ -248,7 +264,14 @@ fn preempted_lock_holder_is_recovered_first() {
         remaining: SimDuration::from_millis(5),
         kind: WorkKind::UserWork,
     };
-    d.deliver(1, &[UpcallEvent::Preempted { vp: VpId(0), saved }]);
+    d.deliver(
+        1,
+        &[UpcallEvent::Preempted {
+            vp: VpId(0),
+            saved,
+            seq: 1,
+        }],
+    );
     let (end, _) = d.drain(1, PollReason::Fresh);
     assert!(matches!(end, VpAction::GiveUp));
     assert_eq!(
@@ -283,7 +306,14 @@ fn no_recovery_mode_skips_recovery() {
         kind: WorkKind::UserWork,
     };
     d.now += SimDuration::from_millis(3);
-    d.deliver(1, &[UpcallEvent::Preempted { vp: VpId(0), saved }]);
+    d.deliver(
+        1,
+        &[UpcallEvent::Preempted {
+            vp: VpId(0),
+            saved,
+            seq: 1,
+        }],
+    );
     let (end, _) = d.drain(1, PollReason::Fresh);
     assert!(matches!(end, VpAction::GiveUp));
     assert_eq!(d.rt.stats.recoveries.get(), 0);

@@ -13,14 +13,19 @@
 //!   the simulated compute time);
 //! - [`server`] — a latency-sensitive request server (thread-per-request
 //!   with blocking I/O mid-request);
+//! - [`openloop`] — the SLO-grade open-loop load generator
+//!   (Poisson/bursty/diurnal arrivals, Pareto service times, per-request
+//!   span tracking across many shards);
 //! - [`synthetic`] — fork-join trees, task queues and lock ladders for
 //!   ablation benches and property tests.
 
 pub mod bufcache;
 pub mod micro;
 pub mod nbody;
+pub mod openloop;
 pub mod server;
 pub mod synthetic;
 
 pub use bufcache::{BufCache, MISS_PENALTY};
 pub use micro::{null_fork, signal_wait, Samples, SigWaitPath};
+pub use openloop::{shard_listener, ArrivalProcess, OpenLoopConfig};
