@@ -13,6 +13,12 @@
 //! Benchmarks new in the current file are ignored (a new benchmark
 //! cannot regress).
 //!
+//! `--update-baseline` accepts the current numbers: after printing the
+//! usual comparison table, the current file is copied over the baseline
+//! path in place (this is how the committed `BENCH_engine.json` is
+//! refreshed after an intentional perf change or a new benchmark line)
+//! and the gate exits 0 regardless of verdicts.
+//!
 //! The default threshold (0.3: a benchmark may lose up to 30% before the
 //! gate trips) is sized for host-side throughput numbers measured on
 //! shared CI runners, where co-tenancy jitter is large; same-machine
@@ -26,11 +32,13 @@ use sa_core::reporting::{compare_benches, parse_bench_json, BenchVerdict, Table}
 const DEFAULT_THRESHOLD: f64 = 0.3;
 
 fn usage() -> String {
-    "usage: sa-bench-check <baseline.json> <current.json> [--threshold F]\n\
+    "usage: sa-bench-check <baseline.json> <current.json> [--threshold F] [--update-baseline]\n\
      \n\
      Exits 0 when every baseline benchmark is within F of its baseline\n\
      throughput (default 0.3 = may lose up to 30%), 1 on a regression or\n\
-     a missing benchmark, 2 on bad arguments or unreadable input."
+     a missing benchmark, 2 on bad arguments or unreadable input.\n\
+     --update-baseline copies the current file over the baseline path\n\
+     after the comparison (accepting the new numbers; always exits 0)."
         .to_string()
 }
 
@@ -38,14 +46,18 @@ struct Options {
     baseline: String,
     current: String,
     threshold: f64,
+    update_baseline: bool,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut positional: Vec<String> = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD;
+    let mut update_baseline = false;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
-        if arg == "--threshold" {
+        if arg == "--update-baseline" {
+            update_baseline = true;
+        } else if arg == "--threshold" {
             let v = args
                 .next()
                 .ok_or_else(|| "--threshold requires a value (e.g. 0.3)".to_string())?;
@@ -70,7 +82,17 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
         baseline,
         current,
         threshold,
+        update_baseline,
     })
+}
+
+/// Copies `current` over `baseline` in place (the `--update-baseline`
+/// action). A plain byte copy: the refreshed baseline is exactly the
+/// file the next gate run will compare against.
+fn update_baseline_file(baseline: &str, current: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(current).map_err(|e| format!("could not read {current}: {e}"))?;
+    std::fs::write(baseline, &text).map_err(|e| format!("could not write {baseline}: {e}"))
 }
 
 fn parse_threshold(v: &str) -> Result<f64, String> {
@@ -139,6 +161,17 @@ fn main() {
          before the gate trips (bytes_* lines: lower is better)",
         opts.threshold * 100.0
     );
+    if opts.update_baseline {
+        if let Err(e) = update_baseline_file(&opts.baseline, &opts.current) {
+            eprintln!("sa-bench-check: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "sa-bench-check: baseline {} updated in place from {}",
+            opts.baseline, opts.current
+        );
+        return;
+    }
     if failed {
         eprintln!(
             "sa-bench-check: regression detected ({} vs {})",
@@ -159,4 +192,67 @@ fn main() {
         "sa-bench-check: ok ({} benchmarks, {improved} improved)",
         deltas.len()
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let o = parse(&["base.json", "cur.json"]).unwrap();
+        assert_eq!(o.baseline, "base.json");
+        assert_eq!(o.current, "cur.json");
+        assert_eq!(o.threshold, DEFAULT_THRESHOLD);
+        assert!(!o.update_baseline);
+
+        let o = parse(&[
+            "--update-baseline",
+            "base.json",
+            "--threshold=0.1",
+            "cur.json",
+        ])
+        .unwrap();
+        assert!(o.update_baseline);
+        assert_eq!(o.threshold, 0.1);
+
+        assert!(parse(&["only-one.json"]).is_err());
+        assert!(parse(&["a", "b", "--threshold", "1.5"]).is_err());
+        assert!(parse(&["a", "b", "--unknown"]).is_err());
+    }
+
+    #[test]
+    fn update_baseline_copies_current_in_place() {
+        let dir = std::env::temp_dir().join(format!("sa-bench-check-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let current = dir.join("current.json");
+        // Real writer output, so the refreshed baseline round-trips
+        // through the same parser the gate uses.
+        let old = sa_core::reporting::bench_lines_json(&[sa_core::reporting::BenchLine::new(
+            "sweep", 100.0, "old",
+        )]);
+        let new = sa_core::reporting::bench_lines_json(&[
+            sa_core::reporting::BenchLine::new("sweep", 150.0, "new"),
+            sa_core::reporting::BenchLine::new("audit_overhead", 42.0, "new line"),
+        ]);
+        std::fs::write(&baseline, &old).unwrap();
+        std::fs::write(&current, &new).unwrap();
+
+        update_baseline_file(baseline.to_str().unwrap(), current.to_str().unwrap()).unwrap();
+        assert_eq!(std::fs::read_to_string(&baseline).unwrap(), new);
+        let parsed = parse_bench_json(&new).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].name, "audit_overhead");
+
+        // Missing current file reports an error and leaves the baseline.
+        let err = update_baseline_file(baseline.to_str().unwrap(), "/nonexistent/x.json");
+        assert!(err.is_err());
+        assert_eq!(std::fs::read_to_string(&baseline).unwrap(), new);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

@@ -15,8 +15,9 @@
 //! cell exits nonzero with a clean message instead of a half-printed
 //! table.
 
+use sa_core::audit::{audit_counter_series, render_audit_csv, render_audit_table, run_audit};
 use sa_core::experiments::EngineThroughput;
-use sa_core::profile::{render_folded, render_json, render_table, run_profile};
+use sa_core::profile::{render_folded, render_json, render_table, run_profile_with};
 use sa_core::reporting::{write_bench_json_with_host, BenchLine, HostInfo, Table};
 use sa_core::scenario::{self, PolicyConfig};
 use sa_core::slo;
@@ -56,15 +57,20 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     ),
     (
         "trace",
-        "trace <scenario> [--out F] [--format perfetto|log|histograms]",
+        "trace <scenario> [--alloc=P] [--ready=P] [--out F] [--format perfetto|log|histograms]",
     ),
     (
         "profile",
-        "profile <scenario> [--out F] [--format table|folded|json]",
+        "profile <scenario> [--alloc=P] [--ready=P] [--out F] [--format table|folded|json]",
     ),
     (
         "slo",
         "slo <profile> [--requests N] [--out F] [--format table|csv|perfetto]",
+    ),
+    (
+        "audit",
+        "audit <profile> [--alloc=P] [--ready=P] [--requests N] [--out F] \
+         [--format table|csv|perfetto]",
     ),
     ("all", "every table and figure above"),
 ];
@@ -731,6 +737,45 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
         ),
     ));
 
+    // Decision-provenance overhead: the same cell with the allocator's
+    // decision log + dwell ledger on vs off (both without the windowed
+    // ledger, so the pairing isolates provenance record-keeping).
+    // Decision ids advance in both shapes — only record-keeping differs —
+    // and CI asserts the detail's overhead ratio stays <= 1.10.
+    let mut audit_on: Option<slo::SloBenchRun> = None;
+    let mut audit_off: Option<slo::SloBenchRun> = None;
+    for _ in 0..3 {
+        let on = slo::bench_run_with(&slo_profile, SLO_REQUESTS, false, true);
+        if audit_on
+            .as_ref()
+            .is_none_or(|b| on.host_seconds < b.host_seconds)
+        {
+            audit_on = Some(on);
+        }
+        let off = slo::bench_run_with(&slo_profile, SLO_REQUESTS, false, false);
+        if audit_off
+            .as_ref()
+            .is_none_or(|b| off.host_seconds < b.host_seconds)
+        {
+            audit_off = Some(off);
+        }
+    }
+    let (audit_on, audit_off) = (
+        audit_on.expect("three rounds ran"),
+        audit_off.expect("three rounds ran"),
+    );
+    let audit_off_rps = audit_off.requests as f64 / audit_off.host_seconds;
+    lines.push(BenchLine::new(
+        "audit_overhead",
+        audit_off_rps,
+        format!(
+            "audit-off {audit_off_rps:.0} req/s vs on {:.0} req/s \
+             (overhead ratio {:.3}x; interleaved best-of-3)",
+            audit_on.requests as f64 / audit_on.host_seconds,
+            audit_on.host_seconds / audit_off.host_seconds
+        ),
+    ));
+
     // Host-parallel sweep: the whole Figure 1 grid (18 independent cells)
     // at one worker vs. `jobs` workers — the scaling number this harness
     // tracks over time. Virtual-time results are identical at any job
@@ -781,7 +826,12 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
 /// N-body copies, the closed server, or the open-loop SLO generator at
 /// a reduced request count) under scheduler activations, so an
 /// *unbounded* trace of every segment stays a reasonable size.
-fn trace_cmd(scenario: &str, format: &str, out: Option<&str>) -> Result<(), PanickedJob> {
+fn trace_cmd(
+    scenario: &str,
+    format: &str,
+    out: Option<&str>,
+    policies: PolicyConfig,
+) -> Result<(), PanickedJob> {
     let Some(sc) = scenario::find(scenario) else {
         let names: Vec<&str> = scenario::SCENARIOS.iter().map(|s| s.name).collect();
         eprintln!(
@@ -796,15 +846,17 @@ fn trace_cmd(scenario: &str, format: &str, out: Option<&str>) -> Result<(), Pani
     let mut builder = SystemBuilder::new(cpus)
         .cost(CostModel::firefly_prototype())
         .seed(0x5eed)
+        .alloc_policy(policies.alloc)
         .daemons(DaemonSpec::topaz_default_set())
         .trace(Trace::unbounded());
     let mut app_names = Vec::new();
-    for app in scenario::traced_apps(
+    for mut app in scenario::traced_apps(
         sc,
         &ThreadApi::SchedulerActivations {
             max_processors: cpus as u32,
         },
     ) {
+        app.ready_policy = policies.ready;
         app_names.push(app.name.clone());
         builder = builder.app(app);
     }
@@ -868,9 +920,10 @@ fn profile_cmd(
     scenario: &str,
     format: &str,
     out: Option<&str>,
+    policies: PolicyConfig,
     jobs: NonZeroUsize,
 ) -> Result<(), PanickedJob> {
-    let profile = match run_profile(scenario, jobs) {
+    let profile = match run_profile_with(scenario, policies, jobs) {
         Ok(p) => p,
         Err(msg) => {
             eprintln!("sa-experiments: {msg}");
@@ -961,18 +1014,70 @@ fn slo_cmd(
     Ok(())
 }
 
+/// The `audit` subcommand: run the scheduler-activation cell of an SLO
+/// profile with decision provenance on and export the decision/dwell/
+/// tail join (see `sa_core::audit`).
+fn audit_cmd(
+    profile: &str,
+    format: &str,
+    out: Option<&str>,
+    requests: Option<usize>,
+    policies: PolicyConfig,
+) -> Result<(), PanickedJob> {
+    let Some(p) = slo::find(profile) else {
+        let names: Vec<&str> = slo::profiles().iter().map(|p| p.name).collect();
+        eprintln!(
+            "sa-experiments: unknown SLO profile '{profile}' (expected {})",
+            names.join("|")
+        );
+        std::process::exit(2);
+    };
+    let report = run_audit(&p, policies, requests);
+    let output = match format {
+        "table" => render_audit_table(&report),
+        "csv" => render_audit_csv(&report),
+        "perfetto" => perfetto_counters_json(&audit_counter_series(&report)),
+        other => {
+            eprintln!(
+                "sa-experiments: unknown audit format '{other}' (expected table|csv|perfetto)"
+            );
+            std::process::exit(2);
+        }
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &output) {
+                eprintln!("sa-experiments: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "wrote {path} ({format}, {} decisions, {} tail spans)",
+                report.decisions.total,
+                report.tail.len()
+            );
+            if let Some(kb) = peak_rss_kb() {
+                println!("peak rss: {kb} kB");
+            }
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
 fn usage() -> String {
     let names: Vec<&str> = SUBCOMMANDS.iter().map(|(n, _)| *n).collect();
     format!(
         "usage: sa-experiments [--jobs N] [--list] [{}]\n\
          \u{20}      sa-experiments run <scenario> [--alloc=POLICY] [--ready=POLICY]\n\
          \u{20}      sa-experiments run --list\n\
-         \u{20}      sa-experiments trace <scenario> [--out FILE] \
+         \u{20}      sa-experiments trace <scenario> [--alloc=P] [--ready=P] [--out FILE] \
          [--format perfetto|log|histograms]\n\
-         \u{20}      sa-experiments profile <scenario> [--out FILE] \
+         \u{20}      sa-experiments profile <scenario> [--alloc=P] [--ready=P] [--out FILE] \
          [--format table|folded|json]\n\
          \u{20}      sa-experiments slo <profile> [--requests N] [--out FILE] \
          [--format table|csv|perfetto]\n\
+         \u{20}      sa-experiments audit <profile> [--alloc=P] [--ready=P] [--requests N] \
+         [--out FILE] [--format table|csv|perfetto]\n\
          \u{20}      sa-experiments slo --list\n\
          \n\
          --jobs N     run sweep cells on N host threads (default: host cores,\n\
@@ -1070,7 +1175,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
         } else if arg2.is_none()
             && matches!(
                 cmd.as_deref(),
-                Some("trace") | Some("profile") | Some("run") | Some("slo")
+                Some("trace") | Some("profile") | Some("run") | Some("slo") | Some("audit")
             )
         {
             arg2 = Some(arg);
@@ -1081,20 +1186,28 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
     if (out.is_some() || format.is_some())
         && !matches!(
             cmd.as_deref(),
-            Some("trace") | Some("profile") | Some("slo")
+            Some("trace") | Some("profile") | Some("slo") | Some("audit")
         )
     {
         return Err(
-            "--out/--format only apply to the 'trace', 'profile', and 'slo' subcommands"
+            "--out/--format only apply to the 'trace', 'profile', 'slo', and 'audit' subcommands"
                 .to_string(),
         );
     }
-    if (alloc.is_some() || ready.is_some()) && !matches!(cmd.as_deref(), Some("run") | Some("slo"))
+    if (alloc.is_some() || ready.is_some())
+        && !matches!(
+            cmd.as_deref(),
+            Some("run") | Some("slo") | Some("trace") | Some("profile") | Some("audit")
+        )
     {
-        return Err("--alloc/--ready only apply to the 'run' and 'slo' subcommands".to_string());
+        return Err(
+            "--alloc/--ready only apply to the 'run', 'slo', 'trace', 'profile', and \
+             'audit' subcommands"
+                .to_string(),
+        );
     }
-    if requests.is_some() && cmd.as_deref() != Some("slo") {
-        return Err("--requests only applies to the 'slo' subcommand".to_string());
+    if requests.is_some() && !matches!(cmd.as_deref(), Some("slo") | Some("audit")) {
+        return Err("--requests only applies to the 'slo' and 'audit' subcommands".to_string());
     }
     if cmd.as_deref() == Some("run") && arg2.is_none() {
         return Err("run requires a scenario name ('run --list' lists them)".to_string());
@@ -1154,11 +1267,13 @@ fn run(opts: &Options) -> Result<(), PanickedJob> {
             opts.arg.as_deref().unwrap_or("fig1"),
             opts.format.as_deref().unwrap_or("perfetto"),
             opts.out.as_deref(),
+            opts.policies,
         ),
         "profile" => profile_cmd(
             opts.arg.as_deref().unwrap_or("fig1"),
             opts.format.as_deref().unwrap_or("table"),
             opts.out.as_deref(),
+            opts.policies,
             jobs,
         ),
         "slo" => slo_cmd(
@@ -1168,6 +1283,13 @@ fn run(opts: &Options) -> Result<(), PanickedJob> {
             opts.requests,
             opts.policies,
             jobs,
+        ),
+        "audit" => audit_cmd(
+            opts.arg.as_deref().unwrap_or("slo_poisson"),
+            opts.format.as_deref().unwrap_or("table"),
+            opts.out.as_deref(),
+            opts.requests,
+            opts.policies,
         ),
         "all" => {
             table1(jobs)?;

@@ -21,6 +21,7 @@
 //! assert!(report.all_done());
 //! ```
 
+pub mod audit;
 pub mod critical_path;
 pub mod experiments;
 pub mod profile;

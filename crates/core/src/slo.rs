@@ -221,7 +221,8 @@ fn run_cell(
     let mut builder = SystemBuilder::new(cpus)
         .alloc_policy(policies.alloc)
         .daemons(DaemonSpec::topaz_default_set())
-        .windowed_metrics(window);
+        .windowed_metrics(window)
+        .decision_audit(true);
     for shard in 0..cfg.shards {
         let body = shard_listener(cfg, shard, Rc::clone(&book));
         let mut app = AppSpec::new(format!("slo{shard}"), api.clone(), body);
@@ -247,6 +248,12 @@ fn run_cell(
     windowed
         .verify(makespan)
         .unwrap_or_else(|e| panic!("{system}: windowed ledger: {e}"));
+    // Dwell conservation on every run: per-CPU assignment episodes must
+    // partition the makespan exactly (see sa_sim::DwellLedger).
+    sys.dwell_ledger()
+        .expect("decision audit was enabled")
+        .verify(makespan)
+        .unwrap_or_else(|e| panic!("{system}: dwell ledger: {e}"));
 
     let space_idx: Vec<usize> = sys.apps().iter().map(|a| a.0.index()).collect();
     let spans = book.borrow().spans().to_vec();
@@ -474,13 +481,27 @@ pub struct SloBenchRun {
 /// host cost differs, which is exactly what the `slo_windowed_overhead`
 /// bench line tracks.
 pub fn bench_run(profile: &SloProfile, requests: usize, windowed: bool) -> SloBenchRun {
+    bench_run_with(profile, requests, windowed, false)
+}
+
+/// As [`bench_run`], with decision-provenance recording on or off as
+/// well — the pairing behind the `audit_overhead` bench line (decision
+/// *ids* advance in both shapes; only record-keeping differs).
+pub fn bench_run_with(
+    profile: &SloProfile,
+    requests: usize,
+    windowed: bool,
+    audit: bool,
+) -> SloBenchRun {
     let mut cfg = profile.cfg.clone();
     cfg.requests = requests;
     let api = ThreadApi::SchedulerActivations {
         max_processors: profile.cpus as u32,
     };
     let book = Rc::new(RefCell::new(SpanBook::with_capacity(cfg.requests)));
-    let mut builder = SystemBuilder::new(profile.cpus).daemons(DaemonSpec::topaz_default_set());
+    let mut builder = SystemBuilder::new(profile.cpus)
+        .daemons(DaemonSpec::topaz_default_set())
+        .decision_audit(audit);
     if windowed {
         builder = builder.windowed_metrics(profile.window);
     }

@@ -93,6 +93,7 @@ pub struct SystemBuilder {
     run_limit: SimTime,
     trace: Option<Trace>,
     windowed: Option<SimDuration>,
+    decision_audit: bool,
     apps: Vec<AppSpec>,
 }
 
@@ -113,6 +114,7 @@ impl SystemBuilder {
             run_limit: SimTime::from_millis(600_000),
             trace: None,
             windowed: None,
+            decision_audit: false,
             apps: Vec::new(),
         }
     }
@@ -185,6 +187,17 @@ impl SystemBuilder {
         self
     }
 
+    /// Turns on allocator decision provenance: the kernel keeps typed
+    /// [`sa_kernel::AllocDecision`] records at its three allocation choke
+    /// points plus grant-latency causal chains, and a
+    /// [`sa_sim::DwellLedger`] of per-CPU assignment episodes. Off by
+    /// default — decision *ids* are stamped onto upcalls either way (one
+    /// counter increment), only record-keeping is gated here.
+    pub fn decision_audit(mut self, on: bool) -> Self {
+        self.decision_audit = on;
+        self
+    }
+
     /// Routes the allocation and ready policies through their original
     /// `Box<dyn>` trait objects instead of the enum-dispatched fast path.
     /// Observationally equivalent by construction; differential tests run
@@ -233,6 +246,10 @@ impl SystemBuilder {
         }
         if let Some(width) = self.windowed {
             kernel.enable_windowed_ledger(width);
+        }
+        if self.decision_audit {
+            kernel.enable_decision_log();
+            kernel.enable_dwell_ledger();
         }
         let mut ids = Vec::new();
         for app in self.apps {
@@ -369,6 +386,18 @@ impl System {
     /// so per-window conservation holds.
     pub fn windowed_ledger(&self) -> Option<sa_sim::WindowedLedger> {
         self.kernel.windowed_ledger()
+    }
+
+    /// The allocator decision log, if enabled via
+    /// [`SystemBuilder::decision_audit`].
+    pub fn decision_log(&self) -> Option<&sa_kernel::ProvenanceLog> {
+        self.kernel.decision_log()
+    }
+
+    /// The per-CPU dwell ledger, sealed at the current virtual time, if
+    /// enabled via [`SystemBuilder::decision_audit`].
+    pub fn dwell_ledger(&self) -> Option<sa_sim::DwellLedger> {
+        self.kernel.dwell_ledger()
     }
 
     /// Total user-runtime ready-wait for an application (ready → running

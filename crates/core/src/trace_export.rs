@@ -164,16 +164,22 @@ pub fn perfetto_json(trace: &Tracer, cpus: u16) -> String {
                 let args = format!(r#", "args": {{"kt": {kt}}}"#);
                 push_instant(&mut out, PID_SPACES, *space, ts, "kt_wake", &args);
             }
-            TraceEvent::ActStop { cpu, act, .. } => {
-                let args = format!(r#", "args": {{"act": {act}}}"#);
+            TraceEvent::ActStop {
+                cpu, act, decision, ..
+            } => {
+                let args = format!(r#", "args": {{"act": {act}, "decision": {decision}}}"#);
                 push_instant(&mut out, PID_CPUS, *cpu, ts, "act_stop", &args);
             }
             TraceEvent::KtPreempt { cpu, kt } => {
                 let args = format!(r#", "args": {{"kt": {kt}}}"#);
                 push_instant(&mut out, PID_CPUS, *cpu, ts, "kt_preempt", &args);
             }
-            TraceEvent::Grant { cpu, space } => {
-                let args = format!(r#", "args": {{"space": {space}}}"#);
+            TraceEvent::Grant {
+                cpu,
+                space,
+                decision,
+            } => {
+                let args = format!(r#", "args": {{"space": {space}, "decision": {decision}}}"#);
                 push_instant(&mut out, PID_CPUS, *cpu, ts, "grant", &args);
             }
             TraceEvent::Dispatch { cpu, unit, .. } => {

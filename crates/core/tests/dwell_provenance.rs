@@ -1,0 +1,190 @@
+//! Dwell / provenance invariants over the whole policy grid.
+//!
+//! For every `AllocPolicy` × `ReadyPolicy` pair (all 9) and every SLO
+//! scenario, a decision-audited scheduler-activation cell must satisfy:
+//!
+//! - **Dwell partition**: the dwell ledger's per-CPU episodes tile
+//!   `[0, makespan]` exactly — contiguous, gap-free, overlap-free — on
+//!   every CPU (checked both by `DwellLedger::verify` and by an
+//!   independent fold here).
+//! - **Decision density**: decision ids are dense from 1 (`id == index
+//!   + 1`) and decision times are monotone nondecreasing.
+//! - **Stamp validity**: every decision id stamped onto a delivered
+//!   upcall names a recorded decision of the matching kind (grant →
+//!   `AddProcessor`, victim → `Preempted`), is delivered to the space
+//!   the decision concerned, no earlier than it was decided, and
+//!   per-space delivery times are monotone.
+//! - **Chain telescoping**: every completed grant chain's legs sum to
+//!   its startup wait exactly.
+//!
+//! A proptest then varies the request count on the default pair: the
+//! invariants are properties of the accounting discipline, not of any
+//! particular workload length.
+
+use proptest::prelude::*;
+use sa_core::audit::chains_sum_exactly;
+use sa_core::scenario::PolicyConfig;
+use sa_core::slo::{self, SloProfile};
+use sa_core::{AppSpec, System, SystemBuilder, ThreadApi};
+use sa_kernel::{AllocDecisionKind, DaemonSpec};
+use sa_sim::span::SpanBook;
+use sa_sim::trace::UpcallKind;
+use sa_sim::SimTime;
+use sa_workload::openloop::shard_listener;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Runs one decision-audited scheduler-activation cell of `profile`.
+fn run_cell(profile: &SloProfile, policies: PolicyConfig, requests: usize) -> (System, SimTime) {
+    let mut cfg = profile.cfg.clone();
+    cfg.requests = requests;
+    let api = ThreadApi::SchedulerActivations {
+        max_processors: profile.cpus as u32,
+    };
+    let book = Rc::new(RefCell::new(SpanBook::with_capacity(cfg.requests)));
+    let mut builder = SystemBuilder::new(profile.cpus)
+        .alloc_policy(policies.alloc)
+        .daemons(DaemonSpec::topaz_default_set())
+        .decision_audit(true);
+    for shard in 0..cfg.shards {
+        let body = shard_listener(&cfg, shard, Rc::clone(&book));
+        let mut app = AppSpec::new(format!("slo{shard}"), api.clone(), body);
+        app.ready_policy = policies.ready;
+        builder = builder.app(app);
+    }
+    let mut sys = builder.build();
+    let report = sys.run();
+    assert!(
+        report.all_done(),
+        "{policies}: cell did not finish: {:?}",
+        report.outcome
+    );
+    let makespan = report.outcome.end;
+    (sys, makespan)
+}
+
+/// Asserts every provenance/dwell invariant on a finished cell.
+fn check_invariants(sys: &System, makespan: SimTime, ctx: &str) {
+    // Dwell partition, first by the ledger's own verifier...
+    let dwell = sys.dwell_ledger().expect("decision audit was enabled");
+    dwell
+        .verify(makespan)
+        .unwrap_or_else(|e| panic!("{ctx}: dwell ledger: {e}"));
+    // ...then independently: per CPU, episodes must chain start-to-end
+    // from 0 to the makespan with no gap or overlap.
+    for cpu in 0..dwell.num_cpus() {
+        let mut cursor = SimTime::ZERO;
+        let mut episodes = 0usize;
+        for ep in dwell.episodes().iter().filter(|e| e.cpu as usize == cpu) {
+            assert_eq!(
+                ep.start, cursor,
+                "{ctx}: cpu{cpu} episode starts at {:?}, expected {cursor:?}",
+                ep.start
+            );
+            assert!(
+                ep.end >= ep.start,
+                "{ctx}: cpu{cpu} episode ends before it starts"
+            );
+            cursor = ep.end;
+            episodes += 1;
+        }
+        assert!(episodes > 0, "{ctx}: cpu{cpu} has no dwell episodes");
+        assert_eq!(
+            cursor, makespan,
+            "{ctx}: cpu{cpu} episodes do not reach the makespan"
+        );
+    }
+
+    let log = sys.decision_log().expect("decision audit was enabled");
+
+    // Decision ids dense from 1, times monotone.
+    let mut prev_at = SimTime::ZERO;
+    for (i, d) in log.decisions.iter().enumerate() {
+        assert_eq!(
+            d.id,
+            i as u64 + 1,
+            "{ctx}: decision ids must be dense from 1"
+        );
+        assert!(
+            d.at >= prev_at,
+            "{ctx}: decision {} decided at {:?}, before predecessor at {prev_at:?}",
+            d.id,
+            d.at
+        );
+        prev_at = d.at;
+    }
+
+    // Delivered stamps: valid id, matching kind and space, causal order,
+    // monotone per-space delivery times.
+    let n = log.decisions.len() as u64;
+    let n_spaces = sys.apps().len();
+    let mut last_delivery = vec![SimTime::ZERO; n_spaces + 1];
+    for stamp in &log.delivered {
+        assert!(
+            stamp.decision >= 1 && stamp.decision <= n,
+            "{ctx}: stamp names unknown decision {}",
+            stamp.decision
+        );
+        let d = &log.decisions[stamp.decision as usize - 1];
+        match (&d.kind, stamp.kind) {
+            (AllocDecisionKind::Grant { space, .. }, UpcallKind::AddProcessor)
+            | (AllocDecisionKind::Victim { space, .. }, UpcallKind::Preempted) => {
+                assert_eq!(
+                    *space, stamp.space,
+                    "{ctx}: decision {} concerned as{space}, stamped to as{}",
+                    d.id, stamp.space
+                );
+            }
+            (kind, stamped) => panic!(
+                "{ctx}: decision {} ({}) stamped onto a {stamped} upcall",
+                d.id,
+                kind.name()
+            ),
+        }
+        assert!(
+            stamp.at >= d.at,
+            "{ctx}: decision {} delivered at {:?} before it was made at {:?}",
+            d.id,
+            stamp.at,
+            d.at
+        );
+        let last = &mut last_delivery[stamp.space as usize];
+        assert!(
+            stamp.at >= *last,
+            "{ctx}: as{} deliveries went back in time",
+            stamp.space
+        );
+        *last = stamp.at;
+    }
+
+    // Every grant chain that completed must telescope exactly.
+    assert!(
+        chains_sum_exactly(log.grants.iter().copied()),
+        "{ctx}: a completed grant chain's legs do not sum to its startup wait"
+    );
+}
+
+/// The exhaustive grid: all 9 policy pairs × all SLO scenarios.
+#[test]
+fn policy_grid_preserves_dwell_and_provenance_invariants() {
+    for profile in slo::profiles() {
+        for policies in PolicyConfig::all() {
+            let (sys, makespan) = run_cell(&profile, policies, 300);
+            let ctx = format!("{} {policies}", profile.name);
+            check_invariants(&sys, makespan, &ctx);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The invariants hold at any workload length, not just the grid's.
+    #[test]
+    fn invariants_hold_at_any_request_count(requests in 50usize..500) {
+        let profile = slo::find("slo_poisson").expect("registry profile");
+        let (sys, makespan) = run_cell(&profile, PolicyConfig::default(), requests);
+        let ctx = format!("slo_poisson defaults requests={requests}");
+        check_invariants(&sys, makespan, &ctx);
+    }
+}

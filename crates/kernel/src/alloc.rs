@@ -16,6 +16,7 @@ use crate::exec::Running;
 use crate::ids::AsId;
 use crate::kernel::{Event, Kernel};
 use crate::policy::{AllocView, SpaceDemand};
+use crate::provenance::VictimReason;
 use crate::space::SpaceKind;
 use crate::upcall::UpcallEvent;
 use sa_sim::TraceEvent;
@@ -142,6 +143,8 @@ impl Kernel {
         }
         self.metrics.rebalances.inc();
         let (targets, has_remainder) = self.compute_targets_inner();
+        // Choke point 1: the targets() recomputation is a decision.
+        self.note_targets_decision(&targets);
         if has_remainder && !self.rotation_armed {
             // Time-slice the remainder: rotate which spaces hold the extra
             // processors once per quantum.
@@ -218,7 +221,8 @@ impl Kernel {
                     self.cpus[cpu].realloc_pending = true;
                     return false;
                 }
-                self.release_cpu(cpu);
+                let d = self.note_victim_decision(cpu, owner, VictimReason::Realloc);
+                self.release_cpu_by(cpu, d);
                 true
             }
             Running::Kt(kt) => {
@@ -231,7 +235,8 @@ impl Kernel {
                     return false;
                 }
                 self.preempt_kt_to_queue(cpu, kt);
-                self.release_cpu(cpu);
+                let d = self.note_victim_decision(cpu, owner, VictimReason::Realloc);
+                self.release_cpu_by(cpu, d);
                 true
             }
             Running::Act(_) => {
@@ -239,8 +244,8 @@ impl Kernel {
                     self.cpus[cpu].realloc_pending = true;
                     return false;
                 }
-                let ev = self.stop_activation_on(cpu);
-                self.release_cpu(cpu);
+                let ev = self.stop_activation_on(cpu, VictimReason::Realloc);
+                self.release_cpu_by(cpu, ev.decision().unwrap_or(0));
                 // §3.1: the old address space must still be notified — on
                 // another of its processors, or pended if it has none.
                 self.notify_preemption(owner, ev);
@@ -265,30 +270,88 @@ impl Kernel {
         }
     }
 
+    /// Choke point 3 for non-activation victims: records the decision
+    /// behind taking `cpu` from `owner` (activation victims get theirs
+    /// in [`Kernel::stop_activation_on`], where the `Preempted` upcall
+    /// is stamped). Returns the decision id.
+    pub(crate) fn note_victim_decision(
+        &mut self,
+        cpu: usize,
+        owner: AsId,
+        reason: VictimReason,
+    ) -> u64 {
+        let id = self.next_decision();
+        if self.provenance_enabled() {
+            self.record_decision(
+                id,
+                crate::provenance::AllocDecisionKind::Victim {
+                    cpu: cpu as u32,
+                    space: owner.0,
+                    reason,
+                },
+            );
+        }
+        id
+    }
+
     /// Releases `cpu` from its owner, leaving it unassigned and idle.
     /// Remembers the owner as the CPU's last space (§4.2 affinity input).
+    /// Voluntary releases (runtime gave the processor up, space
+    /// finished) come through here; allocator-driven releases use
+    /// [`Kernel::release_cpu_by`] with the victim decision.
     pub(crate) fn release_cpu(&mut self, cpu: usize) {
+        self.release_cpu_by(cpu, 0);
+    }
+
+    /// As [`Kernel::release_cpu`], ending the dwell episode with the
+    /// allocator decision that caused the release (0 = none).
+    pub(crate) fn release_cpu_by(&mut self, cpu: usize, decision: u64) {
         if let Some(owner) = self.cpus[cpu].assigned.take() {
             self.spaces[owner.index()].assigned_cpus -= 1;
             self.cpus[cpu].last_space = Some(owner);
+            if let Some(d) = &mut self.dwell {
+                d.release(cpu, self.q.now(), decision);
+            }
         }
+        // Whatever grant chain was open on this CPU will never complete.
+        self.cpus[cpu].open_grant = None;
         debug_assert!(self.cpus[cpu].inflight.is_none());
         self.set_idle(cpu);
     }
 
-    /// Assigns a free CPU to `space` and starts it working.
+    /// Assigns a free CPU to `space` and starts it working
+    /// (choke point 2: the `pick_cpu()` grant decision).
     pub(crate) fn grant_cpu_to(&mut self, cpu: usize, space: AsId) {
         debug_assert!(self.cpus[cpu].assigned.is_none());
         debug_assert!(self.cpus[cpu].inflight.is_none());
+        let decision = self.next_decision();
+        if self.provenance_enabled() {
+            self.record_decision(
+                decision,
+                crate::provenance::AllocDecisionKind::Grant {
+                    cpu: cpu as u32,
+                    space: space.0,
+                },
+            );
+        }
         self.cpus[cpu].assigned = Some(space);
         self.spaces[space.index()].assigned_cpus += 1;
+        if let Some(d) = &mut self.dwell {
+            d.assign(cpu, space.0, self.q.now(), decision);
+        }
         self.trace.event(self.q.now(), || TraceEvent::Grant {
             cpu: cpu as u32,
             space: space.0,
+            decision,
         });
         match &self.spaces[space.index()].kind {
             SpaceKind::UserOnSa => {
-                self.deliver_upcall_on_cpu(cpu, space, vec![UpcallEvent::AddProcessor]);
+                self.cpus[cpu].open_grant = self.open_grant_chain(decision, cpu, space);
+                self.deliver_upcall_on_cpu(
+                    cpu,
+                    space,
+                    vec![UpcallEvent::AddProcessor { decision }],
+                );
             }
             SpaceKind::KernelDirect { .. } | SpaceKind::UserOnKt { .. } => {
                 if let Some(kt) = self.spaces[space.index()].ready.pop() {

@@ -152,6 +152,13 @@ impl Kernel {
     /// Starts `seg` on `cpu`.
     pub(crate) fn start_seg(&mut self, cpu: usize, seg: Seg) {
         self.end_idle(cpu);
+        if self.cpus[cpu].open_grant.is_some() && seg.kind == WorkKind::UserWork {
+            // First user work since the grant: the grant-latency chain
+            // is complete (the marker is only set while the decision log
+            // is on).
+            let d = self.cpus[cpu].open_grant.take().unwrap();
+            self.note_first_dispatch(d);
+        }
         self.metrics.segs.inc();
         let now = self.q.now();
         let done_at = now + seg.dur;

@@ -61,6 +61,10 @@ pub(crate) struct Cpu {
     pub idle_since: Option<SimTime>,
     /// The space this CPU was last allocated to (§4.2 affinity input).
     pub last_space: Option<AsId>,
+    /// Index (in the provenance log's grants vec) of a grant chain whose
+    /// first user dispatch has not happened yet (set only while the
+    /// decision log is enabled; closed O(1) in `start_seg`).
+    pub open_grant: Option<u32>,
 }
 
 /// A segment in flight on a CPU.
@@ -144,6 +148,14 @@ pub struct Kernel {
     /// default; the SLO pipeline turns it on). Boxed so the disabled
     /// case costs one branch per charge.
     windowed: Option<Box<sa_sim::WindowedLedger>>,
+    /// Allocator decision sequence (always advances, even with the log
+    /// off, so stamped ids are identical whether or not anyone records).
+    pub(crate) next_decision_id: u64,
+    /// Optional decision-provenance log (see `provenance.rs`). Boxed so
+    /// the disabled case costs one branch per choke point.
+    pub(crate) provenance: Option<Box<crate::provenance::ProvenanceLog>>,
+    /// Optional processor-assignment dwell ledger (same gating).
+    pub(crate) dwell: Option<Box<sa_sim::DwellLedger>>,
     /// Rotation counter for remainder processors (§4.1 time-slicing).
     pub(crate) share_rotation: u32,
     /// A `RotateShares` event is outstanding.
@@ -180,6 +192,7 @@ impl Kernel {
                 realloc_pending: false,
                 idle_since: Some(SimTime::ZERO),
                 last_space: None,
+                open_grant: None,
             })
             .collect();
         let n_cpus = cfg.cpus as usize;
@@ -207,6 +220,9 @@ impl Kernel {
             ledger: TimeLedger::new(n_cpus),
             pending_charges: vec![ChargeAcc::new(); n_cpus],
             windowed: None,
+            next_decision_id: 0,
+            provenance: None,
+            dwell: None,
             share_rotation: 0,
             rotation_armed: false,
             app_spaces: 0,

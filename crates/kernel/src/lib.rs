@@ -34,6 +34,7 @@ pub mod kthread;
 pub mod locks;
 pub mod metrics;
 pub mod policy;
+pub mod provenance;
 pub mod sa;
 pub mod sched;
 pub mod space;
@@ -48,6 +49,7 @@ pub use metrics::{KernelMetrics, RunOutcome, SpaceMetrics};
 pub use policy::{
     Affinity, AllocPolicy, AllocPolicyKind, AllocView, SpaceDemand, SpaceShareEven, StrictPriority,
 };
+pub use provenance::{AllocDecision, AllocDecisionKind, DeliveredStamp, GrantChain, ProvenanceLog};
 pub use sa::RUNTIME_PAGE;
 pub use upcall::{
     PollReason, RtEnv, SavedContext, Syscall, SyscallOutcome, UpcallEvent, UserRuntime, VpAction,

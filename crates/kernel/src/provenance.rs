@@ -1,0 +1,523 @@
+//! Allocator decision provenance: typed records at the three §4.1 choke
+//! points, joined to the upcalls and assignment changes they cause.
+//!
+//! Every allocator decision — a `targets()` recomputation, a `pick_cpu()`
+//! grant, or a preemption-victim choice — gets a monotonically increasing
+//! id from a single kernel-wide sequence. The id is stamped onto the
+//! resulting artifacts:
+//!
+//! - the [`UpcallEvent::AddProcessor`](crate::upcall::UpcallEvent) /
+//!   [`UpcallEvent::Preempted`](crate::upcall::UpcallEvent) notifications
+//!   the decision produces,
+//! - the `Grant`/`ActStop` trace events,
+//! - the [`DwellLedger`](sa_sim::DwellLedger) episodes it opens/closes,
+//!
+//! so a slow request's tail window can be traced back to the specific
+//! reallocation decisions inside it. The id sequence always advances
+//! (one `u64` add per decision); the *records* are kept only when the
+//! log is enabled ([`Kernel::enable_decision_log`]), keeping the
+//! disabled hot path at one branch per choke point.
+//!
+//! For grants to scheduler-activation spaces the log also keeps a
+//! [`GrantChain`]: the causal timestamps decision → preempt done →
+//! `add_processor` upcall delivered → first user dispatch. The legs
+//! telescope, so they sum *exactly* (integer nanoseconds) to the
+//! episode's startup wait — the quantity PR 8's SLO layer showed
+//! dominating the tail.
+
+use crate::ids::AsId;
+use crate::kernel::Kernel;
+use sa_sim::{SimTime, UpcallKind};
+
+/// What an allocator decision decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocDecisionKind {
+    /// A `targets()` recomputation: the per-space demand the policy saw
+    /// and the allocation it chose (deltas between consecutive records
+    /// are the demand changes that triggered reallocations).
+    Targets {
+        /// The demand and target vectors, interned in the log's counts
+        /// arena (resolve with [`ProvenanceLog::targets_counts`]).
+        /// Interning keeps the ~1-per-request records allocation-free
+        /// and `AllocDecision` small — the difference between ~12% and
+        /// ~5% audit overhead on the SLO bench cell.
+        counts: CountsRange,
+    },
+    /// A `pick_cpu()` grant of a free processor to a space.
+    Grant {
+        /// The granted processor.
+        cpu: u32,
+        /// The receiving space.
+        space: u32,
+    },
+    /// A preemption-victim choice: a processor taken from a space.
+    Victim {
+        /// The victim processor.
+        cpu: u32,
+        /// The space losing it.
+        space: u32,
+        /// Why the victim was needed.
+        reason: VictimReason,
+    },
+}
+
+/// Which allocator path needed a preemption victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimReason {
+    /// A `targets()` rebalance reclaiming the processor.
+    Realloc,
+    /// Another space's demand stealing the processor via `pick_cpu()`.
+    Steal,
+    /// The space preempted its own virtual processor (`preempt_vp`
+    /// downcall).
+    PreemptVp,
+    /// A victim taken on the space's own processor to deliver an urgent
+    /// notification (§3.1).
+    Notify,
+}
+
+impl VictimReason {
+    /// Short label for tables and CSV.
+    pub fn name(self) -> &'static str {
+        match self {
+            VictimReason::Realloc => "realloc",
+            VictimReason::Steal => "steal",
+            VictimReason::PreemptVp => "preempt_vp",
+            VictimReason::Notify => "notify",
+        }
+    }
+}
+
+/// A range in the [`ProvenanceLog`] counts arena holding one `Targets`
+/// record's per-space demand vector followed by its targets vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountsRange {
+    /// Arena offset of the demand vector.
+    start: u32,
+    /// Spaces per vector (the record occupies `2 * spaces` slots).
+    spaces: u32,
+}
+
+impl AllocDecisionKind {
+    /// Short label for tables and CSV.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllocDecisionKind::Targets { .. } => "targets",
+            AllocDecisionKind::Grant { .. } => "grant",
+            AllocDecisionKind::Victim { .. } => "victim",
+        }
+    }
+}
+
+/// One recorded allocator decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocDecision {
+    /// Monotonic id (dense from 1 across all decision kinds).
+    pub id: u64,
+    /// When it was taken.
+    pub at: SimTime,
+    /// What was decided.
+    pub kind: AllocDecisionKind,
+}
+
+/// The causal chain of one grant to a scheduler-activation space:
+/// decision → preempt delivered → `add_processor` upcall → first user
+/// dispatch. Timestamps are absolute; the legs telescope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantChain {
+    /// The grant decision this chain belongs to.
+    pub decision: u64,
+    /// The granted processor.
+    pub cpu: u32,
+    /// The receiving space.
+    pub space: u32,
+    /// When the allocator decided (and assigned the CPU).
+    pub decided_at: SimTime,
+    /// When the victim's preemption (if the grant needed one) completed.
+    /// Under the simulator's instantaneous-IPI model the stop happens in
+    /// the same instant as the decision, so this equals `decided_at`;
+    /// the leg is kept so a model with IPI latency slots in unchanged.
+    pub preempt_done_at: SimTime,
+    /// When the `add_processor` upcall batch reached the runtime
+    /// (`None`: the grant aborted — upcall deferred on a runtime page
+    /// fault and the CPU was returned).
+    pub upcall_at: Option<SimTime>,
+    /// When the first user-work segment started on the granted CPU
+    /// (`None`: the processor was reclaimed before any user work ran).
+    pub first_dispatch_at: Option<SimTime>,
+}
+
+impl GrantChain {
+    /// The chain completed: the space actually ran user work.
+    pub fn completed(&self) -> bool {
+        self.upcall_at.is_some() && self.first_dispatch_at.is_some()
+    }
+
+    /// The three legs (decision→preempt, preempt→upcall, upcall→first
+    /// dispatch) in nanoseconds, for a completed chain.
+    pub fn legs_ns(&self) -> Option<[u64; 3]> {
+        let up = self.upcall_at?;
+        let fd = self.first_dispatch_at?;
+        Some([
+            self.preempt_done_at.since(self.decided_at).as_nanos(),
+            up.since(self.preempt_done_at).as_nanos(),
+            fd.since(up).as_nanos(),
+        ])
+    }
+
+    /// Decision-to-first-dispatch total (the episode's startup wait),
+    /// for a completed chain. Equals the sum of [`GrantChain::legs_ns`]
+    /// exactly, by telescoping.
+    pub fn startup_wait_ns(&self) -> Option<u64> {
+        Some(self.first_dispatch_at?.since(self.decided_at).as_nanos())
+    }
+}
+
+/// A decision-stamped notification observed at upcall delivery: which
+/// space received which decision's consequence, and when. Per space the
+/// stamped ids are non-decreasing (pending events are drained FIFO), so
+/// reports can window-join deliveries without sorting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveredStamp {
+    /// The receiving space.
+    pub space: u32,
+    /// The decision stamped on the event.
+    pub decision: u64,
+    /// Event kind (`AddProcessor` or `Preempted`).
+    pub kind: UpcallKind,
+    /// Delivery time.
+    pub at: SimTime,
+}
+
+/// The decision-provenance log (enable with
+/// [`Kernel::enable_decision_log`], read with [`Kernel::decision_log`]).
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceLog {
+    /// Every decision, in id order.
+    pub decisions: Vec<AllocDecision>,
+    /// Grant chains for scheduler-activation spaces, in decision order.
+    pub grants: Vec<GrantChain>,
+    /// Decision-stamped upcall deliveries, in delivery order.
+    pub delivered: Vec<DeliveredStamp>,
+    /// Interned demand/targets vectors for `Targets` records.
+    counts: Vec<u32>,
+}
+
+impl ProvenanceLog {
+    /// The grant chain for `decision`, if one was opened (grants are
+    /// pushed in decision order, so this is a binary search).
+    pub fn grant(&self, decision: u64) -> Option<&GrantChain> {
+        self.grants
+            .binary_search_by_key(&decision, |g| g.decision)
+            .ok()
+            .map(|i| &self.grants[i])
+    }
+
+    /// Resolves a `Targets` record's interned `(demand, targets)`
+    /// per-space vectors.
+    pub fn targets_counts(&self, r: CountsRange) -> (&[u32], &[u32]) {
+        let (start, n) = (r.start as usize, r.spaces as usize);
+        let buf = &self.counts[start..start + 2 * n];
+        buf.split_at(n)
+    }
+
+    /// As [`ProvenanceLog::grant`], mutable, biased toward the hot case:
+    /// the chain being closed was opened recently (the `add_processor`
+    /// upcall follows its grant within a batch or two), so scan a few
+    /// entries from the tail before paying the full binary search.
+    fn grant_mut(&mut self, decision: u64) -> Option<&mut GrantChain> {
+        let n = self.grants.len();
+        for i in (n.saturating_sub(8)..n).rev() {
+            match self.grants[i].decision.cmp(&decision) {
+                std::cmp::Ordering::Equal => return Some(&mut self.grants[i]),
+                // Sorted ascending: everything earlier is smaller still.
+                std::cmp::Ordering::Less => return None,
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        self.grants[..n.saturating_sub(8)]
+            .binary_search_by_key(&decision, |g| g.decision)
+            .ok()
+            .map(move |i| &mut self.grants[i])
+    }
+}
+
+impl Kernel {
+    /// Turns on decision-provenance recording (records at the three
+    /// choke points plus grant chains and delivery stamps). Decision ids
+    /// advance regardless; only record-keeping is gated.
+    pub fn enable_decision_log(&mut self) {
+        // Pre-size for a mid-size run: decision volume is ~3 per SLO
+        // request, so this skips the first dozen growth copies without
+        // committing real memory up front.
+        self.provenance = Some(Box::new(ProvenanceLog {
+            decisions: Vec::with_capacity(1 << 14),
+            grants: Vec::with_capacity(1 << 12),
+            delivered: Vec::with_capacity(1 << 12),
+            counts: Vec::with_capacity(1 << 15),
+        }));
+    }
+
+    /// The provenance log, if enabled.
+    pub fn decision_log(&self) -> Option<&ProvenanceLog> {
+        self.provenance.as_deref()
+    }
+
+    /// Turns on the processor-assignment dwell ledger. Call before the
+    /// run starts so episode 0 opens at time zero.
+    pub fn enable_dwell_ledger(&mut self) {
+        self.dwell = Some(Box::new(sa_sim::DwellLedger::new(self.cpus.len())));
+    }
+
+    /// A snapshot of the dwell ledger (if enabled) sealed at the current
+    /// virtual time, so per-CPU episodes partition the makespan exactly
+    /// (see [`sa_sim::DwellLedger::verify`]).
+    pub fn dwell_ledger(&self) -> Option<sa_sim::DwellLedger> {
+        let mut d = self.dwell.as_deref().cloned()?;
+        d.seal(self.q.now());
+        Some(d)
+    }
+
+    /// Allocates the next decision id (always advances; one add).
+    pub(crate) fn next_decision(&mut self) -> u64 {
+        self.next_decision_id += 1;
+        self.next_decision_id
+    }
+
+    /// True when decision records are being kept.
+    pub(crate) fn provenance_enabled(&self) -> bool {
+        self.provenance.is_some()
+    }
+
+    /// Appends a decision record (call only when
+    /// [`Kernel::provenance_enabled`]; `kind` construction is the
+    /// caller's to skip when disabled).
+    pub(crate) fn record_decision(&mut self, id: u64, kind: AllocDecisionKind) {
+        let at = self.q.now();
+        if let Some(p) = &mut self.provenance {
+            debug_assert!(p.decisions.last().is_none_or(|d| d.id < id));
+            p.decisions.push(AllocDecision { id, at, kind });
+        }
+    }
+
+    /// Records a `targets()` recomputation decision: the demand the
+    /// policy saw and the targets it chose. Returns the decision id.
+    pub(crate) fn note_targets_decision(&mut self, targets: &[u32]) -> u64 {
+        let id = self.next_decision();
+        if self.provenance_enabled() {
+            // Demand into a stack buffer first (space_demand borrows the
+            // whole kernel), then intern both vectors in one arena append.
+            let n = self.spaces.len();
+            let mut demand = [0u32; 64];
+            let spill: Vec<u32>;
+            let demand: &[u32] = if n <= demand.len() {
+                for (idx, d) in demand[..n].iter_mut().enumerate() {
+                    *d = self.space_demand(AsId(idx as u32));
+                }
+                &demand[..n]
+            } else {
+                spill = (0..n)
+                    .map(|idx| self.space_demand(AsId(idx as u32)))
+                    .collect();
+                &spill
+            };
+            let p = self.provenance.as_mut().expect("provenance enabled");
+            let counts = CountsRange {
+                start: p.counts.len() as u32,
+                spaces: n as u32,
+            };
+            p.counts.extend_from_slice(demand);
+            p.counts.extend_from_slice(targets);
+            self.record_decision(id, AllocDecisionKind::Targets { counts });
+        }
+        id
+    }
+
+    /// Opens the grant chain for `decision` (scheduler-activation grants
+    /// only; no-op when the log is disabled). Returns the chain's index
+    /// in the grants vec, for O(1) closure at first dispatch.
+    pub(crate) fn open_grant_chain(
+        &mut self,
+        decision: u64,
+        cpu: usize,
+        space: AsId,
+    ) -> Option<u32> {
+        let now = self.q.now();
+        let p = self.provenance.as_mut()?;
+        p.grants.push(GrantChain {
+            decision,
+            cpu: cpu as u32,
+            space: space.0,
+            decided_at: now,
+            preempt_done_at: now,
+            upcall_at: None,
+            first_dispatch_at: None,
+        });
+        Some((p.grants.len() - 1) as u32)
+    }
+
+    /// Stamps a decision-carrying upcall delivery (and closes the upcall
+    /// leg of the grant chain for `AddProcessor`).
+    pub(crate) fn note_decision_delivered(&mut self, space: AsId, decision: u64, kind: UpcallKind) {
+        let now = self.q.now();
+        if let Some(p) = &mut self.provenance {
+            p.delivered.push(DeliveredStamp {
+                space: space.0,
+                decision,
+                kind,
+                at: now,
+            });
+            if kind == UpcallKind::AddProcessor {
+                if let Some(g) = p.grant_mut(decision) {
+                    if g.upcall_at.is_none() {
+                        g.upcall_at = Some(now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closes the first-dispatch leg of an open grant chain, addressed
+    /// by the index [`Kernel::open_grant_chain`] returned.
+    pub(crate) fn note_first_dispatch(&mut self, chain: u32) {
+        let now = self.q.now();
+        if let Some(p) = &mut self.provenance {
+            if let Some(g) = p.grants.get_mut(chain as usize) {
+                if g.first_dispatch_at.is_none() {
+                    g.first_dispatch_at = Some(now);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn grant_chain_legs_telescope_exactly() {
+        let g = GrantChain {
+            decision: 7,
+            cpu: 2,
+            space: 1,
+            decided_at: t(100),
+            preempt_done_at: t(100),
+            upcall_at: Some(t(137)),
+            first_dispatch_at: Some(t(161)),
+        };
+        assert!(g.completed());
+        let legs = g.legs_ns().unwrap();
+        assert_eq!(legs, [0, 37_000, 24_000]);
+        assert_eq!(legs.iter().sum::<u64>(), g.startup_wait_ns().unwrap());
+    }
+
+    #[test]
+    fn aborted_chain_has_no_legs() {
+        let g = GrantChain {
+            decision: 3,
+            cpu: 0,
+            space: 0,
+            decided_at: t(5),
+            preempt_done_at: t(5),
+            upcall_at: None,
+            first_dispatch_at: None,
+        };
+        assert!(!g.completed());
+        assert_eq!(g.legs_ns(), None);
+        assert_eq!(g.startup_wait_ns(), None);
+    }
+
+    #[test]
+    fn log_finds_grants_by_decision_id() {
+        let mut log = ProvenanceLog::default();
+        for d in [2u64, 5, 9] {
+            log.grants.push(GrantChain {
+                decision: d,
+                cpu: 0,
+                space: 0,
+                decided_at: t(d),
+                preempt_done_at: t(d),
+                upcall_at: None,
+                first_dispatch_at: None,
+            });
+        }
+        assert_eq!(log.grant(5).unwrap().decided_at, t(5));
+        assert!(log.grant(4).is_none());
+        log.grant_mut(9).unwrap().upcall_at = Some(t(10));
+        assert_eq!(log.grant(9).unwrap().upcall_at, Some(t(10)));
+    }
+
+    #[test]
+    fn targets_counts_roundtrip_through_the_arena() {
+        let mut log = ProvenanceLog::default();
+        let r1 = CountsRange {
+            start: 0,
+            spaces: 3,
+        };
+        log.counts.extend_from_slice(&[5, 0, 2, 4, 1, 1]);
+        let r2 = CountsRange {
+            start: 6,
+            spaces: 2,
+        };
+        log.counts.extend_from_slice(&[9, 9, 6, 2]);
+        assert_eq!(log.targets_counts(r1), (&[5, 0, 2][..], &[4, 1, 1][..]));
+        assert_eq!(log.targets_counts(r2), (&[9, 9][..], &[6, 2][..]));
+    }
+
+    #[test]
+    fn tail_biased_grant_lookup_matches_binary_search() {
+        let mut log = ProvenanceLog::default();
+        for d in 0..100u64 {
+            log.grants.push(GrantChain {
+                decision: d * 3 + 1,
+                cpu: 0,
+                space: 0,
+                decided_at: t(d),
+                preempt_done_at: t(d),
+                upcall_at: None,
+                first_dispatch_at: None,
+            });
+        }
+        // Hits and misses both near the tail and deep in the body, so
+        // the scan path and the binary fallback both execute.
+        for d in [1u64, 2, 148, 149, 150, 151, 295, 297, 298, 299, 400] {
+            assert_eq!(
+                log.grant_mut(d).map(|g| g.decision),
+                log.grant(d).map(|g| g.decision),
+                "lookup mismatch for decision {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn decision_kind_names_are_stable() {
+        assert_eq!(
+            AllocDecisionKind::Targets {
+                counts: CountsRange {
+                    start: 0,
+                    spaces: 0
+                }
+            }
+            .name(),
+            "targets"
+        );
+        assert_eq!(
+            AllocDecisionKind::Grant { cpu: 0, space: 0 }.name(),
+            "grant"
+        );
+        assert_eq!(
+            AllocDecisionKind::Victim {
+                cpu: 0,
+                space: 0,
+                reason: VictimReason::Realloc
+            }
+            .name(),
+            "victim"
+        );
+    }
+}

@@ -5,6 +5,7 @@ use crate::activation::ActState;
 use crate::exec::{Effect, Micro, ResumeWith, Running, Seg, UnitRef, UpcallBatch};
 use crate::ids::{ActId, AsId, VpId};
 use crate::kernel::{Event, Kernel};
+use crate::provenance::VictimReason;
 use crate::upcall::{RtEnv, SavedContext, Syscall, SyscallOutcome, UpcallEvent, WorkKind};
 use sa_machine::ids::PageId;
 use sa_sim::{SimDuration, TraceEvent, WaitKind};
@@ -63,6 +64,16 @@ impl Kernel {
                 act: a.0,
                 vp: ev.vp().map(|v| v.0),
             });
+        }
+        if self.provenance_enabled() {
+            // Stamp decision-carrying events at the moment the runtime
+            // sees them (closes the upcall leg of grant chains).
+            for ev in &batch.events {
+                match ev.decision() {
+                    Some(d) if d != 0 => self.note_decision_delivered(space, d, ev.kind()),
+                    _ => {}
+                }
+            }
         }
         let mut rt = self.spaces[space.index()]
             .runtime
@@ -246,7 +257,7 @@ impl Kernel {
                 if let ActState::Running(tcpu) = self.acts[target.index()].state {
                     let tcpu = tcpu as usize;
                     if self.act_victim_eligible(tcpu) {
-                        let ev = self.stop_activation_on(tcpu);
+                        let ev = self.stop_activation_on(tcpu, VictimReason::PreemptVp);
                         self.deliver_upcall_on_cpu(tcpu, space, vec![ev]);
                     }
                 }
@@ -385,7 +396,7 @@ impl Kernel {
         //    the pending events plus the victim's preemption (§3.1 —
         //    `deliver_upcall_on_cpu` prepends the pending batch itself).
         if let Some(victim_cpu) = self.pick_own_victim(space) {
-            let ev = self.stop_activation_on(victim_cpu);
+            let ev = self.stop_activation_on(victim_cpu, VictimReason::Notify);
             self.deliver_upcall_on_cpu(victim_cpu, space, vec![ev]);
             return;
         }
@@ -472,7 +483,8 @@ impl Kernel {
                 if self.cpus[cpu].inflight.is_some() {
                     return false;
                 }
-                self.release_cpu(cpu);
+                let d = self.note_victim_decision(cpu, owner, VictimReason::Steal);
+                self.release_cpu_by(cpu, d);
                 self.grant_cpu_to(cpu, space);
             }
             Running::Kt(kt) => {
@@ -484,15 +496,16 @@ impl Kernel {
                     return false;
                 }
                 self.preempt_kt_to_queue(cpu, kt);
-                self.release_cpu(cpu);
+                let d = self.note_victim_decision(cpu, owner, VictimReason::Steal);
+                self.release_cpu_by(cpu, d);
                 self.grant_cpu_to(cpu, space);
             }
             Running::Act(_) => {
                 if !self.act_victim_eligible(cpu) {
                     return false;
                 }
-                let ev = self.stop_activation_on(cpu);
-                self.release_cpu(cpu);
+                let ev = self.stop_activation_on(cpu, VictimReason::Steal);
+                self.release_cpu_by(cpu, ev.decision().unwrap_or(0));
                 self.grant_cpu_to(cpu, space);
                 self.notify_preemption(owner, ev);
             }
@@ -514,11 +527,16 @@ impl Kernel {
 
     /// Stops the activation running on `cpu`, capturing its user-level
     /// machine state for the notification. The CPU is left idle.
-    pub(crate) fn stop_activation_on(&mut self, cpu: usize) -> UpcallEvent {
+    ///
+    /// Choke point 3: choosing this activation as the preemption victim
+    /// is an allocator decision; `reason` says which path needed it, and
+    /// the decision id is stamped onto the `Preempted` event.
+    pub(crate) fn stop_activation_on(&mut self, cpu: usize, reason: VictimReason) -> UpcallEvent {
         let Running::Act(a) = self.cpus[cpu].running else {
             unreachable!("stop_activation_on a CPU not running an activation");
         };
         let space = self.acts[a.index()].space;
+        let decision = self.note_victim_decision(cpu, space, reason);
         self.spaces[space.index()].metrics.preemptions.inc();
         // Charge the IPI + state save to the space losing the processor.
         self.spaces[space.index()]
@@ -539,11 +557,13 @@ impl Kernel {
             cpu: cpu as u32,
             act: a.0,
             saved: !saved.remaining.is_zero(),
+            decision,
         });
         UpcallEvent::Preempted {
             vp: VpId(a.0),
             saved,
             seq,
+            decision,
         }
     }
 

@@ -59,7 +59,11 @@ pub enum UpcallEvent {
     /// "Add this processor: execute a runnable user-level thread."
     ///
     /// The processor is the one the upcall itself is running on.
-    AddProcessor,
+    AddProcessor {
+        /// The allocator grant decision that produced this processor
+        /// (see [`crate::provenance`]; 0 in hand-built test batches).
+        decision: u64,
+    },
     /// "Processor has been preempted (preempted activation # and its
     /// machine state): return to the ready list the user-level thread that
     /// was executing in the context of the preempted scheduler activation."
@@ -72,6 +76,9 @@ pub enum UpcallEvent {
         /// [`UpcallEvent::seq`]). Processing this event is what makes the
         /// stopped activation's husk safe to recycle.
         seq: u64,
+        /// The allocator victim decision that stopped this processor
+        /// (see [`crate::provenance`]; 0 in hand-built test batches).
+        decision: u64,
     },
     /// "Scheduler activation has blocked (blocked activation #): the
     /// blocked scheduler activation is no longer using its processor."
@@ -113,7 +120,7 @@ impl UpcallEvent {
     /// forces a kind (and thereby a counter slot) to exist for it.
     pub fn kind(&self) -> UpcallKind {
         match self {
-            UpcallEvent::AddProcessor => UpcallKind::AddProcessor,
+            UpcallEvent::AddProcessor { .. } => UpcallKind::AddProcessor,
             UpcallEvent::Preempted { .. } => UpcallKind::Preempted,
             UpcallEvent::Blocked { .. } => UpcallKind::Blocked,
             UpcallEvent::Unblocked { .. } => UpcallKind::Unblocked,
@@ -123,10 +130,22 @@ impl UpcallEvent {
     /// The virtual processor the event concerns, when it has one.
     pub fn vp(&self) -> Option<VpId> {
         match self {
-            UpcallEvent::AddProcessor => None,
+            UpcallEvent::AddProcessor { .. } => None,
             UpcallEvent::Preempted { vp, .. }
             | UpcallEvent::Blocked { vp, .. }
             | UpcallEvent::Unblocked { vp, .. } => Some(*vp),
+        }
+    }
+
+    /// The allocator decision stamped on the event, when it carries one
+    /// (`AddProcessor` grants and `Preempted` victim choices; 0 means
+    /// "no recorded decision", e.g. a hand-built test batch).
+    pub fn decision(&self) -> Option<u64> {
+        match self {
+            UpcallEvent::AddProcessor { decision } | UpcallEvent::Preempted { decision, .. } => {
+                Some(*decision)
+            }
+            UpcallEvent::Blocked { .. } | UpcallEvent::Unblocked { .. } => None,
         }
     }
 
@@ -141,7 +160,7 @@ impl UpcallEvent {
     /// of its earlier notifications is still unprocessed.
     pub fn seq(&self) -> Option<u64> {
         match self {
-            UpcallEvent::AddProcessor => None,
+            UpcallEvent::AddProcessor { .. } => None,
             UpcallEvent::Preempted { seq, .. }
             | UpcallEvent::Blocked { seq, .. }
             | UpcallEvent::Unblocked { seq, .. } => Some(*seq),
@@ -461,8 +480,9 @@ mod tests {
 
     #[test]
     fn upcall_events_map_to_kinds() {
-        assert_eq!(UpcallEvent::AddProcessor.kind(), UpcallKind::AddProcessor);
-        assert_eq!(UpcallEvent::AddProcessor.vp(), None);
+        let add = UpcallEvent::AddProcessor { decision: 42 };
+        assert_eq!(add.kind(), UpcallKind::AddProcessor);
+        assert_eq!(add.vp(), None);
         let ev = UpcallEvent::Blocked {
             vp: VpId(4),
             seq: 7,
@@ -470,7 +490,9 @@ mod tests {
         assert_eq!(ev.kind(), UpcallKind::Blocked);
         assert_eq!(ev.vp(), Some(VpId(4)));
         assert_eq!(ev.seq(), Some(7));
-        assert_eq!(UpcallEvent::AddProcessor.seq(), None);
+        assert_eq!(ev.decision(), None);
+        assert_eq!(add.seq(), None);
+        assert_eq!(add.decision(), Some(42));
     }
 
     #[test]

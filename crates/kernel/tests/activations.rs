@@ -170,7 +170,11 @@ fn program_start_delivers_add_processor_upcall() {
     let out = k.run();
     assert!(!out.timed_out && !out.deadlocked);
     let upcalls = log.upcalls();
-    assert_eq!(upcalls[0], vec![UpcallEvent::AddProcessor]);
+    assert!(
+        matches!(upcalls[0][..], [UpcallEvent::AddProcessor { .. }]),
+        "{:?}",
+        upcalls[0]
+    );
     assert!(log.polls() >= 2); // Fresh + SegDone at least
 }
 
@@ -360,7 +364,7 @@ fn last_processor_preemption_delays_notification() {
     assert!(
         delayed
             .iter()
-            .any(|e| matches!(e, UpcallEvent::AddProcessor)),
+            .any(|e| matches!(e, UpcallEvent::AddProcessor { .. })),
         "preemption notification not combined with the re-grant: {delayed:?}"
     );
 }
@@ -530,7 +534,7 @@ fn debugger_stops_without_upcalls() {
     // All upcalls were AddProcessor only (no Preempted/Blocked at all).
     for batch in log.upcalls() {
         for ev in batch {
-            assert!(matches!(ev, UpcallEvent::AddProcessor), "{ev:?}");
+            assert!(matches!(ev, UpcallEvent::AddProcessor { .. }), "{ev:?}");
         }
     }
     // Debug API behaves sanely on non-running activations.

@@ -10,6 +10,7 @@
 //! workloads) is *plain single-threaded Rust* driven by one event loop, so
 //! an entire multiprocessor run is reproducible bit-for-bit from its seed.
 
+pub mod dwell;
 pub mod event;
 pub mod ledger;
 pub mod paged;
@@ -20,6 +21,7 @@ pub mod time;
 pub mod trace;
 pub mod window;
 
+pub use dwell::{ChurnWindow, DwellEpisode, DwellLedger};
 pub use event::{BatchStart, EventCore, EventQueue, EventToken, PopNext};
 pub use ledger::{CpuState, TimeLedger, WaitKind};
 pub use paged::PagedVec;

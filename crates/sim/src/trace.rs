@@ -117,11 +117,18 @@ pub enum TraceEvent {
         act: u32,
         /// Whether user context was captured mid-segment.
         saved: bool,
+        /// Allocator victim-decision id behind the stop.
+        decision: u64,
     },
     /// A kernel thread was preempted off a processor at quantum expiry.
     KtPreempt { cpu: u32, kt: u32 },
     /// The allocator granted a processor to a space.
-    Grant { cpu: u32, space: u32 },
+    Grant {
+        cpu: u32,
+        space: u32,
+        /// Allocator grant-decision id behind the assignment.
+        decision: u64,
+    },
     /// Downcall hint: the space declared how many processors it wants.
     DesiredProcessors { space: u32, total: u32 },
     /// Downcall hint: an activation declared its processor idle.
@@ -243,9 +250,17 @@ impl fmt::Display for TraceEvent {
                 cpu,
                 act,
                 saved,
-            } => write!(f, "act{act} off cpu{cpu} for as{space} saved={saved}"),
+                decision,
+            } => write!(
+                f,
+                "act{act} off cpu{cpu} for as{space} saved={saved} d{decision}"
+            ),
             TraceEvent::KtPreempt { cpu, kt } => write!(f, "kt{kt} off cpu{cpu}"),
-            TraceEvent::Grant { cpu, space } => write!(f, "cpu{cpu} -> as{space}"),
+            TraceEvent::Grant {
+                cpu,
+                space,
+                decision,
+            } => write!(f, "cpu{cpu} -> as{space} d{decision}"),
             TraceEvent::DesiredProcessors { space, total } => {
                 write!(f, "as{space} desires {total}")
             }

@@ -1065,7 +1065,7 @@ impl FastThreads {
             self.note_seq(seq);
         }
         match ev {
-            UpcallEvent::AddProcessor => {
+            UpcallEvent::AddProcessor { .. } => {
                 // The processor is the one we are running on; nothing to
                 // record beyond resetting the want-more notification state.
                 self.notified_want_more = false;
@@ -1122,7 +1122,7 @@ impl FastThreads {
                 q.push_back(RtMicro::Step(Step::ReadyThread(t)));
                 self.note_busy_changed();
             }
-            UpcallEvent::Preempted { vp, saved, seq: _ } => {
+            UpcallEvent::Preempted { vp, saved, .. } => {
                 self.stats.preemptions_seen.inc();
                 self.discard_backlog += 1;
                 self.kernel_attention = true;

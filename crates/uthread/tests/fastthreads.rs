@@ -87,7 +87,7 @@ fn boot_runs_main_to_exit_then_gives_up() {
         sa_cfg(),
         Box::new(ComputeBody::new(SimDuration::from_micros(100))),
     );
-    d.deliver(0, &[UpcallEvent::AddProcessor]);
+    d.deliver(0, &[UpcallEvent::AddProcessor { decision: 0 }]);
     let (action, elapsed) = d.drain(0, PollReason::Fresh);
     assert!(matches!(action, VpAction::GiveUp), "{action:?}");
     assert!(elapsed >= SimDuration::from_micros(100));
@@ -106,7 +106,7 @@ fn fork_join_at_runtime_level() {
         }
     });
     let mut d = Driver::new(sa_cfg(), Box::new(main));
-    d.deliver(0, &[UpcallEvent::AddProcessor]);
+    d.deliver(0, &[UpcallEvent::AddProcessor { decision: 0 }]);
     let (action, elapsed) = d.drain(0, PollReason::Fresh);
     assert!(matches!(action, VpAction::GiveUp));
     // Child's 50 µs plus fork/join/dispatch overheads.
@@ -124,7 +124,7 @@ fn uncontended_lock_stays_at_user_level() {
         Op::Release(LockId(1)),
     ];
     let mut d = Driver::new(sa_cfg(), Box::new(ScriptBody::new("l", ops)));
-    d.deliver(0, &[UpcallEvent::AddProcessor]);
+    d.deliver(0, &[UpcallEvent::AddProcessor { decision: 0 }]);
     let (action, _) = d.drain(0, PollReason::Fresh);
     // No syscall was ever made: straight to GiveUp.
     assert!(matches!(action, VpAction::GiveUp));
@@ -136,7 +136,7 @@ fn uncontended_lock_stays_at_user_level() {
 fn io_emits_syscall_and_blocked_unblocked_round_trip() {
     let ops = vec![Op::Io(SimDuration::from_millis(1))];
     let mut d = Driver::new(sa_cfg(), Box::new(ScriptBody::new("io", ops)));
-    d.deliver(0, &[UpcallEvent::AddProcessor]);
+    d.deliver(0, &[UpcallEvent::AddProcessor { decision: 0 }]);
     let (action, _) = d.drain(0, PollReason::Fresh);
     let VpAction::Syscall { call } = action else {
         panic!("expected syscall, got {action:?}");
@@ -175,6 +175,7 @@ fn io_emits_syscall_and_blocked_unblocked_round_trip() {
                 vp: VpId(1),
                 saved: SavedContext::empty(),
                 seq: 3,
+                decision: 0,
             },
         ],
     );
@@ -190,7 +191,7 @@ fn preempted_compute_resumes_with_saved_remainder() {
         sa_cfg(),
         Box::new(ComputeBody::new(SimDuration::from_millis(10))),
     );
-    d.deliver(0, &[UpcallEvent::AddProcessor]);
+    d.deliver(0, &[UpcallEvent::AddProcessor { decision: 0 }]);
     // Boot overheads, then the 10 ms segment appears.
     let seg = loop {
         match d.poll(0, PollReason::Fresh) {
@@ -214,6 +215,7 @@ fn preempted_compute_resumes_with_saved_remainder() {
             vp: VpId(0),
             saved,
             seq: 1,
+            decision: 0,
         }],
     );
     // The runtime processes the event, re-dispatches the thread, and the
@@ -250,7 +252,7 @@ fn preempted_lock_holder_is_recovered_first() {
         Op::Compute(SimDuration::from_micros(30)),
     ];
     let mut d = Driver::new(sa_cfg(), Box::new(ScriptBody::new("cs", ops)));
-    d.deliver(0, &[UpcallEvent::AddProcessor]);
+    d.deliver(0, &[UpcallEvent::AddProcessor { decision: 0 }]);
     let seg = loop {
         match d.poll(0, PollReason::Fresh) {
             VpAction::Run(seg) if seg.dur == SimDuration::from_millis(8) => break seg,
@@ -270,6 +272,7 @@ fn preempted_lock_holder_is_recovered_first() {
             vp: VpId(0),
             saved,
             seq: 1,
+            decision: 0,
         }],
     );
     let (end, _) = d.drain(1, PollReason::Fresh);
@@ -292,7 +295,7 @@ fn no_recovery_mode_skips_recovery() {
     let mut cfg = sa_cfg();
     cfg.critical = CriticalSectionMode::NoRecovery;
     let mut d = Driver::new(cfg, Box::new(ScriptBody::new("cs", ops)));
-    d.deliver(0, &[UpcallEvent::AddProcessor]);
+    d.deliver(0, &[UpcallEvent::AddProcessor { decision: 0 }]);
     let seg = loop {
         match d.poll(0, PollReason::Fresh) {
             VpAction::Run(seg) if seg.dur == SimDuration::from_millis(8) => break seg,
@@ -312,6 +315,7 @@ fn no_recovery_mode_skips_recovery() {
             vp: VpId(0),
             saved,
             seq: 1,
+            decision: 0,
         }],
     );
     let (end, _) = d.drain(1, PollReason::Fresh);
@@ -361,7 +365,7 @@ fn user_cv_ping_pong_without_kernel() {
         }
     });
     let mut d = Driver::new(sa_cfg(), Box::new(main));
-    d.deliver(0, &[UpcallEvent::AddProcessor]);
+    d.deliver(0, &[UpcallEvent::AddProcessor { decision: 0 }]);
     let (end, _) = d.drain(0, PollReason::Fresh);
     // Fully user-level: terminates without a single syscall on one VP.
     assert!(matches!(end, VpAction::GiveUp), "{end:?}");
@@ -397,7 +401,7 @@ fn contended_lock_spins_then_blocks_per_policy() {
         spin: SimDuration::from_micros(30),
     };
     let mut d = Driver::new(cfg, Box::new(main));
-    d.deliver(0, &[UpcallEvent::AddProcessor]);
+    d.deliver(0, &[UpcallEvent::AddProcessor { decision: 0 }]);
     let (end, _) = d.drain(0, PollReason::Fresh);
     assert!(matches!(end, VpAction::GiveUp), "{end:?}");
     assert_eq!(d.rt.stats.lock_contended.get(), 1);
@@ -448,14 +452,14 @@ fn sa_idle_vp_hints_after_hysteresis() {
         sa_cfg(),
         Box::new(ComputeBody::new(SimDuration::from_micros(10))),
     );
-    d.deliver(0, &[UpcallEvent::AddProcessor]);
+    d.deliver(0, &[UpcallEvent::AddProcessor { decision: 0 }]);
     // Finish the main thread.
     let (end, _) = d.drain(0, PollReason::Fresh);
     assert!(matches!(end, VpAction::GiveUp));
     // A second processor arrives while there is nothing to do (the kernel
     // may do this; the runtime must hint and spin, since live==0 it gives
     // up instead).
-    d.deliver(1, &[UpcallEvent::AddProcessor]);
+    d.deliver(1, &[UpcallEvent::AddProcessor { decision: 0 }]);
     let (a, _) = d.drain(1, PollReason::Fresh);
     assert!(matches!(a, VpAction::GiveUp));
 }
@@ -475,7 +479,7 @@ fn explicit_flag_mode_charges_more_per_op() {
             }
         });
         let mut d = Driver::new(cfg, Box::new(main));
-        d.deliver(0, &[UpcallEvent::AddProcessor]);
+        d.deliver(0, &[UpcallEvent::AddProcessor { decision: 0 }]);
         let (_, elapsed) = d.drain(0, PollReason::Fresh);
         elapsed
     };
