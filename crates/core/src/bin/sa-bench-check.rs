@@ -11,7 +11,10 @@
 //! to refresh the committed baseline. Benchmarks named `bytes_*` report
 //! footprints, where lower is better and the directions mirror.
 //! Benchmarks new in the current file are ignored (a new benchmark
-//! cannot regress).
+//! cannot regress). Host-parallel scaling lines (`sweep_fig1_grid`,
+//! `shard_scaling`) are skipped entirely when the current file's
+//! recorded `host.cores` is 1: on a single-core machine those speedups
+//! are bounded by the host, so their ratios carry no signal.
 //!
 //! `--update-baseline` accepts the current numbers: after printing the
 //! usual comparison table, the current file is copied over the baseline
@@ -26,7 +29,9 @@
 //! `--threshold` when comparing runs from one quiet machine; see
 //! `EXPERIMENTS.md` ("Bench regression gate") for the rationale.
 
-use sa_core::reporting::{compare_benches, parse_bench_json, BenchVerdict, Table};
+use sa_core::reporting::{
+    compare_benches, host_dependent, parse_bench_json, parse_host_cores, BenchVerdict, Table,
+};
 
 /// Default relative noise threshold (see module docs).
 const DEFAULT_THRESHOLD: f64 = 0.3;
@@ -126,25 +131,41 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // On a 1-core host the sweep/shard speedup lines are bounded at ~1x
+    // by the machine, not the code: their ratios against a multi-core
+    // baseline carry no signal, so skip the assertion (both directions)
+    // rather than fail or silently "improve". The host object comes
+    // from the *current* file — the run whose machine we know.
+    let one_core_host = std::fs::read_to_string(&opts.current)
+        .ok()
+        .and_then(|text| parse_host_cores(&text))
+        == Some(1);
 
     let deltas = compare_benches(&baseline, &current, opts.threshold);
     let mut t = Table::new(&["benchmark", "baseline/s", "current/s", "ratio", "verdict"]);
     let mut failed = false;
     let mut improved = 0usize;
+    let mut skipped = 0usize;
     for d in &deltas {
-        let verdict = match d.verdict {
-            BenchVerdict::Ok => "ok",
-            BenchVerdict::Improved => {
-                improved += 1;
-                "improved"
-            }
-            BenchVerdict::Regressed => {
-                failed = true;
-                "REGRESSED"
-            }
-            BenchVerdict::Missing => {
-                failed = true;
-                "MISSING"
+        let skip = one_core_host && host_dependent(&d.name) && d.verdict != BenchVerdict::Missing;
+        let verdict = if skip {
+            skipped += 1;
+            "skipped (1-core host)"
+        } else {
+            match d.verdict {
+                BenchVerdict::Ok => "ok",
+                BenchVerdict::Improved => {
+                    improved += 1;
+                    "improved"
+                }
+                BenchVerdict::Regressed => {
+                    failed = true;
+                    "REGRESSED"
+                }
+                BenchVerdict::Missing => {
+                    failed = true;
+                    "MISSING"
+                }
             }
         };
         t.row(vec![
@@ -161,6 +182,12 @@ fn main() {
          before the gate trips (bytes_* lines: lower is better)",
         opts.threshold * 100.0
     );
+    if skipped > 0 {
+        println!(
+            "sa-bench-check: {skipped} host-parallel scaling line(s) skipped — \
+             current file records a 1-core host, where speedups are machine-bounded"
+        );
+    }
     if opts.update_baseline {
         if let Err(e) = update_baseline_file(&opts.baseline, &opts.current) {
             eprintln!("sa-bench-check: {e}");

@@ -65,7 +65,7 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
     ),
     (
         "slo",
-        "slo <profile> [--requests N] [--out F] [--format table|csv|perfetto]",
+        "slo <profile> [--requests N] [--spaces N] [--out F] [--format table|csv|perfetto]",
     ),
     (
         "audit",
@@ -326,6 +326,14 @@ fn best_of(n: usize, mut run: impl FnMut() -> EngineThroughput) -> EngineThrough
 /// the kernel loop's `pop_batch` drains in one queue entry. Returns host
 /// throughput on the chosen event core.
 fn batch_dispatch_throughput(core: EventCore) -> EngineThroughput {
+    shardable_system_throughput(core, 1)
+}
+
+/// The [`batch_dispatch_throughput`] system with the shard count forced:
+/// the `shard_scaling` pairing runs the identical multiprogrammed 6-CPU
+/// workload serially and partitioned, and the virtual-time results are
+/// byte-identical by construction — only host throughput may differ.
+fn shardable_system_throughput(core: EventCore, shards: u16) -> EngineThroughput {
     let cost = CostModel::firefly_prototype();
     let cfg = NBodyConfig {
         bodies: NBodyConfig::default().bodies / 2,
@@ -335,6 +343,7 @@ fn batch_dispatch_throughput(core: EventCore) -> EngineThroughput {
         .cost(cost)
         .seed(1)
         .event_core(core)
+        .shards(shards)
         .daemons(DaemonSpec::topaz_default_set())
         .run_limit(SimTime::from_millis(3_600_000));
     for copy in 0..2 {
@@ -626,6 +635,37 @@ fn engine_bench(jobs: NonZeroUsize) -> Result<(), PanickedJob> {
             "2-app 6-cpu run; indexed core {:.0}/s ({:.2}x of wheel)",
             batch_indexed.events_per_sec(),
             batch_indexed.events_per_sec() / batch_wheel.events_per_sec()
+        ),
+    ));
+
+    // Deterministic shard scaling: the same multiprogrammed system run
+    // serially and partitioned into 4 shards (virtual-time output is
+    // byte-identical — the determinism suites gate that; this line
+    // tracks only host throughput). Interleaved best-of-3, like every
+    // system pairing here. The speedup is bounded by available host
+    // cores: ~1x is the expected ceiling on the 1-core reference box,
+    // and `sa-bench-check` skips this line's ratio assertion there.
+    const SHARD_COUNT: u16 = 4;
+    let mut shard_serial = shardable_system_throughput(EventCore::Wheel, 1);
+    let mut shard_multi = shardable_system_throughput(EventCore::Wheel, SHARD_COUNT);
+    for _ in 0..2 {
+        let s = shardable_system_throughput(EventCore::Wheel, 1);
+        if s.host_seconds < shard_serial.host_seconds {
+            shard_serial = s;
+        }
+        let m = shardable_system_throughput(EventCore::Wheel, SHARD_COUNT);
+        if m.host_seconds < shard_multi.host_seconds {
+            shard_multi = m;
+        }
+    }
+    lines.push(BenchLine::new(
+        "shard_scaling",
+        shard_multi.events_per_sec(),
+        format!(
+            "2-app 6-cpu run at {SHARD_COUNT} shards; serial {:.0}/s; speedup {:.2}x \
+             (bounded by host cores; byte-identical output either way)",
+            shard_serial.events_per_sec(),
+            shard_serial.host_seconds / shard_multi.host_seconds
         ),
     ));
 
@@ -970,10 +1010,11 @@ fn slo_cmd(
     format: &str,
     out: Option<&str>,
     requests: Option<usize>,
+    spaces: Option<u32>,
     policies: PolicyConfig,
     jobs: NonZeroUsize,
 ) -> Result<(), PanickedJob> {
-    let Some(p) = slo::find(profile) else {
+    let Some(mut p) = slo::find(profile) else {
         let names: Vec<&str> = slo::profiles().iter().map(|p| p.name).collect();
         eprintln!(
             "sa-experiments: unknown SLO profile '{profile}' (expected {})",
@@ -981,6 +1022,9 @@ fn slo_cmd(
         );
         std::process::exit(2);
     };
+    if let Some(n) = spaces {
+        p.cfg.fan_spaces(n);
+    }
     let report = slo::run_slo(&p, policies, requests, jobs)?;
     let output = match format {
         "table" => slo::render_table(&report),
@@ -1074,7 +1118,7 @@ fn usage() -> String {
          [--format perfetto|log|histograms]\n\
          \u{20}      sa-experiments profile <scenario> [--alloc=P] [--ready=P] [--out FILE] \
          [--format table|folded|json]\n\
-         \u{20}      sa-experiments slo <profile> [--requests N] [--out FILE] \
+         \u{20}      sa-experiments slo <profile> [--requests N] [--spaces N] [--out FILE] \
          [--format table|csv|perfetto]\n\
          \u{20}      sa-experiments audit <profile> [--alloc=P] [--ready=P] [--requests N] \
          [--out FILE] [--format table|csv|perfetto]\n\
@@ -1085,6 +1129,10 @@ fn usage() -> String {
          --alloc P    kernel processor-allocation policy (even|affinity|strict-priority)\n\
          --ready P    user-level ready-queue discipline (local|global-fifo|global-lifo)\n\
          --requests N override the SLO profile's request count (quick runs)\n\
+         --spaces N   fan the SLO generator across N address spaces (aggregate\n\
+         \u{20}             arrival rate preserved; exercises the processor allocator)\n\
+         --shards N   partition each simulation into N deterministic shards\n\
+         \u{20}             (exported as SA_SHARDS; output is byte-identical at any N)\n\
          --list       list subcommands (or, after 'run'/'slo', scenarios) and exit",
         names.join("|")
     )
@@ -1101,6 +1149,10 @@ struct Options {
     format: Option<String>,
     /// Request-count override for the `slo` subcommand.
     requests: Option<usize>,
+    /// Address-space fan-out override for the `slo` subcommand.
+    spaces: Option<u32>,
+    /// Simulation shard count (exported as `SA_SHARDS` before any run).
+    shards: Option<u16>,
     /// Policy pair for the `run` and `slo` subcommands.
     policies: PolicyConfig,
 }
@@ -1112,6 +1164,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
     let mut out: Option<String> = None;
     let mut format: Option<String> = None;
     let mut requests: Option<usize> = None;
+    let mut spaces: Option<u32> = None;
+    let mut shards: Option<u16> = None;
     let mut alloc: Option<AllocPolicyKind> = None;
     let mut ready: Option<ReadyPolicyKind> = None;
     let mut args = args.peekable();
@@ -1134,6 +1188,20 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
             requests = Some(parse_requests(&value)?);
         } else if let Some(value) = arg.strip_prefix("--requests=") {
             requests = Some(parse_requests(value)?);
+        } else if arg == "--spaces" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--spaces requires a count (e.g. --spaces 200)".to_string())?;
+            spaces = Some(parse_spaces(&value)?);
+        } else if let Some(value) = arg.strip_prefix("--spaces=") {
+            spaces = Some(parse_spaces(value)?);
+        } else if arg == "--shards" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--shards requires a count (e.g. --shards 2)".to_string())?;
+            shards = Some(parse_shards(&value)?);
+        } else if let Some(value) = arg.strip_prefix("--shards=") {
+            shards = Some(parse_shards(value)?);
         } else if arg == "--alloc" {
             let value = args
                 .next()
@@ -1209,6 +1277,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
     if requests.is_some() && !matches!(cmd.as_deref(), Some("slo") | Some("audit")) {
         return Err("--requests only applies to the 'slo' and 'audit' subcommands".to_string());
     }
+    if spaces.is_some() && cmd.as_deref() != Some("slo") {
+        return Err("--spaces only applies to the 'slo' subcommand".to_string());
+    }
     if cmd.as_deref() == Some("run") && arg2.is_none() {
         return Err("run requires a scenario name ('run --list' lists them)".to_string());
     }
@@ -1230,6 +1301,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Options>, Str
         out,
         format,
         requests,
+        spaces,
+        shards,
         policies: PolicyConfig {
             alloc: alloc.unwrap_or_default(),
             ready: ready.unwrap_or_default(),
@@ -1243,6 +1316,26 @@ fn parse_requests(v: &str) -> Result<usize, String> {
         .map_err(|_| format!("--requests: '{v}' is not a count"))?;
     if n == 0 {
         return Err("--requests: must be at least 1".to_string());
+    }
+    Ok(n)
+}
+
+fn parse_spaces(v: &str) -> Result<u32, String> {
+    let n: u32 = v
+        .parse()
+        .map_err(|_| format!("--spaces: '{v}' is not a count"))?;
+    if n == 0 {
+        return Err("--spaces: must be at least 1".to_string());
+    }
+    Ok(n)
+}
+
+fn parse_shards(v: &str) -> Result<u16, String> {
+    let n: u16 = v
+        .parse()
+        .map_err(|_| format!("--shards: '{v}' is not a count"))?;
+    if n == 0 {
+        return Err("--shards: must be at least 1".to_string());
     }
     Ok(n)
 }
@@ -1281,6 +1374,7 @@ fn run(opts: &Options) -> Result<(), PanickedJob> {
             opts.format.as_deref().unwrap_or("table"),
             opts.out.as_deref(),
             opts.requests,
+            opts.spaces,
             opts.policies,
             jobs,
         ),
@@ -1322,6 +1416,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // The flag wins over the environment: every `SystemBuilder::build`
+    // in this process (including sweep cells on worker threads) reads
+    // `SA_SHARDS`, so exporting it here — before any thread spawns —
+    // shards every simulation the subcommand runs.
+    if let Some(n) = opts.shards {
+        std::env::set_var("SA_SHARDS", n.to_string());
+    }
     if let Err(panicked) = run(&opts) {
         eprintln!("sa-experiments: {panicked}");
         std::process::exit(1);

@@ -275,6 +275,26 @@ fn extract_number_field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Extracts the recorded host core count from a `BENCH_engine.json`
+/// document (the `"host": {"cores": N, ...}` object
+/// [`bench_lines_json_with_host`] writes). `None` for documents without
+/// host context — older files, or the bare [`bench_lines_json`] form.
+pub fn parse_host_cores(text: &str) -> Option<usize> {
+    let line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"host\""))?;
+    extract_number_field(line, "cores").map(|n| n as usize)
+}
+
+/// Whether a benchmark line reports host-parallel scaling (a sweep or
+/// shard speedup) rather than single-thread engine throughput. On a
+/// 1-core host these numbers are bounded at ~1x by the machine, not the
+/// code, so [`sa-bench-check`] skips their ratio assertions when the
+/// current file records `host.cores == 1`.
+pub fn host_dependent(name: &str) -> bool {
+    matches!(name, "sweep_fig1_grid" | "shard_scaling")
+}
+
 /// Verdict for one benchmark when comparing a candidate run against a
 /// baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -422,6 +442,26 @@ mod tests {
         let h = HostInfo::detect("n");
         assert!(h.cores >= 1);
         assert_eq!(h.note, "n");
+    }
+
+    #[test]
+    fn host_cores_parse_from_the_host_object() {
+        let lines = vec![BenchLine::new("queue_mix_wheel", 42.0, "d")];
+        let host = HostInfo {
+            cores: 7,
+            note: "box".into(),
+        };
+        let json = bench_lines_json_with_host(&lines, Some(&host));
+        assert_eq!(parse_host_cores(&json), Some(7));
+        assert_eq!(parse_host_cores(&bench_lines_json(&lines)), None);
+    }
+
+    #[test]
+    fn host_dependent_names_are_the_scaling_lines() {
+        assert!(host_dependent("sweep_fig1_grid"));
+        assert!(host_dependent("shard_scaling"));
+        assert!(!host_dependent("queue_mix_wheel"));
+        assert!(!host_dependent("system_nbody_fig1_sa"));
     }
 
     #[test]

@@ -164,7 +164,7 @@ fn check_invariants(sys: &System, makespan: SimTime, ctx: &str) {
     );
 }
 
-/// The exhaustive grid: all 9 policy pairs × all SLO scenarios.
+/// The exhaustive grid: all 12 policy pairs × all SLO scenarios.
 #[test]
 fn policy_grid_preserves_dwell_and_provenance_invariants() {
     for profile in slo::profiles() {

@@ -150,7 +150,7 @@ impl Kernel {
             // processors once per quantum.
             self.rotation_armed = true;
             let at = self.q.now() + self.cost.quantum;
-            self.q.schedule(at, Event::RotateShares);
+            self.sched_ev(at, Event::RotateShares);
         }
         // Phase 1: take processors from over-allocated spaces.
         #[expect(clippy::needless_range_loop, reason = "indexes two tables")]
@@ -167,24 +167,71 @@ impl Kernel {
             }
         }
         // Phase 2: grant free processors to under-allocated spaces.
-        #[expect(clippy::needless_range_loop, reason = "indexes two tables")]
-        for idx in 0..self.spaces.len() {
-            let id = AsId(idx as u32);
-            while self.spaces[idx].assigned_cpus < targets[idx] {
-                let Some(cpu) = self.pick_grant_cpu(id) else {
-                    return;
-                };
-                let before = self.spaces[idx].assigned_cpus;
-                self.grant_cpu_to(cpu, id);
-                self.metrics.reallocations.inc();
-                if self.spaces[idx].assigned_cpus <= before {
-                    // The grant did not stick (upcall deferred on a page
-                    // fault, or demand evaporated); avoid re-granting in a
-                    // zero-time loop.
-                    break;
+        'grant: {
+            #[expect(clippy::needless_range_loop, reason = "indexes two tables")]
+            for idx in 0..self.spaces.len() {
+                let id = AsId(idx as u32);
+                while self.spaces[idx].assigned_cpus < targets[idx] {
+                    let Some(cpu) = self.pick_grant_cpu(id) else {
+                        break 'grant;
+                    };
+                    let before = self.spaces[idx].assigned_cpus;
+                    self.grant_cpu_to(cpu, id);
+                    self.metrics.reallocations.inc();
+                    if self.spaces[idx].assigned_cpus <= before {
+                        // The grant did not stick (upcall deferred on a page
+                        // fault, or demand evaporated); avoid re-granting in
+                        // a zero-time loop.
+                        break;
+                    }
                 }
             }
         }
+        self.arm_dwell_retry(&targets);
+    }
+
+    /// Is `cpu` inside its minimum-dwell window (hysteresis veto)? Always
+    /// false under policies without a dwell, so the default allocator's
+    /// victim choices are untouched.
+    pub(crate) fn dwell_holds(&self, cpu: usize) -> bool {
+        let Some(dwell) = self.alloc_policy.min_dwell() else {
+            return false;
+        };
+        self.cpus[cpu]
+            .assigned_since
+            .is_some_and(|at| self.q.now() < at + dwell)
+    }
+
+    /// Hysteresis liveness: a rebalance pass that left one space over
+    /// target while another sat under target was dwell-veto-limited (the
+    /// only way Phase 1 declines work the targets demand). Re-run the
+    /// allocator when the earliest outstanding dwell expires, so the
+    /// deferred move happens without waiting for an unrelated event.
+    fn arm_dwell_retry(&mut self, targets: &[u32]) {
+        let Some(dwell) = self.alloc_policy.min_dwell() else {
+            return;
+        };
+        if self.dwell_retry_armed {
+            return;
+        }
+        let over = (0..self.spaces.len()).any(|i| self.spaces[i].assigned_cpus > targets[i]);
+        let under = (0..self.spaces.len()).any(|i| self.spaces[i].assigned_cpus < targets[i]);
+        if !over || !under {
+            return;
+        }
+        let now = self.q.now();
+        let Some(at) = self
+            .cpus
+            .iter()
+            .filter_map(|c| c.assigned_since)
+            .map(|since| since + dwell)
+            .filter(|&t| t > now)
+            .min()
+        else {
+            return;
+        };
+        self.dwell_retry_armed = true;
+        self.sched_ev(at, Event::DwellRetry);
     }
 
     /// Chooses which of a space's processors to give up, preferring ones
@@ -192,7 +239,10 @@ impl Kernel {
     fn pick_release_victim(&self, space: AsId) -> Option<usize> {
         let mut fallback = None;
         for cpu in 0..self.cpus.len() {
-            if self.cpus[cpu].assigned != Some(space) || self.cpus[cpu].realloc_pending {
+            if self.cpus[cpu].assigned != Some(space)
+                || self.cpus[cpu].realloc_pending
+                || self.dwell_holds(cpu)
+            {
                 continue;
             }
             match self.cpus[cpu].running {
@@ -309,6 +359,7 @@ impl Kernel {
         if let Some(owner) = self.cpus[cpu].assigned.take() {
             self.spaces[owner.index()].assigned_cpus -= 1;
             self.cpus[cpu].last_space = Some(owner);
+            self.cpus[cpu].assigned_since = None;
             if let Some(d) = &mut self.dwell {
                 d.release(cpu, self.q.now(), decision);
             }
@@ -334,7 +385,15 @@ impl Kernel {
                 },
             );
         }
+        self.mailbox.post(
+            &self.plan,
+            crate::mailbox::CrossShardMsg::Grant {
+                cpu: cpu as u32,
+                space: space.0,
+            },
+        );
         self.cpus[cpu].assigned = Some(space);
+        self.cpus[cpu].assigned_since = Some(self.q.now());
         self.spaces[space.index()].assigned_cpus += 1;
         if let Some(d) = &mut self.dwell {
             d.assign(cpu, space.0, self.q.now(), decision);

@@ -76,7 +76,7 @@ impl Kernel {
                 .period
                 .saturating_mul((i + 1) as u64)
                 .div(specs.len() as u64 + 1);
-            self.q.schedule(
+            self.sched_ev(
                 sa_sim::SimTime::ZERO + first,
                 Event::DaemonWake { idx: i as u32 },
             );
@@ -137,7 +137,7 @@ impl Kernel {
         let jittered =
             SimDuration::from_nanos((self.rng.exp(period.as_nanos() as f64)).max(1.0) as u64)
                 .min(period.saturating_mul(4));
-        self.q.schedule(
+        self.sched_ev(
             self.q.now() + jittered,
             Event::DaemonWake { idx: idx as u32 },
         );

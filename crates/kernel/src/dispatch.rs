@@ -163,7 +163,7 @@ impl Kernel {
         let now = self.q.now();
         let done_at = now + seg.dur;
         let gen = self.cpus[cpu].gen;
-        let token = self.q.schedule(done_at, Event::SegDone { cpu, gen });
+        let token = self.sched_ev(done_at, Event::SegDone { cpu, gen });
         self.cpus[cpu].inflight = Some(Inflight {
             seg,
             started: now,
@@ -241,7 +241,7 @@ impl Kernel {
         }
         let gen = self.cpus[cpu].gen;
         let at = self.q.now() + self.cost.quantum;
-        let tok = self.q.schedule(at, Event::QuantumExpire { cpu, gen });
+        let tok = self.sched_ev(at, Event::QuantumExpire { cpu, gen });
         if let Some(old) = self.cpus[cpu].quantum_tok.replace(tok) {
             self.q.cancel(old);
         }

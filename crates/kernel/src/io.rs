@@ -48,7 +48,7 @@ impl Kernel {
             outcome,
             page,
         }));
-        self.q.schedule(done_at, Event::DiskDone { op: id });
+        self.sched_ev(done_at, Event::DiskDone { op: id });
     }
 
     /// Issues the disk read for the thread manager's own page.
@@ -62,14 +62,22 @@ impl Kernel {
             outcome: SyscallOutcome::IoDone,
             page: Some(RUNTIME_PAGE),
         }));
-        self.q.schedule(done_at, Event::DiskDone { op: id });
+        self.sched_ev(done_at, Event::DiskDone { op: id });
     }
 
     /// Handles a disk completion.
     pub(crate) fn on_disk_done(&mut self, op: u32) {
+        let op_id = op;
         let op = self.diskops[op as usize]
             .take()
             .expect("disk completion delivered twice");
+        self.mailbox.post(
+            &self.plan,
+            crate::mailbox::CrossShardMsg::IoComplete {
+                op: op_id,
+                space: op.space.0,
+            },
+        );
         if let Some(page) = op.page {
             self.spaces[op.space.index()].residency.insert(page);
         }

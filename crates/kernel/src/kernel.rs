@@ -12,8 +12,8 @@ use crate::sched::ReadyQueue;
 use crate::space::{Residency, SaState, Space, SpaceKind};
 use sa_machine::{CostModel, Disk};
 use sa_sim::{
-    CpuState, EventQueue, EventToken, PopNext, SimRng, SimTime, TimeLedger, Trace, TraceEvent,
-    WaitKind,
+    CpuState, EventToken, PopNext, ShardPlan, ShardedQueue, SimRng, SimTime, TimeLedger, Trace,
+    TraceEvent, WaitKind,
 };
 
 /// Priority of kernel daemon threads: above every application space.
@@ -39,6 +39,10 @@ pub(crate) enum Event {
     /// Rotate which same-priority spaces hold the remainder processors
     /// (the allocator's time-slicing of a non-integer share, §4.1).
     RotateShares,
+    /// Re-run the allocator once the earliest minimum-dwell window
+    /// expires (only armed by policies with hysteresis, so default-policy
+    /// runs never see this event).
+    DwellRetry,
 }
 
 /// Per-CPU dispatch state.
@@ -61,6 +65,9 @@ pub(crate) struct Cpu {
     pub idle_since: Option<SimTime>,
     /// The space this CPU was last allocated to (§4.2 affinity input).
     pub last_space: Option<AsId>,
+    /// When the current assignment was granted (hysteresis dwell input;
+    /// cleared on release).
+    pub assigned_since: Option<SimTime>,
     /// Index (in the provenance log's grants vec) of a grant chain whose
     /// first user dispatch has not happened yet (set only while the
     /// decision log is enabled; closed O(1) in `start_seg`).
@@ -126,7 +133,11 @@ pub struct Kernel {
     pub(crate) cost: CostModel,
     /// Prebuilt protection-boundary segments (see [`SegCache`]).
     pub(crate) segs: crate::exec::SegCache,
-    pub(crate) q: EventQueue<Event>,
+    pub(crate) q: ShardedQueue<Event>,
+    /// How the machine is partitioned into event lanes (1 lane in serial
+    /// mode): owns the CPU→shard and space→shard maps and the staging
+    /// lookahead derived from the cost model.
+    pub(crate) plan: ShardPlan,
     pub(crate) rng: SimRng,
     /// Execution trace (enable with [`Kernel::set_trace`]).
     pub(crate) trace: Trace,
@@ -156,10 +167,15 @@ pub struct Kernel {
     pub(crate) provenance: Option<Box<crate::provenance::ProvenanceLog>>,
     /// Optional processor-assignment dwell ledger (same gating).
     pub(crate) dwell: Option<Box<sa_sim::DwellLedger>>,
+    /// Typed routing point (and always-on counters) for the three
+    /// cross-shard edge kinds: grants, upcall batches, IO completions.
+    pub(crate) mailbox: crate::mailbox::Mailbox,
     /// Rotation counter for remainder processors (§4.1 time-slicing).
     pub(crate) share_rotation: u32,
     /// A `RotateShares` event is outstanding.
     pub(crate) rotation_armed: bool,
+    /// A `DwellRetry` event is outstanding (hysteresis liveness).
+    pub(crate) dwell_retry_armed: bool,
     /// Non-daemon spaces created / finished. The run loop asks "are all
     /// application spaces done?" after every event; two counters answer
     /// in O(1) instead of scanning the space table.
@@ -192,6 +208,7 @@ impl Kernel {
                 realloc_pending: false,
                 idle_since: Some(SimTime::ZERO),
                 last_space: None,
+                assigned_since: None,
                 open_grant: None,
             })
             .collect();
@@ -199,13 +216,23 @@ impl Kernel {
         let disk = Disk::new(cfg.disk);
         let rng = SimRng::new(cfg.seed);
         let alloc_policy = cfg.alloc_policy.build_select();
-        let q = EventQueue::with_core(cfg.event_core);
+        let plan = ShardPlan::new(
+            u32::from(cfg.shards),
+            u32::from(cfg.cpus),
+            cost.min_cross_shard_edge(),
+        );
+        let q = if plan.n_shards() <= 1 {
+            ShardedQueue::new_serial(cfg.event_core)
+        } else {
+            ShardedQueue::new_multi(plan.n_shards() as usize, plan.lookahead())
+        };
         let segs = crate::exec::SegCache::new(&cost);
         let mut kernel = Kernel {
             cfg,
             cost,
             segs,
             q,
+            plan,
             rng,
             trace: Trace::disabled(),
             cpus,
@@ -223,8 +250,10 @@ impl Kernel {
             next_decision_id: 0,
             provenance: None,
             dwell: None,
+            mailbox: crate::mailbox::Mailbox::default(),
             share_rotation: 0,
             rotation_armed: false,
+            dwell_retry_armed: false,
             app_spaces: 0,
             app_spaces_done: 0,
             quiesce_dirty: false,
@@ -265,6 +294,12 @@ impl Kernel {
     /// Kernel-wide metrics.
     pub fn kernel_metrics(&self) -> &KernelMetrics {
         &self.metrics
+    }
+
+    /// Cross-shard mailbox traffic counters (per-kind totals are
+    /// shard-count-invariant; the same/cross split follows the plan).
+    pub fn mailbox_stats(&self) -> crate::mailbox::MailboxStats {
+        self.mailbox.stats()
     }
 
     /// Per-space metrics.
@@ -389,8 +424,7 @@ impl Kernel {
             self.kts.hot[kt.index()].state = KtState::Blocked(crate::kthread::BlockKind::Parked);
             self.spaces[id.index()].live_kthreads = 1;
         }
-        self.q
-            .schedule(spec.start_at, Event::StartSpace { space: id });
+        self.sched_ev(spec.start_at, Event::StartSpace { space: id });
         id
     }
 
@@ -478,10 +512,32 @@ impl Kernel {
     /// simultaneity class, which made the batch staging machinery (slot
     /// walks, sequence sort, staging deque) pure per-event overhead —
     /// the single-pop loop skips all of it.
+    ///
+    /// With `shards > 1`, a persistent worker team stages each lane's
+    /// events up to the conservative lookahead horizon concurrently
+    /// between commits; the commit order — and thus every output — stays
+    /// byte-identical to the serial engine (see `sa_sim::shard` and
+    /// DESIGN.md §7).
     pub fn run(&mut self) -> RunOutcome {
         if !self.started {
             self.started = true;
         }
+        match self.q.lanes() {
+            None => self.run_loop(None),
+            Some(lanes) => {
+                let n_lanes = lanes.n_lanes();
+                let team_size = n_lanes.min(sa_harness::host_jobs().get());
+                let work = move |lane: usize| lanes.stage_lane(lane);
+                sa_harness::with_worker_team(team_size, &work, |team| self.run_loop(Some(team)))
+            }
+        }
+    }
+
+    /// The event loop proper. `team` is `Some` only in multi-shard mode;
+    /// a staging round is dispatched whenever the queue judges one
+    /// worthwhile (enough live events, previous runs fully committed).
+    fn run_loop(&mut self, team: Option<&sa_harness::TeamHandle<'_, '_>>) -> RunOutcome {
+        let n_lanes = self.q.n_lanes();
         loop {
             if self.all_app_spaces_done() {
                 return RunOutcome {
@@ -489,6 +545,12 @@ impl Kernel {
                     timed_out: false,
                     deadlocked: false,
                 };
+            }
+            if let Some(team) = team {
+                if self.q.begin_stage() {
+                    team.round(n_lanes);
+                    self.q.finish_stage();
+                }
             }
             match self.q.pop_within(self.cfg.run_limit) {
                 PopNext::Empty => {
@@ -542,6 +604,10 @@ impl Kernel {
             Event::RotateShares => {
                 self.rotation_armed = false;
                 self.share_rotation = self.share_rotation.wrapping_add(1);
+                self.rebalance();
+            }
+            Event::DwellRetry => {
+                self.dwell_retry_armed = false;
                 self.rebalance();
             }
         }
@@ -846,6 +912,32 @@ impl Kernel {
     /// Schedules an immediate dispatch of `cpu` (with the current gen).
     pub(crate) fn schedule_dispatch(&mut self, cpu: usize) {
         let gen = self.cpus[cpu].gen;
-        self.q.schedule(self.q.now(), Event::Dispatch { cpu, gen });
+        self.sched_ev(self.q.now(), Event::Dispatch { cpu, gen });
+    }
+
+    /// The event lane owning `ev` under the shard plan: per-CPU events
+    /// home to the CPU's shard, per-space events to the space's shard,
+    /// machine-global events (disk completions, kernel daemons, share
+    /// rotation) to lane 0. Irrelevant (but harmless) in serial mode.
+    fn event_lane(&self, ev: &Event) -> usize {
+        match *ev {
+            Event::SegDone { cpu, .. }
+            | Event::Dispatch { cpu, .. }
+            | Event::QuantumExpire { cpu, .. } => self.plan.cpu_shard(cpu) as usize,
+            Event::StartSpace { space } | Event::RetryNotify { space } => {
+                self.plan.space_shard(space.0) as usize
+            }
+            Event::DiskDone { .. }
+            | Event::DaemonWake { .. }
+            | Event::RotateShares
+            | Event::DwellRetry => 0,
+        }
+    }
+
+    /// Schedules `ev` at `time` on its home lane (the single kernel-wide
+    /// entry point for event scheduling; see [`Kernel::event_lane`]).
+    pub(crate) fn sched_ev(&mut self, time: SimTime, ev: Event) -> EventToken {
+        let lane = self.event_lane(&ev);
+        self.q.schedule(lane, time, ev)
     }
 }

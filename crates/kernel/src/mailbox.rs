@@ -1,0 +1,217 @@
+//! Typed cross-shard message routing (the sharded run's choke points).
+//!
+//! In a sharded run exactly three kinds of kernel action cross shard
+//! boundaries: processor **grants** (the allocator hands a CPU homed in
+//! one shard to an address space homed in another), **upcall batches**
+//! (a preemption/IO notification delivered on a CPU whose shard differs
+//! from the space's), and **IO completions** (disk events live on lane
+//! 0; the waiter's space may be anywhere). Every such action flows
+//! through the [`Mailbox`]: the single typed point where the edge is
+//! classified (same-shard vs cross-shard against the
+//! [`ShardPlan`](sa_sim::ShardPlan)) and counted.
+//!
+//! Application is immediate and synchronous: the allocator performs
+//! *dependent* grants within one rebalance pass (grant *i+1*'s free-CPU
+//! set depends on grant *i*'s effects), so deferring application to a
+//! queue-and-drain step would change scheduling semantics. Determinism
+//! is carried underneath by the event lanes (`sa_sim::shard`): each of
+//! these edges costs at least the cost model's minimum cross-shard edge
+//! (`alloc_decision`, `act_stop_and_save`, `interrupt_entry`
+//! respectively), which is exactly the staging lookahead, so a staged
+//! lane never runs past an incoming edge. The mailbox is the routing
+//! and observability layer above that — its counters tell you how much
+//! of a workload's traffic actually crosses shards, and they are
+//! *totals-invariant* across shard counts (a sharded run performs the
+//! same calls in the same order as the serial run).
+
+use sa_sim::ShardPlan;
+
+/// A message crossing (or potentially crossing) a shard boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossShardMsg {
+    /// The allocator granted `cpu` to `space` (edge cost ≥
+    /// `alloc_decision`).
+    Grant {
+        /// Receiving CPU.
+        cpu: u32,
+        /// Receiving space.
+        space: u32,
+    },
+    /// An upcall batch of `events` events was delivered to `space` on
+    /// `cpu` (edge cost ≥ `act_stop_and_save`).
+    UpcallBatch {
+        /// Delivering CPU.
+        cpu: u32,
+        /// Receiving space.
+        space: u32,
+        /// Number of events in the batch.
+        events: u32,
+    },
+    /// Disk operation `op` completed for `space` (edge cost ≥
+    /// `interrupt_entry`; disk events are homed on lane 0).
+    IoComplete {
+        /// Completed operation id.
+        op: u32,
+        /// Waiting space.
+        space: u32,
+    },
+}
+
+/// Always-on counters of mailbox traffic, split by message kind and by
+/// whether the edge crossed a shard boundary under the active plan.
+/// With one shard everything is same-shard by definition; per-kind
+/// *totals* (`same + cross`) are identical at any shard count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MailboxStats {
+    /// Grants whose CPU and space share a shard.
+    pub grants_same: u64,
+    /// Grants crossing shards.
+    pub grants_cross: u64,
+    /// Upcall batches delivered within one shard.
+    pub upcalls_same: u64,
+    /// Upcall batches crossing shards.
+    pub upcalls_cross: u64,
+    /// IO completions for spaces homed on the disk lane (lane 0).
+    pub io_same: u64,
+    /// IO completions crossing to another shard.
+    pub io_cross: u64,
+}
+
+impl MailboxStats {
+    /// All messages, same-shard and cross-shard.
+    pub fn total(&self) -> u64 {
+        self.grants_same
+            + self.grants_cross
+            + self.upcalls_same
+            + self.upcalls_cross
+            + self.io_same
+            + self.io_cross
+    }
+
+    /// Messages that crossed a shard boundary.
+    pub fn total_cross(&self) -> u64 {
+        self.grants_cross + self.upcalls_cross + self.io_cross
+    }
+
+    /// One-line human summary (`cross/total` per kind), for audit output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "mailbox: grants {}/{} cross, upcalls {}/{} cross, io {}/{} cross",
+            self.grants_cross,
+            self.grants_same + self.grants_cross,
+            self.upcalls_cross,
+            self.upcalls_same + self.upcalls_cross,
+            self.io_cross,
+            self.io_same + self.io_cross,
+        )
+    }
+}
+
+/// The kernel's cross-shard mailbox. Owns only the counters; the
+/// messages themselves are applied synchronously by the caller (see the
+/// module docs for why).
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    stats: MailboxStats,
+}
+
+impl Mailbox {
+    /// Records `msg`, classifying its edge under `plan`.
+    pub fn post(&mut self, plan: &ShardPlan, msg: CrossShardMsg) {
+        let (src, dst, same, cross): (u32, u32, &mut u64, &mut u64) = match msg {
+            CrossShardMsg::Grant { cpu, space } => (
+                plan.space_shard(space),
+                plan.cpu_shard(cpu as usize),
+                &mut self.stats.grants_same,
+                &mut self.stats.grants_cross,
+            ),
+            CrossShardMsg::UpcallBatch { cpu, space, .. } => (
+                plan.space_shard(space),
+                plan.cpu_shard(cpu as usize),
+                &mut self.stats.upcalls_same,
+                &mut self.stats.upcalls_cross,
+            ),
+            CrossShardMsg::IoComplete { space, .. } => (
+                0,
+                plan.space_shard(space),
+                &mut self.stats.io_same,
+                &mut self.stats.io_cross,
+            ),
+        };
+        if src == dst {
+            *same += 1;
+        } else {
+            *cross += 1;
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MailboxStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sim::SimDuration;
+
+    #[test]
+    fn one_shard_never_crosses() {
+        let plan = ShardPlan::new(1, 6, SimDuration::from_micros(15));
+        let mut mb = Mailbox::default();
+        for cpu in 0..6 {
+            mb.post(
+                &plan,
+                CrossShardMsg::Grant {
+                    cpu,
+                    space: cpu * 3,
+                },
+            );
+            mb.post(
+                &plan,
+                CrossShardMsg::UpcallBatch {
+                    cpu,
+                    space: cpu + 1,
+                    events: 2,
+                },
+            );
+            mb.post(
+                &plan,
+                CrossShardMsg::IoComplete {
+                    op: cpu,
+                    space: cpu,
+                },
+            );
+        }
+        let s = mb.stats();
+        assert_eq!(s.total_cross(), 0);
+        assert_eq!(s.total(), 18);
+        assert_eq!(s.grants_same, 6);
+    }
+
+    #[test]
+    fn classification_follows_the_plan() {
+        // 2 shards over 6 CPUs: CPUs 0-2 on shard 0, 3-5 on shard 1;
+        // spaces stripe even→0, odd→1.
+        let plan = ShardPlan::new(2, 6, SimDuration::from_micros(15));
+        let mut mb = Mailbox::default();
+        mb.post(&plan, CrossShardMsg::Grant { cpu: 0, space: 2 }); // same
+        mb.post(&plan, CrossShardMsg::Grant { cpu: 0, space: 1 }); // cross
+        mb.post(
+            &plan,
+            CrossShardMsg::UpcallBatch {
+                cpu: 4,
+                space: 1,
+                events: 1,
+            },
+        ); // same (shard 1 both)
+        mb.post(&plan, CrossShardMsg::IoComplete { op: 0, space: 2 }); // same (lane 0)
+        mb.post(&plan, CrossShardMsg::IoComplete { op: 1, space: 3 }); // cross
+        let s = mb.stats();
+        assert_eq!((s.grants_same, s.grants_cross), (1, 1));
+        assert_eq!((s.upcalls_same, s.upcalls_cross), (1, 0));
+        assert_eq!((s.io_same, s.io_cross), (1, 1));
+        assert!(s.summary_line().contains("grants 1/2 cross"));
+    }
+}

@@ -28,6 +28,7 @@
 //! source of time-variation is [`AllocView::rotation`], which the kernel
 //! bumps once per quantum while a remainder exists.
 
+use sa_sim::SimDuration;
 use std::fmt;
 use std::str::FromStr;
 
@@ -82,6 +83,17 @@ pub trait AllocPolicy: Send {
     /// one should `space` receive? Must return a member of `free`.
     fn pick_cpu(&self, _view: &AllocView<'_>, _space: usize, free: &[usize]) -> usize {
         free[0]
+    }
+
+    /// Minimum dwell: how long a space must hold a granted processor
+    /// before the allocator may pick it as a reallocation or steal
+    /// victim. `None` (the default) disables the debounce entirely — the
+    /// mechanism takes the exact pre-hysteresis paths, so every policy
+    /// without a dwell is byte-identical to before this hook existed.
+    /// Voluntary releases (the runtime yields the processor, the space
+    /// finishes) are never delayed.
+    fn min_dwell(&self) -> Option<SimDuration> {
+        None
     }
 }
 
@@ -235,6 +247,50 @@ impl AllocPolicy for StrictPriority {
     }
 }
 
+/// Default minimum dwell for [`Hysteresis`]: long enough to amortize the
+/// upcall/stop machinery a reallocation costs (tens of microseconds per
+/// move on the Firefly cost model) across many quanta, short enough that
+/// the allocator still tracks bursty demand shifts.
+pub const DEFAULT_MIN_DWELL: SimDuration = SimDuration::from_millis(50);
+
+/// [`SpaceShareEven`] with reallocation hysteresis: targets are computed
+/// exactly as the paper's §4.1 policy does, but a processor granted to a
+/// space may not be *taken back* (reallocation victim or steal) until it
+/// has dwelled there for [`Hysteresis::min_dwell`]. Bursty multi-space
+/// loads otherwise make the allocator churn — a space's demand dips for
+/// one quantum, its processor is pulled, and the next burst pays a full
+/// grant + upcall round trip to get it back. The debounce trades a
+/// bounded amount of allocation lag (at most `min_dwell` per move) for
+/// that churn; the dwell ledger and `sa-experiments audit` judge the
+/// trade.
+#[derive(Debug, Clone, Copy)]
+pub struct Hysteresis {
+    /// Minimum time a granted processor is held before victim eligibility.
+    pub min_dwell: SimDuration,
+}
+
+impl Default for Hysteresis {
+    fn default() -> Self {
+        Hysteresis {
+            min_dwell: DEFAULT_MIN_DWELL,
+        }
+    }
+}
+
+impl AllocPolicy for Hysteresis {
+    fn name(&self) -> &'static str {
+        "hysteresis"
+    }
+
+    fn targets(&self, view: &AllocView<'_>) -> (Vec<u32>, bool) {
+        SpaceShareEven.targets(view)
+    }
+
+    fn min_dwell(&self) -> Option<SimDuration> {
+        Some(self.min_dwell)
+    }
+}
+
 /// Selector for the built-in allocation policies (CLI / config surface).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AllocPolicyKind {
@@ -245,14 +301,17 @@ pub enum AllocPolicyKind {
     Affinity,
     /// [`StrictPriority`] — the §2.2 starvation pathology.
     StrictPriority,
+    /// [`Hysteresis`] — §4.1 shares with a minimum-dwell debounce.
+    Hysteresis,
 }
 
 impl AllocPolicyKind {
     /// Every built-in policy, in CLI listing order.
-    pub const ALL: [AllocPolicyKind; 3] = [
+    pub const ALL: [AllocPolicyKind; 4] = [
         AllocPolicyKind::SpaceShareEven,
         AllocPolicyKind::Affinity,
         AllocPolicyKind::StrictPriority,
+        AllocPolicyKind::Hysteresis,
     ];
 
     /// Stable name (CLI `--alloc=` value).
@@ -261,6 +320,7 @@ impl AllocPolicyKind {
             AllocPolicyKind::SpaceShareEven => "even",
             AllocPolicyKind::Affinity => "affinity",
             AllocPolicyKind::StrictPriority => "strict-priority",
+            AllocPolicyKind::Hysteresis => "hysteresis",
         }
     }
 
@@ -272,6 +332,7 @@ impl AllocPolicyKind {
             AllocPolicyKind::SpaceShareEven => AllocPolicySelect::Even(SpaceShareEven),
             AllocPolicyKind::Affinity => AllocPolicySelect::Affinity(Affinity),
             AllocPolicyKind::StrictPriority => AllocPolicySelect::StrictPriority(StrictPriority),
+            AllocPolicyKind::Hysteresis => AllocPolicySelect::Hysteresis(Hysteresis::default()),
         }
     }
 
@@ -281,6 +342,7 @@ impl AllocPolicyKind {
             AllocPolicyKind::SpaceShareEven => Box::new(SpaceShareEven),
             AllocPolicyKind::Affinity => Box::new(Affinity),
             AllocPolicyKind::StrictPriority => Box::new(StrictPriority),
+            AllocPolicyKind::Hysteresis => Box::new(Hysteresis::default()),
         }
     }
 }
@@ -299,6 +361,7 @@ impl FromStr for AllocPolicyKind {
             "even" | "space-share-even" => Ok(AllocPolicyKind::SpaceShareEven),
             "affinity" => Ok(AllocPolicyKind::Affinity),
             "strict-priority" | "priority" => Ok(AllocPolicyKind::StrictPriority),
+            "hysteresis" | "dwell" => Ok(AllocPolicyKind::Hysteresis),
             other => Err(format!(
                 "unknown allocation policy '{other}' (expected one of: {})",
                 AllocPolicyKind::ALL.map(|k| k.name()).join(", ")
@@ -325,6 +388,8 @@ pub enum AllocPolicySelect {
     Affinity(Affinity),
     /// [`StrictPriority`], statically dispatched.
     StrictPriority(StrictPriority),
+    /// [`Hysteresis`], statically dispatched.
+    Hysteresis(Hysteresis),
     /// Any other policy, behind the original trait object.
     Custom(Box<dyn AllocPolicy>),
 }
@@ -336,6 +401,7 @@ impl AllocPolicySelect {
             AllocPolicySelect::Even(p) => p.name(),
             AllocPolicySelect::Affinity(p) => p.name(),
             AllocPolicySelect::StrictPriority(p) => p.name(),
+            AllocPolicySelect::Hysteresis(p) => p.name(),
             AllocPolicySelect::Custom(p) => p.name(),
         }
     }
@@ -346,6 +412,7 @@ impl AllocPolicySelect {
             AllocPolicySelect::Even(p) => p.targets(view),
             AllocPolicySelect::Affinity(p) => p.targets(view),
             AllocPolicySelect::StrictPriority(p) => p.targets(view),
+            AllocPolicySelect::Hysteresis(p) => p.targets(view),
             AllocPolicySelect::Custom(p) => p.targets(view),
         }
     }
@@ -356,7 +423,19 @@ impl AllocPolicySelect {
             AllocPolicySelect::Even(p) => p.pick_cpu(view, space, free),
             AllocPolicySelect::Affinity(p) => p.pick_cpu(view, space, free),
             AllocPolicySelect::StrictPriority(p) => p.pick_cpu(view, space, free),
+            AllocPolicySelect::Hysteresis(p) => p.pick_cpu(view, space, free),
             AllocPolicySelect::Custom(p) => p.pick_cpu(view, space, free),
+        }
+    }
+
+    /// See [`AllocPolicy::min_dwell`].
+    pub fn min_dwell(&self) -> Option<SimDuration> {
+        match self {
+            AllocPolicySelect::Even(p) => p.min_dwell(),
+            AllocPolicySelect::Affinity(p) => p.min_dwell(),
+            AllocPolicySelect::StrictPriority(p) => p.min_dwell(),
+            AllocPolicySelect::Hysteresis(p) => p.min_dwell(),
+            AllocPolicySelect::Custom(p) => p.min_dwell(),
         }
     }
 }
@@ -432,6 +511,29 @@ mod tests {
         // which is what the default (even) policy always does.
         assert_eq!(Affinity.pick_cpu(&v, 0, &[0, 3]), 0);
         assert_eq!(SpaceShareEven.pick_cpu(&v, 0, &[2, 3]), 2);
+    }
+
+    #[test]
+    fn hysteresis_shares_like_even_but_declares_a_dwell() {
+        let spaces = [sd(1, 1), sd(10, 1)];
+        let v = AllocView {
+            spaces: &spaces,
+            total_cpus: 6,
+            rotation: 0,
+            last_space: &[],
+        };
+        assert_eq!(
+            Hysteresis::default().targets(&v),
+            SpaceShareEven.targets(&v)
+        );
+        assert_eq!(
+            Hysteresis::default().min_dwell(),
+            Some(DEFAULT_MIN_DWELL),
+            "hysteresis must declare its dwell"
+        );
+        assert_eq!(SpaceShareEven.min_dwell(), None);
+        assert_eq!(Affinity.min_dwell(), None);
+        assert_eq!(StrictPriority.min_dwell(), None);
     }
 
     #[test]

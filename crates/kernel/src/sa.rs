@@ -407,7 +407,7 @@ impl Kernel {
         }
         // 4. Nothing eligible right now (victims mid-kernel-path); retry.
         let at = self.q.now() + RETRY_NOTIFY_DELAY;
-        self.q.schedule(at, Event::RetryNotify { space });
+        self.sched_ev(at, Event::RetryNotify { space });
     }
 
     pub(crate) fn retry_notify(&mut self, space: AsId) {
@@ -466,7 +466,7 @@ impl Kernel {
             {
                 continue;
             }
-            if !self.cpu_stealable(cpu) {
+            if !self.cpu_stealable(cpu) || self.dwell_holds(cpu) {
                 continue;
             }
             let load = self.spaces[owner.index()].assigned_cpus;
@@ -615,6 +615,14 @@ impl Kernel {
         all.extend(events);
         debug_assert!(!all.is_empty(), "empty upcall batch");
         debug_assert_eq!(all.len(), queued_at.len());
+        self.mailbox.post(
+            &self.plan,
+            crate::mailbox::CrossShardMsg::UpcallBatch {
+                cpu: cpu as u32,
+                space: space.0,
+                events: all.len() as u32,
+            },
+        );
         // Allocate the vessel: cached husks are cheap (§4.3).
         let (a, create_cost) = match self.spaces[space.index()].sa.cached.pop() {
             Some(husk) => {

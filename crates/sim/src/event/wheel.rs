@@ -172,6 +172,7 @@ impl<E> WheelQueue<E> {
         EventToken {
             slot: idx,
             gen: self.nodes[idx as usize].gen,
+            lane: 0,
         }
     }
 

@@ -15,6 +15,7 @@ pub mod event;
 pub mod ledger;
 pub mod paged;
 pub mod rng;
+pub mod shard;
 pub mod span;
 pub mod stats;
 pub mod time;
@@ -26,6 +27,7 @@ pub use event::{BatchStart, EventCore, EventQueue, EventToken, PopNext};
 pub use ledger::{CpuState, TimeLedger, WaitKind};
 pub use paged::PagedVec;
 pub use rng::SimRng;
+pub use shard::{MultiLanes, ShardPlan, ShardedQueue};
 pub use span::{Span, SpanBook, SpanPhase};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceRecord, Tracer, UpcallKind};

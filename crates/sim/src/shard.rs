@@ -1,0 +1,636 @@
+//! Deterministic sharded event delivery: per-lane event queues merged
+//! into one global order, with optional parallel lane staging.
+//!
+//! A sharded run partitions the simulated machine (CPUs and address
+//! spaces) into *shards*; each shard's future events live in their own
+//! lane. The coordinator commits events strictly in ascending
+//! `(time, global sequence)` order, where the global sequence number is
+//! assigned at schedule time across *all* lanes. Because event handlers
+//! execute serially on the coordinator (the kernel's shared allocator
+//! state makes true handler parallelism semantics-changing — see
+//! DESIGN.md §7), a sharded run performs exactly the same schedule calls
+//! in exactly the same order as the serial engine, so the global
+//! sequence assigned to every event is *identical at any shard count*
+//! and the merged commit order is the serial pop order, byte for byte.
+//!
+//! The parallelism is in the *staging* phase: host worker threads drain
+//! each lane's heap up to a conservative horizon `next event time + L`
+//! (L = the cost model's minimum cross-shard edge cost) into per-lane
+//! sorted runs, concurrently and without touching the lane clock. The
+//! commit loop then merges run fronts against live lane heads, so
+//! events scheduled *during* commit — even earlier than already-staged
+//! ones — are still delivered in exact global order. Staging is thus
+//! purely an optimization: correctness never depends on the lookahead,
+//! which only bounds how much sorting work a staging round may claim.
+//!
+//! Tokens issued by a sharded queue carry their lane id, so
+//! cancellation goes straight to the owning lane; an event cancelled
+//! after it was staged (but before commit) is located in the staged run
+//! by its original `(slot, generation)` pair, which is unique for the
+//! queue's lifetime.
+
+use crate::event::indexed::IndexedQueue;
+use crate::event::{EventCore, EventQueue, EventToken, PopNext};
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Minimum live-event population before a staging round is worth the
+/// synchronization: below this, the merge loop just commits from live
+/// lane heads (sparse scenarios never pay a lock handshake per event).
+const STAGE_MIN_LIVE: usize = 32;
+
+/// How a simulation is partitioned into shards: which shard owns each
+/// simulated CPU and each address space, plus the conservative lookahead
+/// window derived from the cost model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    n_shards: u32,
+    cpu_shard: Vec<u32>,
+    lookahead: SimDuration,
+}
+
+impl ShardPlan {
+    /// Builds a plan for `n_cpus` simulated CPUs split into (at most)
+    /// `requested_shards` shards. The effective shard count is clamped to
+    /// `[1, max(n_cpus, 1)]` so no shard is empty; CPUs are assigned in
+    /// balanced contiguous blocks. `lookahead` is the staging window (the
+    /// cost model's minimum cross-shard edge cost).
+    pub fn new(requested_shards: u32, n_cpus: u32, lookahead: SimDuration) -> ShardPlan {
+        let n_shards = requested_shards.clamp(1, n_cpus.max(1));
+        let denom = u64::from(n_cpus.max(1));
+        let cpu_shard = (0..n_cpus)
+            .map(|c| (u64::from(c) * u64::from(n_shards) / denom) as u32)
+            .collect();
+        ShardPlan {
+            n_shards,
+            cpu_shard,
+            lookahead,
+        }
+    }
+
+    /// Number of shards (= event lanes).
+    pub fn n_shards(&self) -> u32 {
+        self.n_shards
+    }
+
+    /// The conservative staging window.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Shard owning simulated CPU `cpu`.
+    pub fn cpu_shard(&self, cpu: usize) -> u32 {
+        self.cpu_shard[cpu]
+    }
+
+    /// Shard owning address space `space` (spaces are striped round-robin
+    /// so hundreds of SLO listener spaces spread evenly).
+    pub fn space_shard(&self, space: u32) -> u32 {
+        space % self.n_shards
+    }
+}
+
+/// A staged (drained-but-uncommitted) event: its timestamp, global
+/// sequence, original token, and payload (`None` once cancelled).
+struct StagedEv<E> {
+    time: SimTime,
+    gseq: u64,
+    token: EventToken,
+    event: Option<E>,
+}
+
+/// One shard's event lane: the future-event heap (payloads carry the
+/// global sequence) plus the staging buffer written by `stage_lane`.
+struct Lane<E> {
+    q: IndexedQueue<(u64, E)>,
+    staged: VecDeque<StagedEv<E>>,
+}
+
+/// The cross-thread half of a multi-lane queue: the lanes themselves
+/// (each behind its own mutex) and the current staging horizon. Worker
+/// threads hold an `Arc` of this and call [`MultiLanes::stage_lane`];
+/// everything else stays coordinator-local.
+pub struct MultiLanes<E> {
+    lanes: Vec<Mutex<Lane<E>>>,
+    horizon: AtomicU64,
+}
+
+impl<E> MultiLanes<E> {
+    /// Drains lane `lane` up to the current staging horizon into its
+    /// staging buffer, in `(time, seq)` order, without advancing the lane
+    /// clock. Safe to call from any thread; each lane is independent, so
+    /// a worker team runs one call per lane concurrently.
+    pub fn stage_lane(&self, lane: usize) {
+        let horizon = SimTime::from_nanos(self.horizon.load(Ordering::Acquire));
+        let mut guard = self.lanes[lane].lock().expect("lane mutex poisoned");
+        let Lane { q, staged } = &mut *guard;
+        q.drain_upto(horizon, |time, mut token, (gseq, event)| {
+            token.lane = lane as u32;
+            staged.push_back(StagedEv {
+                time,
+                gseq,
+                token,
+                event: Some(event),
+            });
+        });
+    }
+
+    /// Number of lanes.
+    pub fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+}
+
+/// Coordinator-local state of a multi-lane queue.
+struct Multi<E> {
+    shared: Arc<MultiLanes<E>>,
+    /// Per-lane staged runs collected by `finish_stage`, each sorted by
+    /// `(time, gseq)`; fronts compete with live lane heads at commit.
+    runs: Vec<VecDeque<StagedEv<E>>>,
+    /// Cached `(time, gseq)` key of each lane's live heap head. Exact:
+    /// refreshed on every pop/cancel that touches the head and on
+    /// `finish_stage`; schedule folds in a min.
+    heads: Vec<Option<(SimTime, u64)>>,
+    next_gseq: u64,
+    now: SimTime,
+    lookahead: SimDuration,
+    /// Total undelivered events across lanes, staged runs included.
+    live: usize,
+}
+
+// The wheel inside `EventQueue` dwarfs the `Multi` variant, but one
+// `Mode` exists per simulation and boxing the serial queue would put a
+// pointer chase on every hot-path call of the serial engine — the exact
+// cost the Serial arm exists to avoid.
+#[allow(clippy::large_enum_variant)]
+enum Mode<E> {
+    Serial(EventQueue<E>),
+    Multi(Multi<E>),
+}
+
+/// A future-event list that is either a plain [`EventQueue`] (one shard:
+/// the serial engine, untouched hot path) or a set of per-shard lanes
+/// merged in global `(time, sequence)` order with optional parallel
+/// staging. See the module docs for the determinism argument.
+pub struct ShardedQueue<E> {
+    mode: Mode<E>,
+}
+
+impl<E> ShardedQueue<E> {
+    /// Single-lane queue delegating to [`EventQueue`] on `core`: the
+    /// serial engine, byte-identical and hot-path-identical to before
+    /// sharding existed.
+    pub fn new_serial(core: EventCore) -> Self {
+        ShardedQueue {
+            mode: Mode::Serial(EventQueue::with_core(core)),
+        }
+    }
+
+    /// Multi-lane queue with `n_lanes` lanes and the given staging
+    /// window.
+    pub fn new_multi(n_lanes: usize, lookahead: SimDuration) -> Self {
+        assert!(n_lanes >= 1, "a sharded queue needs at least one lane");
+        ShardedQueue {
+            mode: Mode::Multi(Multi {
+                shared: Arc::new(MultiLanes {
+                    lanes: (0..n_lanes)
+                        .map(|_| {
+                            Mutex::new(Lane {
+                                q: IndexedQueue::new(),
+                                staged: VecDeque::new(),
+                            })
+                        })
+                        .collect(),
+                    horizon: AtomicU64::new(0),
+                }),
+                runs: (0..n_lanes).map(|_| VecDeque::new()).collect(),
+                heads: vec![None; n_lanes],
+                next_gseq: 0,
+                now: SimTime::ZERO,
+                lookahead,
+                live: 0,
+            }),
+        }
+    }
+
+    /// True when this queue runs multiple lanes.
+    pub fn is_multi(&self) -> bool {
+        matches!(self.mode, Mode::Multi(_))
+    }
+
+    /// Number of lanes (1 in serial mode).
+    pub fn n_lanes(&self) -> usize {
+        match &self.mode {
+            Mode::Serial(_) => 1,
+            Mode::Multi(m) => m.shared.lanes.len(),
+        }
+    }
+
+    /// The backing core: the configured [`EventCore`] in serial mode;
+    /// multi-lane queues always run indexed-heap lanes.
+    pub fn core(&self) -> EventCore {
+        match &self.mode {
+            Mode::Serial(q) => q.core(),
+            Mode::Multi(_) => EventCore::Indexed,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the most recently committed
+    /// event (zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        match &self.mode {
+            Mode::Serial(q) => q.now(),
+            Mode::Multi(m) => m.now,
+        }
+    }
+
+    /// Number of undelivered events across all lanes and staged runs.
+    /// Exact under cancellation, like [`EventQueue::len`].
+    pub fn len(&self) -> usize {
+        match &self.mode {
+            Mode::Serial(q) => q.len(),
+            Mode::Multi(m) => m.live,
+        }
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `event` at `time` on `lane` (ignored in serial mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the current global time, or if `lane`
+    /// is out of range in multi mode.
+    pub fn schedule(&mut self, lane: usize, time: SimTime, event: E) -> EventToken {
+        match &mut self.mode {
+            Mode::Serial(q) => q.schedule(time, event),
+            Mode::Multi(m) => {
+                assert!(
+                    time >= m.now,
+                    "scheduled event in the past: {time} < now {}",
+                    m.now
+                );
+                let gseq = m.next_gseq;
+                m.next_gseq += 1;
+                let mut token = {
+                    let mut guard = m.shared.lanes[lane].lock().expect("lane mutex poisoned");
+                    guard.q.schedule(time, (gseq, event))
+                };
+                token.lane = lane as u32;
+                if m.heads[lane].is_none_or(|k| (time, gseq) < k) {
+                    m.heads[lane] = Some((time, gseq));
+                }
+                m.live += 1;
+                token
+            }
+        }
+    }
+
+    /// Cancels a previously scheduled event, wherever it currently lives:
+    /// the owning lane's heap, the lane's staging buffer, or a collected
+    /// run awaiting commit. Stale tokens are no-ops; returns whether a
+    /// live event was removed.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        match &mut self.mode {
+            Mode::Serial(q) => q.cancel(token),
+            Mode::Multi(m) => {
+                let lane = token.lane as usize;
+                {
+                    let mut guard = m.shared.lanes[lane].lock().expect("lane mutex poisoned");
+                    if guard.q.cancel(token) {
+                        m.heads[lane] = guard.q.peek_head().map(|(t, p)| (t, p.0));
+                        m.live -= 1;
+                        return true;
+                    }
+                    // Drained but not yet collected by `finish_stage`.
+                    for s in guard.staged.iter_mut() {
+                        if s.token.slot == token.slot
+                            && s.token.gen == token.gen
+                            && s.event.is_some()
+                        {
+                            s.event = None;
+                            m.live -= 1;
+                            return true;
+                        }
+                    }
+                }
+                // In a collected run awaiting commit.
+                for s in m.runs[lane].iter_mut() {
+                    if s.token.slot == token.slot && s.token.gen == token.gen && s.event.is_some() {
+                        s.event = None;
+                        m.live -= 1;
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Delivers the globally next event if it fires at or before `limit`,
+    /// merging staged-run fronts against live lane heads by
+    /// `(time, global sequence)`. [`PopNext::Deferred`] leaves the queue
+    /// and clock untouched. Identical delivery order to the serial
+    /// engine's [`EventQueue::pop_within`].
+    pub fn pop_within(&mut self, limit: SimTime) -> PopNext<E> {
+        match &mut self.mode {
+            Mode::Serial(q) => q.pop_within(limit),
+            Mode::Multi(m) => {
+                let n = m.shared.lanes.len();
+                // (time, gseq, lane, from_run) of the global minimum.
+                let mut best: Option<(SimTime, u64, usize, bool)> = None;
+                for lane in 0..n {
+                    while m.runs[lane].front().is_some_and(|s| s.event.is_none()) {
+                        m.runs[lane].pop_front();
+                    }
+                    if let Some(s) = m.runs[lane].front() {
+                        if best.is_none_or(|(t, g, ..)| (s.time, s.gseq) < (t, g)) {
+                            best = Some((s.time, s.gseq, lane, true));
+                        }
+                    }
+                    if let Some((t, g)) = m.heads[lane] {
+                        if best.is_none_or(|(bt, bg, ..)| (t, g) < (bt, bg)) {
+                            best = Some((t, g, lane, false));
+                        }
+                    }
+                }
+                let Some((time, _gseq, lane, from_run)) = best else {
+                    return PopNext::Empty;
+                };
+                if time > limit {
+                    return PopNext::Deferred(time);
+                }
+                debug_assert!(time >= m.now, "event queue time inversion");
+                m.now = time;
+                m.live -= 1;
+                if from_run {
+                    let s = m.runs[lane].pop_front().expect("run front vanished");
+                    PopNext::Popped(time, s.event.expect("cancelled front survived pruning"))
+                } else {
+                    let mut guard = m.shared.lanes[lane].lock().expect("lane mutex poisoned");
+                    // Advancing the lane clock to the global commit time
+                    // is safe: every future schedule is at or after it.
+                    let (t, (_, ev)) = guard.q.pop().expect("cached lane head vanished");
+                    debug_assert_eq!(t, time, "lane head cache drift");
+                    m.heads[lane] = guard.q.peek_head().map(|(ht, p)| (ht, p.0));
+                    PopNext::Popped(time, ev)
+                }
+            }
+        }
+    }
+
+    /// Pops the globally next event unconditionally (test convenience).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self.pop_within(SimTime::MAX) {
+            PopNext::Popped(t, e) => Some((t, e)),
+            PopNext::Empty => None,
+            PopNext::Deferred(_) => unreachable!("MAX limit deferred"),
+        }
+    }
+
+    /// The cross-thread lane handle, for wiring a worker team; `None` in
+    /// serial mode.
+    pub fn lanes(&self) -> Option<Arc<MultiLanes<E>>> {
+        match &self.mode {
+            Mode::Serial(_) => None,
+            Mode::Multi(m) => Some(m.shared.clone()),
+        }
+    }
+
+    /// Opens a staging round if one is worthwhile: enough live events
+    /// ([`STAGE_MIN_LIVE`]), no uncommitted runs from the previous round,
+    /// and a known next event time. On `true`, the staging horizon is
+    /// published (next event time + lookahead) and the caller must run
+    /// [`MultiLanes::stage_lane`] for every lane (on any threads) and
+    /// then call [`ShardedQueue::finish_stage`] before the next pop.
+    /// Always `false` in serial mode.
+    pub fn begin_stage(&mut self) -> bool {
+        match &mut self.mode {
+            Mode::Serial(_) => false,
+            Mode::Multi(m) => {
+                if m.live < STAGE_MIN_LIVE || m.runs.iter().any(|r| !r.is_empty()) {
+                    return false;
+                }
+                let Some(next_t) = m.heads.iter().flatten().map(|&(t, _)| t).min() else {
+                    return false;
+                };
+                m.shared
+                    .horizon
+                    .store((next_t + m.lookahead).as_nanos(), Ordering::Release);
+                true
+            }
+        }
+    }
+
+    /// Closes a staging round: collects every lane's staging buffer into
+    /// its coordinator-local run and refreshes the live head cache.
+    pub fn finish_stage(&mut self) {
+        let Mode::Multi(m) = &mut self.mode else {
+            return;
+        };
+        for (lane, l) in m.shared.lanes.iter().enumerate() {
+            let mut guard = l.lock().expect("lane mutex poisoned");
+            let staged = std::mem::take(&mut guard.staged);
+            m.heads[lane] = guard.q.peek_head().map(|(t, p)| (t, p.0));
+            drop(guard);
+            if m.runs[lane].is_empty() {
+                m.runs[lane] = staged;
+            } else {
+                m.runs[lane].extend(staged);
+            }
+        }
+    }
+
+    /// Runs one full staging round inline on the calling thread (no
+    /// worker team): `begin_stage` + every lane + `finish_stage`. Used by
+    /// single-threaded callers and tests; a no-op when staging is not
+    /// worthwhile.
+    pub fn stage_inline(&mut self) {
+        if self.begin_stage() {
+            let shared = match &self.mode {
+                Mode::Multi(m) => m.shared.clone(),
+                Mode::Serial(_) => unreachable!("begin_stage in serial mode"),
+            };
+            for lane in 0..shared.n_lanes() {
+                shared.stage_lane(lane);
+            }
+            self.finish_stage();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn plan_partitions_every_cpu_exactly_once_and_balanced() {
+        for cpus in 1..40u32 {
+            for shards in 1..10u32 {
+                let plan = ShardPlan::new(shards, cpus, SimDuration::from_micros(15));
+                let n = plan.n_shards();
+                assert!(n >= 1 && n <= cpus);
+                let mut counts = vec![0u32; n as usize];
+                for c in 0..cpus {
+                    counts[plan.cpu_shard(c as usize) as usize] += 1;
+                }
+                // Every shard nonempty, sizes within one of each other.
+                let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+                assert!(min >= 1, "empty shard: {counts:?}");
+                assert!(max - min <= 1, "unbalanced: {counts:?}");
+                // Contiguous blocks: shard ids are monotone in cpu id.
+                for c in 1..cpus as usize {
+                    assert!(plan.cpu_shard(c) >= plan.cpu_shard(c - 1));
+                }
+                for s in 0..200u32 {
+                    assert!(plan.space_shard(s) < n);
+                }
+            }
+        }
+    }
+
+    /// Differential: a multi-lane queue with random staging rounds must
+    /// reproduce the serial queue's delivery sequence exactly, including
+    /// cancellations of already-staged events.
+    #[test]
+    fn multi_lane_matches_serial_under_mixed_load() {
+        for lanes in [1usize, 2, 3, 4] {
+            let mut rng = SimRng::new(0xd15c0 + lanes as u64);
+            // Script: (lane, delta_us, cancel_after) triples.
+            let script: Vec<(usize, u64, bool)> = (0..600)
+                .map(|_| {
+                    (
+                        rng.below(lanes as u64) as usize,
+                        rng.below(300),
+                        rng.chance(0.2),
+                    )
+                })
+                .collect();
+
+            let run = |mut q: ShardedQueue<u32>, stage_every: u64| {
+                let mut got = Vec::new();
+                let mut toks = Vec::new();
+                let mut i = 0u32;
+                let mut script_it = script.iter();
+                let mut step = 0u64;
+                loop {
+                    // Interleave schedules and pops.
+                    for _ in 0..3 {
+                        if let Some(&(lane, d, cancel)) = script_it.next() {
+                            let tok =
+                                q.schedule(lane, q.now() + SimDuration::from_micros(d + 1), i);
+                            if cancel {
+                                toks.push((tok, step + 2));
+                            }
+                            i += 1;
+                        }
+                    }
+                    step += 1;
+                    if stage_every > 0 && step.is_multiple_of(stage_every) {
+                        q.stage_inline();
+                    }
+                    // Fire due cancellations (deterministic points).
+                    toks.retain(|&(tok, at)| {
+                        if at <= step {
+                            q.cancel(tok);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    match q.pop() {
+                        Some((at, v)) => got.push((at, v)),
+                        None => {
+                            if script_it.len() == 0 {
+                                break;
+                            }
+                        }
+                    }
+                }
+                got
+            };
+
+            let serial = run(ShardedQueue::new_serial(EventCore::Wheel), 0);
+            let serial_indexed = run(ShardedQueue::new_serial(EventCore::Indexed), 0);
+            assert_eq!(serial, serial_indexed);
+            for stage_every in [0u64, 1, 3, 7] {
+                let multi = run(
+                    ShardedQueue::new_multi(lanes, SimDuration::from_micros(50)),
+                    stage_every,
+                );
+                assert_eq!(
+                    serial, multi,
+                    "divergence at lanes={lanes} stage_every={stage_every}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn staged_event_cancellation_is_live() {
+        let mut q: ShardedQueue<u32> = ShardedQueue::new_multi(2, SimDuration::from_micros(100));
+        // Enough events to clear the staging threshold.
+        let mut toks = Vec::new();
+        for i in 0..40u32 {
+            toks.push(q.schedule((i % 2) as usize, t(u64::from(i) + 1), i));
+        }
+        assert_eq!(q.len(), 40);
+        q.stage_inline();
+        // All 40 are within the horizon (1..=40 µs <= 1 + 100 µs).
+        assert!(q.cancel(toks[0]), "staged event must cancel live");
+        assert!(!q.cancel(toks[0]), "double cancel is a no-op");
+        assert_eq!(q.len(), 39);
+        let (at, v) = q.pop().unwrap();
+        assert_eq!((at, v), (t(2), 1), "cancelled head skipped");
+        // A schedule during commit, earlier than staged entries, commits
+        // first even though lane heaps were drained.
+        let tok = q.schedule(0, q.now(), 99);
+        assert_eq!(q.pop().unwrap().1, 99);
+        assert!(!q.cancel(tok), "fired token is stale");
+        let mut rest: Vec<u32> = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            rest.push(v);
+        }
+        assert_eq!(rest.len(), 38);
+        assert_eq!(rest[0], 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn lane_clock_accepts_pre_horizon_schedules_after_staging() {
+        // Regression guard for the staging primitive: draining a lane far
+        // ahead must not advance its clock, so a later schedule below the
+        // drained horizon (but at/after global now) is legal.
+        let mut q: ShardedQueue<u32> = ShardedQueue::new_multi(2, SimDuration::from_millis(10));
+        for i in 0..STAGE_MIN_LIVE as u32 {
+            q.schedule(1, t(500 + u64::from(i)), i);
+        }
+        q.schedule(0, t(1), 1000);
+        q.stage_inline(); // horizon ~ t(1) + 10ms covers everything
+        assert_eq!(q.pop().unwrap().1, 1000);
+        // now == t(1); schedule into the drained lane well below t(500).
+        q.schedule(1, t(2), 2000);
+        assert_eq!(q.pop().unwrap().1, 2000);
+        assert_eq!(q.pop().unwrap().1, 0);
+    }
+
+    #[test]
+    fn deferred_leaves_clock_untouched() {
+        let mut q: ShardedQueue<u32> = ShardedQueue::new_multi(2, SimDuration::from_micros(10));
+        q.schedule(0, t(50), 1);
+        assert_eq!(q.pop_within(t(40)), PopNext::Deferred(t(50)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.pop_within(t(50)), PopNext::Popped(t(50), 1));
+        assert_eq!(q.pop_within(SimTime::MAX), PopNext::Empty);
+    }
+}

@@ -87,6 +87,21 @@ impl OpenLoopConfig {
         per + usize::from((shard as usize) < extra)
     }
 
+    /// Re-fans the workload across `spaces` address spaces while
+    /// preserving the aggregate arrival rate: the per-shard mean
+    /// inter-arrival gap scales with the shard count, so `shards /
+    /// mean_interarrival` is unchanged. Without the rescale, fanning a
+    /// profile tuned for a handful of spaces across hundreds would
+    /// multiply offered load by the same factor and the open-loop
+    /// backlog would grow without bound.
+    pub fn fan_spaces(&mut self, spaces: u32) {
+        assert!(spaces >= 1, "at least one address space");
+        let scaled =
+            self.mean_interarrival.as_nanos() * u64::from(spaces) / u64::from(self.shards.max(1));
+        self.mean_interarrival = SimDuration::from_nanos(scaled.max(1));
+        self.shards = spaces;
+    }
+
     /// Expected mean of the truncated Pareto service demand (ns); used
     /// for load sizing in reports.
     pub fn mean_service_ns(&self) -> f64 {
@@ -363,6 +378,16 @@ mod tests {
         assert_eq!(total, 11);
         assert_eq!(c.shard_requests(0), 3);
         assert_eq!(c.shard_requests(3), 2);
+    }
+
+    #[test]
+    fn fan_spaces_preserves_aggregate_rate() {
+        let mut c = cfg(ArrivalProcess::Poisson);
+        let rate = c.shards as f64 / c.mean_interarrival.as_nanos() as f64;
+        c.fan_spaces(50);
+        assert_eq!(c.shards, 50);
+        let fanned = c.shards as f64 / c.mean_interarrival.as_nanos() as f64;
+        assert!((fanned / rate - 1.0).abs() < 1e-9);
     }
 
     #[test]
